@@ -1,0 +1,416 @@
+(* Benchmark harness: regenerates every experiment of the paper's
+   evaluation (§6, Figures 8-14), plus Bechamel microbenchmarks of the
+   substrate.
+
+     dune exec bench/main.exe                 -- all figures, quick scale
+     dune exec bench/main.exe -- fig12        -- one figure
+     dune exec bench/main.exe -- --full all   -- paper-scale parameters
+
+   Absolute numbers differ from the paper (different DBMS, different
+   hardware); the claims that must reproduce are the *shapes*: PATTERN
+   beats RANDOM (more so for pairs), SMC/TOPK beat BASELINE by orders of
+   magnitude for singletons, TOPK stays robust for pairs while SMC
+   degrades, and monotonicity saves a large factor of optimizer calls at
+   identical solution quality. *)
+
+open Storage
+module F = Core.Framework
+module QG = Core.Query_gen
+module Su = Core.Suite
+module C = Core.Compress
+
+let scale = 0.002
+let bench_options = { Optimizer.Engine.default_options with max_trees = 400 }
+let catalog = lazy (Datagen.tpch ~scale ())
+let fw () = F.create ~options:bench_options (Lazy.force catalog)
+let now () = Unix.gettimeofday ()
+let header title = Printf.printf "\n=== %s ===\n%!" title
+let hr () = print_endline (String.make 72 '-')
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: trials per singleton rule, RANDOM vs PATTERN               *)
+(* ------------------------------------------------------------------ *)
+
+let fig8 ~full =
+  let n_rules = if full then Optimizer.Rules.count else 30 in
+  let rules = List.filteri (fun i _ -> i < n_rules) Optimizer.Rules.names in
+  let cap = 100 in
+  header
+    (Printf.sprintf
+       "Figure 8: query generation trials per singleton rule (%d rules, cap %d)"
+       (List.length rules) cap);
+  let framework = fw () in
+  Printf.printf "%-34s %8s %9s\n" "rule" "RANDOM" "PATTERN";
+  hr ();
+  let tr = ref 0 and tp = ref 0 and rand_failures = ref 0 in
+  List.iteri
+    (fun i name ->
+      let g = Prng.create (1000 + i) in
+      let random_trials =
+        match QG.random_for_rules ~max_trials:cap framework g [ name ] with
+        | Some r -> r.trials
+        | None ->
+          incr rand_failures;
+          cap
+      in
+      let pattern_trials =
+        match QG.for_rule ~max_trials:cap framework g name with
+        | Some r -> r.trials
+        | None -> cap
+      in
+      tr := !tr + random_trials;
+      tp := !tp + pattern_trials;
+      Printf.printf "%-34s %8d %9d\n%!" name random_trials pattern_trials)
+    rules;
+  hr ();
+  Printf.printf "%-34s %8d %9d   (RANDOM hit the cap for %d rules)\n" "TOTAL" !tr !tp
+    !rand_failures
+
+(* ------------------------------------------------------------------ *)
+(* Figures 9 & 10: rule pairs — trials and generation time              *)
+(* ------------------------------------------------------------------ *)
+
+let fig9_10 ~full =
+  let ns = if full then [ 15; 30 ] else [ 10; 15 ] in
+  let cap_random = if full then 300 else 120 in
+  let cap_pattern = 60 in
+  header
+    (Printf.sprintf
+       "Figures 9 and 10: rule-pair generation, RANDOM vs PATTERN (caps %d/%d)"
+       cap_random cap_pattern);
+  Printf.printf "%5s %7s | %13s %14s | %9s %10s\n" "n" "pairs" "RANDOM trials"
+    "PATTERN trials" "RANDOM s" "PATTERN s";
+  hr ();
+  List.iter
+    (fun n ->
+      let rules = List.filteri (fun i _ -> i < n) Optimizer.Rules.names in
+      let pairs = Su.all_pairs rules in
+      let framework = fw () in
+      let rt = ref 0 and pt = ref 0 in
+      let rsec = ref 0.0 and psec = ref 0.0 in
+      let rfail = ref 0 and pfail = ref 0 in
+      List.iteri
+        (fun i pair ->
+          let r1, r2 =
+            match pair with Su.Pair (a, b) -> (a, b) | Su.Single r -> (r, r)
+          in
+          let g = Prng.create (5000 + i) in
+          let t0 = now () in
+          (match
+             QG.random_for_rules ~max_trials:cap_random ~max_ops:8 framework g
+               [ r1; r2 ]
+           with
+          | Some r -> rt := !rt + r.trials
+          | None ->
+            incr rfail;
+            rt := !rt + cap_random);
+          rsec := !rsec +. (now () -. t0);
+          let t1 = now () in
+          (match QG.for_pair ~max_trials:cap_pattern framework g (r1, r2) with
+          | Some r -> pt := !pt + r.trials
+          | None ->
+            incr pfail;
+            pt := !pt + cap_pattern);
+          psec := !psec +. (now () -. t1))
+        pairs;
+      Printf.printf
+        "%5d %7d | %13d %14d | %9.1f %10.1f   (caps hit: RANDOM %d, PATTERN %d)\n%!" n
+        (List.length pairs) !rt !pt !rsec !psec !rfail !pfail)
+    ns
+
+(* ------------------------------------------------------------------ *)
+(* Suite machinery shared by Figures 11-14                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec take m = function
+  | [] -> []
+  | _ when m = 0 -> []
+  | x :: xs -> x :: take (m - 1) xs
+
+(* Restrict a suite to its first [n] targets and at most [k] queries per
+   target (suites are generated once at the largest configuration). *)
+let subset_suite (suite : Su.t) ~targets ~k : Su.t =
+  let per_target =
+    List.filter_map
+      (fun (t, idx) -> if List.mem t targets then Some (t, take k idx) else None)
+      suite.per_target
+  in
+  { suite with k; targets; per_target }
+
+let print_compression_row label (sol : C.solution) seconds =
+  Printf.printf "  %-10s total cost = %14.1f   (invocations %5d, %5.1fs)\n%!" label
+    sol.total_cost sol.invocations seconds
+
+let run_algorithms framework suite =
+  let t0 = now () in
+  let b = C.baseline framework suite in
+  let t1 = now () in
+  print_compression_row "BASELINE" b (t1 -. t0);
+  let s = C.smc framework suite in
+  let t2 = now () in
+  print_compression_row "SMC" s (t2 -. t1);
+  let t = C.topk ~exploit_monotonicity:true framework suite in
+  let t3 = now () in
+  print_compression_row "TOPK" t (t3 -. t2);
+  (b, s, t)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11: compression for singleton rules                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig11 ~full =
+  let k = if full then 10 else 6 in
+  let ns = if full then [ 5; 10; 15; 20; 25; 30 ] else [ 5; 10; 15; 20 ] in
+  let n_max = List.fold_left max 0 ns in
+  header (Printf.sprintf "Figure 11: test-suite compression, singleton rules (k=%d)" k);
+  let framework = fw () in
+  let g = Prng.create 42 in
+  let rules = List.filteri (fun i _ -> i < n_max) Optimizer.Rules.names in
+  let targets = List.map (fun r -> Su.Single r) rules in
+  Printf.printf "generating the overall test suite (%d rules x k=%d)...\n%!" n_max k;
+  let t0 = now () in
+  let full_suite = Su.generate ~extra_ops:3 framework g ~targets ~k in
+  Printf.printf "  %d distinct queries in %.1fs (shortfalls: %d)\n%!"
+    (Array.length full_suite.entries)
+    (now () -. t0)
+    (List.length (Su.shortfall full_suite));
+  List.iter
+    (fun n ->
+      Printf.printf "n = %d singleton rules:\n" n;
+      ignore (run_algorithms framework (subset_suite full_suite ~targets:(take n targets) ~k)))
+    ns
+
+(* ------------------------------------------------------------------ *)
+(* Figures 12-14 share one pair suite                                   *)
+(* ------------------------------------------------------------------ *)
+
+let pair_suite ~full framework =
+  let n_max = if full then 15 else 10 in
+  let k = if full then 10 else 4 in
+  let g = Prng.create 77 in
+  let rules = List.filteri (fun i _ -> i < n_max) Optimizer.Rules.names in
+  let targets = Su.all_pairs rules in
+  Printf.printf "generating the pair test suite (%d pairs x k=%d)...\n%!"
+    (List.length targets) k;
+  let t0 = now () in
+  let suite = Su.generate ~extra_ops:1 framework g ~targets ~k in
+  Printf.printf "  %d distinct queries in %.1fs (shortfalls: %d)\n%!"
+    (Array.length suite.entries)
+    (now () -. t0)
+    (List.length (Su.shortfall suite));
+  (suite, n_max, k)
+
+let cached_pair_suite = ref None
+
+let get_pair_suite ~full framework =
+  match !cached_pair_suite with
+  | Some ((_, _, _) as r, was_full) when was_full = full -> r
+  | _ ->
+    let r = pair_suite ~full framework in
+    cached_pair_suite := Some (r, full);
+    r
+
+let pair_targets_of_first_n (suite : Su.t) n =
+  let rules = List.filteri (fun i _ -> i < n) Optimizer.Rules.names in
+  let wanted = Su.all_pairs rules in
+  List.filter (fun t -> List.mem t wanted) suite.targets
+
+let fig12 ~full =
+  header "Figure 12: test-suite compression, rule pairs";
+  let framework = fw () in
+  let suite, n_max, k = get_pair_suite ~full framework in
+  let ns = if full then [ 5; 10; 15 ] else [ 5; 8; 10 ] in
+  List.iter
+    (fun n ->
+      if n <= n_max then begin
+        let targets = pair_targets_of_first_n suite n in
+        let sub = subset_suite suite ~targets ~k in
+        Printf.printf "n = %d rules (%d pairs):\n" n (List.length sub.targets);
+        ignore (run_algorithms framework sub)
+      end)
+    ns
+
+let fig13 ~full =
+  header "Figure 13: impact of the test-suite size k (rule pairs)";
+  let framework = fw () in
+  let suite, n_max, k_max = get_pair_suite ~full framework in
+  let ks = List.filter (fun k -> k <= k_max) [ 1; 2; 3; 4; 5; 10 ] in
+  let targets = pair_targets_of_first_n suite n_max in
+  List.iter
+    (fun k ->
+      let sub = subset_suite suite ~targets ~k in
+      Printf.printf "k = %d:\n" k;
+      ignore (run_algorithms framework sub))
+    ks
+
+let fig14 ~full =
+  header "Figure 14: optimizer invocations, TOPK naive vs exploiting monotonicity";
+  let framework = fw () in
+  let suite, n_max, k = get_pair_suite ~full framework in
+  let ns = if full then [ 5; 10; 15 ] else [ 5; 8; 10 ] in
+  Printf.printf "%5s %7s | %10s %10s %8s | %s\n" "n" "pairs" "naive" "mono" "saving"
+    "solution quality delta";
+  hr ();
+  List.iter
+    (fun n ->
+      if n <= n_max then begin
+        let targets = pair_targets_of_first_n suite n in
+        let sub = subset_suite suite ~targets ~k in
+        let naive = C.topk framework sub in
+        let mono = C.topk ~exploit_monotonicity:true framework sub in
+        (* With an untruncated search the two solutions are identical
+           (Cost(q) <= Cost(q, not R) holds exactly); at finite exploration
+           budgets the assumption can bend slightly — report the delta. *)
+        let delta =
+          100.0 *. (mono.total_cost -. naive.total_cost) /. naive.total_cost
+        in
+        Printf.printf "%5d %7d | %10d %10d %7.1fx | %+.2f%%\n%!" n
+          (List.length sub.targets) naive.invocations mono.invocations
+          (float_of_int naive.invocations /. float_of_int (max 1 mono.invocations))
+          delta
+      end)
+    ns
+
+(* ------------------------------------------------------------------ *)
+(* Extension experiments beyond the paper's figures                     *)
+(* ------------------------------------------------------------------ *)
+
+let ext_matching () =
+  header "Extension (paper §7): exact no-sharing assignment vs BASELINE";
+  let framework = fw () in
+  let g = Prng.create 4242 in
+  let rules = List.filteri (fun i _ -> i < 10) Optimizer.Rules.names in
+  let suite =
+    Su.generate ~extra_ops:3 framework g
+      ~targets:(List.map (fun r -> Su.Single r) rules)
+      ~k:4
+  in
+  let b = C.baseline framework suite in
+  let m = Core.Matching.solve framework suite in
+  Printf.printf "  BASELINE  %14.1f\n  MATCHING  %14.1f  (complete=%b)\n" b.total_cost
+    m.total_cost m.complete
+
+let ext_correctness () =
+  header "Extension: executing a compressed suite for the whole registry";
+  let framework = fw () in
+  let g = Prng.create 31337 in
+  let targets = List.map (fun r -> Su.Single r) Optimizer.Rules.names in
+  let t0 = now () in
+  let suite = Su.generate ~extra_ops:2 framework g ~targets ~k:2 in
+  let sol = C.topk ~exploit_monotonicity:true framework suite in
+  let report = Core.Correctness.run framework suite sol in
+  Printf.printf
+    "  %d rules, %d distinct queries; checked %d pairs, executed %d plans, skipped %d, bugs %d, errors %d (%.1fs)\n"
+    (List.length targets)
+    (Array.length suite.entries)
+    report.pairs_checked report.executions report.skipped_identical
+    (List.length report.bugs)
+    (List.length report.errors)
+    (now () -. t0);
+  let victim = "SelectMerge" in
+  let fw_bug =
+    F.create ~options:bench_options
+      ~rules:(Core.Faults.inject victim)
+      (Lazy.force catalog)
+  in
+  let g2 = Prng.create 99 in
+  let s2 = Su.generate ~extra_ops:2 fw_bug g2 ~targets:[ Su.Single victim ] ~k:6 in
+  let rep2 = Core.Correctness.run fw_bug s2 (C.baseline fw_bug s2) in
+  Printf.printf "  with buggy %s injected: %d bug(s) reported\n" victim
+    (List.length rep2.bugs)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the substrate                            *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "Microbenchmarks (Bechamel): substrate throughput";
+  let open Bechamel in
+  let open Toolkit in
+  let cat = Lazy.force catalog in
+  let g = Prng.create 8 in
+  let ctx = { Core.Arggen.g; cat } in
+  let query = Core.Random_gen.generate ~min_ops:5 ~max_ops:6 ctx in
+  let sql = Relalg.Sql_print.to_sql cat query in
+  let plan =
+    (Result.get_ok (Optimizer.Engine.optimize ~options:bench_options cat query)).plan
+  in
+  let tests =
+    [ Test.make ~name:"optimize (budget 400)"
+        (Staged.stage (fun () ->
+             ignore (Optimizer.Engine.optimize ~options:bench_options cat query)));
+      Test.make ~name:"ruleset (exploration only)"
+        (Staged.stage (fun () ->
+             ignore (Optimizer.Engine.ruleset ~options:bench_options cat query)));
+      Test.make ~name:"execute plan"
+        (Staged.stage (fun () -> ignore (Executor.Exec.run cat plan)));
+      Test.make ~name:"sql print"
+        (Staged.stage (fun () -> ignore (Relalg.Sql_print.to_sql cat query)));
+      Test.make ~name:"sql parse"
+        (Staged.stage (fun () -> ignore (Relalg.Sql_parser.parse cat sql)));
+      Test.make ~name:"pattern instantiation"
+        (Staged.stage (fun () ->
+             ignore
+               (Core.Query_gen.instantiate ctx
+                  (Optimizer.Rules.find_exn "GbAggPullAboveJoin").pattern))) ]
+  in
+  let benchmark test =
+    let instance = Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+    let results = Benchmark.all cfg [ instance ] test in
+    let ols =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+        instance results
+    in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.printf "  %-34s %14.1f ns/run\n%!" name est
+        | _ -> Printf.printf "  %-34s (no estimate)\n%!" name)
+      ols
+  in
+  List.iter benchmark tests
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let args = List.filter (fun a -> a <> "--full") args in
+  let which = match args with [] -> [ "all" ] | l -> l in
+  let run name =
+    match name with
+    | "fig8" -> fig8 ~full
+    | "fig9" | "fig10" -> fig9_10 ~full
+    | "fig11" -> fig11 ~full
+    | "fig12" -> fig12 ~full
+    | "fig13" -> fig13 ~full
+    | "fig14" -> fig14 ~full
+    | "matching" -> ext_matching ()
+    | "correctness" -> ext_correctness ()
+    | "micro" -> micro ()
+    | "all" ->
+      fig8 ~full;
+      fig9_10 ~full;
+      fig11 ~full;
+      fig12 ~full;
+      fig13 ~full;
+      fig14 ~full;
+      ext_matching ();
+      ext_correctness ();
+      micro ()
+    | other ->
+      Printf.eprintf
+        "unknown experiment %s (expected fig8..fig14, matching, correctness, micro, all)\n"
+        other;
+      exit 2
+  in
+  Printf.printf
+    "Reproduction of 'A Framework for Testing Query Transformation Rules' (SIGMOD'09)\n";
+  Printf.printf "TPC-H scale %.3f; optimizer budget %d trees; %s parameters\n" scale
+    bench_options.max_trees
+    (if full then "paper-scale (--full)" else "quick (use --full for paper-scale)");
+  List.iter run which

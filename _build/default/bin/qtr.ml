@@ -1,0 +1,273 @@
+(* qtr — command-line interface to the rule-testing framework.
+
+     qtr rules                         list transformation rules + patterns
+     qtr optimize --sql "SELECT ..."   optimize a SQL query, show plan/RuleSet
+     qtr generate --rule JoinCommute   emit a SQL test case for a rule
+     qtr generate --pair A,B           ... for a rule pair
+     qtr coverage --rules 30           Figure-8-style coverage table
+     qtr compress --rules 10 --k 5     compare BASELINE/SMC/TOPK
+     qtr validate --rules 10 --k 3     run correctness testing
+     qtr validate --inject SelectMerge ... with a buggy rule injected *)
+
+open Cmdliner
+open Storage
+
+(* ------------------------------------------------------------------ *)
+(* Shared options                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let scale_arg =
+  Arg.(value & opt float 0.002 & info [ "scale" ] ~docv:"SF" ~doc:"TPC-H scale factor.")
+
+let seed_arg =
+  Arg.(value & opt int 2009 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt int 400
+    & info [ "budget" ] ~docv:"TREES" ~doc:"Optimizer exploration budget (trees).")
+
+let make_fw ?rules scale budget =
+  let cat = Datagen.tpch ~scale () in
+  let options = { Optimizer.Engine.default_options with max_trees = budget } in
+  Core.Framework.create ~options ?rules cat
+
+(* ------------------------------------------------------------------ *)
+(* qtr rules                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rules_cmd =
+  let xml =
+    Arg.(value & flag & info [ "xml" ] ~doc:"Print the full XML pattern document.")
+  in
+  let run xml =
+    if xml then print_endline (Optimizer.Rules.all_patterns_xml ())
+    else begin
+      Printf.printf "%d exploration rules:\n" Optimizer.Rules.count;
+      List.iter
+        (fun (r : Optimizer.Rule.t) ->
+          Format.printf "  %-34s %a@." r.name Optimizer.Pattern.pp r.pattern)
+        Optimizer.Rules.all;
+      Printf.printf "%d implementation rules:\n"
+        (List.length Optimizer.Engine.implementation_rule_names);
+      List.iter (Printf.printf "  %s\n") Optimizer.Engine.implementation_rule_names
+    end
+  in
+  Cmd.v (Cmd.info "rules" ~doc:"List transformation rules and their patterns")
+    Term.(const run $ xml)
+
+(* ------------------------------------------------------------------ *)
+(* qtr optimize                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let optimize_cmd =
+  let sql =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "sql" ] ~docv:"SQL" ~doc:"Query in the framework's SQL dialect.")
+  in
+  let disabled =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "disable" ] ~docv:"RULE" ~doc:"Disable a rule (repeatable).")
+  in
+  let run scale budget sql disabled =
+    let fw = make_fw scale budget in
+    let cat = Core.Framework.catalog fw in
+    match Relalg.Sql_parser.parse cat sql with
+    | Error e ->
+      Printf.eprintf "%s\n" e;
+      exit 1
+    | Ok tree -> (
+      Format.printf "Logical tree:@.%a@.@." Relalg.Logical.pp tree;
+      match Core.Framework.optimize fw ~disabled tree with
+      | Error e ->
+        Printf.eprintf "optimize: %s\n" e;
+        exit 1
+      | Ok r -> (
+        Format.printf "Plan (cost %.1f, %d trees explored):@.%a@.@." r.cost
+          r.trees_explored Optimizer.Physical.pp r.plan;
+        Format.printf "RuleSet: %s@."
+          (String.concat ", " (Core.Framework.SSet.elements r.exercised));
+        match Executor.Exec.run cat r.plan with
+        | Ok res -> Format.printf "@.%a@." Executor.Resultset.pp res
+        | Error e -> Printf.eprintf "execution: %s\n" e))
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Parse, optimize and execute a SQL query")
+    Term.(const run $ scale_arg $ budget_arg $ sql $ disabled)
+
+(* ------------------------------------------------------------------ *)
+(* qtr generate                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let generate_cmd =
+  let rule =
+    Arg.(value & opt (some string) None & info [ "rule" ] ~docv:"RULE" ~doc:"Target rule.")
+  in
+  let pair =
+    Arg.(
+      value
+      & opt (some (pair ~sep:',' string string)) None
+      & info [ "pair" ] ~docv:"R1,R2" ~doc:"Target rule pair.")
+  in
+  let extra =
+    Arg.(
+      value & opt int 0
+      & info [ "extra-ops" ] ~docv:"N" ~doc:"Pad the query with N random operators.")
+  in
+  let relevant =
+    Arg.(
+      value & flag
+      & info [ "relevant" ]
+          ~doc:
+            "Require the rule to be relevant (disabling it changes the chosen plan) — \
+             the paper's §7 variant. Only with --rule.")
+  in
+  let run scale budget seed rule pair extra relevant =
+    let fw = make_fw scale budget in
+    let g = Prng.create seed in
+    let result =
+      match (rule, pair) with
+      | Some r, None ->
+        if relevant then
+          Core.Query_gen.relevant_for_rule ~max_trials:100 ~extra_ops:extra fw g r
+        else Core.Query_gen.for_rule ~max_trials:100 ~extra_ops:extra fw g r
+      | None, Some (a, b) ->
+        Core.Query_gen.for_pair ~max_trials:120 ~extra_ops:extra fw g (a, b)
+      | _ ->
+        Printf.eprintf "exactly one of --rule / --pair is required\n";
+        exit 2
+    in
+    match result with
+    | None ->
+      Printf.eprintf "no query found within the trial budget\n";
+      exit 1
+    | Some { query; trials } ->
+      let cat = Core.Framework.catalog fw in
+      Format.printf "-- found in %d trial(s), %d operators@." trials
+        (Relalg.Logical.size query);
+      Format.printf "%s@.@." (Relalg.Sql_print.to_sql_pretty cat query);
+      Format.printf "Logical tree:@.%a@." Relalg.Logical.pp query
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a SQL test case exercising a rule or rule pair")
+    Term.(const run $ scale_arg $ budget_arg $ seed_arg $ rule $ pair $ extra $ relevant)
+
+(* ------------------------------------------------------------------ *)
+(* qtr coverage                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let n_rules_arg =
+  Arg.(
+    value & opt int 30
+    & info [ "rules" ] ~docv:"N" ~doc:"Number of rules (prefix of the registry).")
+
+let coverage_cmd =
+  let run scale budget seed n =
+    let fw = make_fw scale budget in
+    let rules = List.filteri (fun i _ -> i < n) Optimizer.Rules.names in
+    Printf.printf "%-34s %8s %9s\n" "rule" "RANDOM" "PATTERN";
+    List.iteri
+      (fun i name ->
+        let g = Prng.create (seed + i) in
+        let r =
+          match Core.Query_gen.random_for_rules ~max_trials:100 fw g [ name ] with
+          | Some x -> string_of_int x.trials
+          | None -> ">100"
+        in
+        let p =
+          match Core.Query_gen.for_rule ~max_trials:100 fw g name with
+          | Some x -> string_of_int x.trials
+          | None -> "FAIL"
+        in
+        Printf.printf "%-34s %8s %9s\n%!" name r p)
+      rules
+  in
+  Cmd.v
+    (Cmd.info "coverage" ~doc:"Rule-coverage trials, RANDOM vs PATTERN (Figure 8)")
+    Term.(const run $ scale_arg $ budget_arg $ seed_arg $ n_rules_arg)
+
+(* ------------------------------------------------------------------ *)
+(* qtr compress                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let k_arg = Arg.(value & opt int 5 & info [ "k" ] ~docv:"K" ~doc:"Test-suite size per rule.")
+
+let pairs_flag =
+  Arg.(value & flag & info [ "pairs" ] ~doc:"Target rule pairs instead of singletons.")
+
+let compress_cmd =
+  let run scale budget seed n k pairs =
+    let fw = make_fw scale budget in
+    let g = Prng.create seed in
+    let rules = List.filteri (fun i _ -> i < n) Optimizer.Rules.names in
+    let targets =
+      if pairs then Core.Suite.all_pairs rules
+      else List.map (fun r -> Core.Suite.Single r) rules
+    in
+    Printf.printf "generating suite: %d targets x k=%d...\n%!" (List.length targets) k;
+    let suite = Core.Suite.generate ~extra_ops:2 fw g ~targets ~k in
+    Printf.printf "%d distinct queries (shortfalls %d)\n%!"
+      (Array.length suite.entries)
+      (List.length (Core.Suite.shortfall suite));
+    let report name (sol : Core.Compress.solution) =
+      Printf.printf "  %-10s cost %14.1f  invocations %5d\n%!" name sol.total_cost
+        sol.invocations
+    in
+    report "BASELINE" (Core.Compress.baseline fw suite);
+    report "SMC" (Core.Compress.smc fw suite);
+    report "TOPK" (Core.Compress.topk fw suite);
+    report "TOPK+mono" (Core.Compress.topk ~exploit_monotonicity:true fw suite)
+  in
+  Cmd.v
+    (Cmd.info "compress" ~doc:"Test-suite compression: BASELINE vs SMC vs TOPK")
+    Term.(const run $ scale_arg $ budget_arg $ seed_arg $ n_rules_arg $ k_arg $ pairs_flag)
+
+(* ------------------------------------------------------------------ *)
+(* qtr validate                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let validate_cmd =
+  let inject =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"RULE"
+          ~doc:
+            "Inject the buggy variant of RULE (one of the Faults registry) before \
+             validating.")
+  in
+  let run scale budget seed n k inject =
+    let rules_override = Option.map Core.Faults.inject inject in
+    let fw = make_fw ?rules:rules_override scale budget in
+    let g = Prng.create seed in
+    let rules =
+      match inject with
+      | Some victim -> [ victim ]
+      | None -> List.filteri (fun i _ -> i < n) Optimizer.Rules.names
+    in
+    let targets = List.map (fun r -> Core.Suite.Single r) rules in
+    Printf.printf "generating suite: %d rules x k=%d...\n%!" (List.length targets) k;
+    let suite = Core.Suite.generate ~extra_ops:2 fw g ~targets ~k in
+    let sol = Core.Compress.topk ~exploit_monotonicity:true fw suite in
+    let report = Core.Correctness.run fw suite sol in
+    Format.printf "%a@." Core.Correctness.pp_report report;
+    if report.bugs <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Execute a compressed correctness suite (optionally with a fault injected)")
+    Term.(const run $ scale_arg $ budget_arg $ seed_arg $ n_rules_arg $ k_arg $ inject)
+
+let () =
+  let doc = "testing framework for query transformation rules (SIGMOD'09 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "qtr" ~version:"1.0.0" ~doc)
+          [ rules_cmd; optimize_cmd; generate_cmd; coverage_cmd; compress_cmd;
+            validate_cmd ]))

@@ -1,0 +1,1 @@
+examples/correctness_hunt.ml: Array Core Datagen Format List Printf Prng Relalg Storage

@@ -1,0 +1,1 @@
+examples/correctness_hunt.mli:

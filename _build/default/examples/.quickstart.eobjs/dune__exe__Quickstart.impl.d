@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aggregate Core Datagen Executor Format Ident List Logical Optimizer Option Relalg Scalar Sql_print Storage String Value

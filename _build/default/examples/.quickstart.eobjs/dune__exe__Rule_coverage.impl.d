@@ -1,0 +1,1 @@
+examples/rule_coverage.ml: Array Core Datagen List Optimizer Printf Prng Relalg Storage String Sys

@@ -1,0 +1,1 @@
+examples/suite_compression.ml: Array Core Datagen Format List Optimizer Printf Prng Storage String

@@ -1,0 +1,1 @@
+lib/core/arggen.ml: Aggregate Array Catalog Datatype Fun Ident List Logical Option Prng Props Relalg Scalar Schema Storage String Table Value

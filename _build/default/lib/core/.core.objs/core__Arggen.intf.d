@@ -1,0 +1,1 @@
+lib/core/arggen.mli: Relalg Storage

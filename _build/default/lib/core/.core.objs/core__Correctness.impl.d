@@ -1,0 +1,1 @@
+lib/core/correctness.ml: Array Compress Executor Format Framework Hashtbl List Optimizer Printf Relalg Storage String Suite

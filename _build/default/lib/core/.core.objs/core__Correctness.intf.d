@@ -1,0 +1,1 @@
+lib/core/correctness.mli: Compress Format Framework Relalg Suite

@@ -1,0 +1,1 @@
+lib/core/faults.ml: Aggregate Ident List Logical Optimizer Props Relalg Scalar String

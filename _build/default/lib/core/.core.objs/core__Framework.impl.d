@@ -1,0 +1,1 @@
+lib/core/framework.ml: Executor List Optimizer Result Storage String

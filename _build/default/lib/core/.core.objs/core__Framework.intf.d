@@ -1,0 +1,1 @@
+lib/core/framework.mli: Executor Optimizer Relalg Storage

@@ -1,0 +1,1 @@
+lib/core/matching.ml: Array Compress Float List Stdlib Suite

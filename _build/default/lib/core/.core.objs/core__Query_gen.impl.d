@@ -1,0 +1,1 @@
+lib/core/query_gen.ml: Arggen Framework Fun List Logical Optimizer Option Prng Random_gen Relalg Storage

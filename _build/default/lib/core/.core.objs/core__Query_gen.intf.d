@@ -1,0 +1,1 @@
+lib/core/query_gen.mli: Arggen Framework Optimizer Relalg Storage

@@ -1,0 +1,1 @@
+lib/core/suite.ml: Array Framework List Option Query_gen Relalg

@@ -1,0 +1,456 @@
+open Storage
+open Relalg
+module L = Logical
+module S = Scalar
+module A = Aggregate
+
+type ctx = { g : Prng.t; cat : Catalog.t }
+
+(* ------------------------------------------------------------------ *)
+(* Relabeling                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let labels_of tree =
+  L.fold
+    (fun acc node ->
+      match node with
+      | L.Get { alias; _ } -> alias :: acc
+      | L.Project { cols; _ } -> List.map (fun ((id : Ident.t), _) -> id.rel) cols @ acc
+      | L.GroupBy { aggs; _ } -> List.map (fun ((id : Ident.t), _) -> id.rel) aggs @ acc
+      | _ -> acc)
+    [] tree
+  |> List.sort_uniq String.compare
+
+let rec rename_tree f (t : L.t) : L.t =
+  let rid (id : Ident.t) = Ident.make (f id.rel) id.name in
+  let rs = S.rename rid in
+  match t with
+  | L.Get { table; alias } -> L.Get { table; alias = f alias }
+  | L.Filter { pred; child } -> L.Filter { pred = rs pred; child = rename_tree f child }
+  | L.Project { cols; child } ->
+    L.Project
+      { cols = List.map (fun (id, e) -> (rid id, rs e)) cols;
+        child = rename_tree f child }
+  | L.Join { kind; pred; left; right } ->
+    L.Join
+      { kind; pred = rs pred; left = rename_tree f left; right = rename_tree f right }
+  | L.GroupBy { keys; aggs; child } ->
+    L.GroupBy
+      { keys = List.map rid keys;
+        aggs = List.map (fun (id, a) -> (rid id, A.rename rid a)) aggs;
+        child = rename_tree f child }
+  | L.UnionAll (a, b) -> L.UnionAll (rename_tree f a, rename_tree f b)
+  | L.Union (a, b) -> L.Union (rename_tree f a, rename_tree f b)
+  | L.Intersect (a, b) -> L.Intersect (rename_tree f a, rename_tree f b)
+  | L.Except (a, b) -> L.Except (rename_tree f a, rename_tree f b)
+  | L.Distinct a -> L.Distinct (rename_tree f a)
+  | L.Sort { keys; child } ->
+    L.Sort
+      { keys = List.map (fun (id, d) -> (rid id, d)) keys; child = rename_tree f child }
+  | L.Limit { count; child } -> L.Limit { count; child = rename_tree f child }
+
+let refresh_labels tree =
+  let mapping =
+    List.map (fun old -> (old, Ident.fresh_rel ())) (labels_of tree)
+  in
+  rename_tree (fun rel -> Option.value (List.assoc_opt rel mapping) ~default:rel) tree
+
+(* ------------------------------------------------------------------ *)
+(* Basic pieces                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_get ctx =
+  let table = Prng.pick ctx.g (Catalog.table_names ctx.cat) in
+  L.Get { table; alias = Ident.fresh_rel () }
+
+let schema_of ctx tree = Props.schema_exn ctx.cat tree
+
+let alias_bindings tree =
+  L.fold
+    (fun acc node ->
+      match node with L.Get { table; alias } -> (alias, table) :: acc | _ -> acc)
+    [] tree
+
+(* A constant that actually occurs in the column's base data, when the
+   column traces back to a base table; otherwise a typed default. *)
+let sample_const ctx tree (c : Props.col_info) : Value.t =
+  let from_data =
+    match List.assoc_opt c.id.rel (alias_bindings tree) with
+    | None -> None
+    | Some table -> (
+      match Catalog.find ctx.cat table with
+      | None -> None
+      | Some tb -> (
+        match Table.column_values tb c.id.name with
+        | exception Not_found -> None
+        | values ->
+          let non_null = Array.to_list values |> List.filter (fun v -> not (Value.is_null v)) in
+          if non_null = [] then None else Some (Prng.pick ctx.g non_null)))
+  in
+  match from_data with
+  | Some v -> v
+  | None -> (
+    match c.ty with
+    | Datatype.TInt -> Value.Int (Prng.int ctx.g 100)
+    | Datatype.TFloat -> Value.Float (float_of_int (Prng.int ctx.g 1000) /. 10.0)
+    | Datatype.TString -> Value.Str "x"
+    | Datatype.TBool -> Value.Bool (Prng.bool ctx.g)
+    | Datatype.TDate -> Value.Date (Value.date_of_ymd 1995 6 (1 + Prng.int ctx.g 28)))
+
+let cmp_for ctx (ty : Datatype.t) : S.cmp_op =
+  match ty with
+  | Datatype.TString | Datatype.TBool ->
+    Prng.pick ctx.g [ S.Eq; S.Ne ]
+  | Datatype.TInt | Datatype.TFloat | Datatype.TDate ->
+    Prng.pick ctx.g [ S.Eq; S.Ne; S.Lt; S.Le; S.Gt; S.Ge ]
+
+let const_cmp ctx tree (c : Props.col_info) =
+  S.Cmp (cmp_for ctx c.ty, S.Col c.id, S.Const (sample_const ctx tree c))
+
+let same_type_pairs cols1 cols2 =
+  List.concat_map
+    (fun (a : Props.col_info) ->
+      List.filter_map
+        (fun (b : Props.col_info) ->
+          if Datatype.equal a.ty b.ty && not (Ident.equal a.id b.id) then Some (a, b)
+          else None)
+        cols2)
+    cols1
+
+let random_conjunct ctx tree cols =
+  let r = Prng.float ctx.g 1.0 in
+  if r < 0.50 then Some (const_cmp ctx tree (Prng.pick ctx.g cols))
+  else if r < 0.70 then
+    match same_type_pairs cols cols with
+    | [] -> Some (const_cmp ctx tree (Prng.pick ctx.g cols))
+    | pairs ->
+      let a, b = Prng.pick ctx.g pairs in
+      Some (S.Cmp (cmp_for ctx a.ty, S.Col a.id, S.Col b.id))
+  else if r < 0.85 then
+    let nullable = List.filter (fun (c : Props.col_info) -> c.nullable) cols in
+    let c = if nullable = [] then Prng.pick ctx.g cols else Prng.pick ctx.g nullable in
+    Some (if Prng.bool ctx.g then S.IsNull (S.Col c.id) else S.IsNotNull (S.Col c.id))
+  else
+    let a = Prng.pick ctx.g cols and b = Prng.pick ctx.g cols in
+    Some (S.Or (const_cmp ctx tree a, const_cmp ctx tree b))
+
+let random_pred ctx tree =
+  match schema_of ctx tree with
+  | [] -> None
+  | cols ->
+    (* Occasionally a trivially-true predicate: real query generators
+       produce them too, and they are what exercises trivial-select
+       elimination. *)
+    if Prng.chance ctx.g 0.07 then Some S.true_
+    else
+      let n = if Prng.chance ctx.g 0.3 then 2 else 1 in
+      let conjuncts = List.init n (fun _ -> random_conjunct ctx tree cols) in
+      let conjuncts = List.filter_map Fun.id conjuncts in
+      if conjuncts = [] then None else Some (S.conj conjuncts)
+
+(* ------------------------------------------------------------------ *)
+(* Join predicates                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Foreign-key pairs between the base tables of the two subtrees; each
+   candidate is the full column-pair list of one FK. *)
+let fk_candidates ctx left right =
+  let lbind = alias_bindings left and rbind = alias_bindings right in
+  let fks_between (la, lt) (ra, rt) =
+    match Catalog.find ctx.cat lt with
+    | None -> []
+    | Some tb ->
+      List.filter_map
+        (fun (fk : Schema.foreign_key) ->
+          if String.equal fk.fk_table rt then
+            Some
+              (List.map2
+                 (fun c rc -> (Ident.make la c, Ident.make ra rc))
+                 fk.fk_columns fk.fk_ref_columns)
+          else None)
+        tb.schema.foreign_keys
+  in
+  List.concat_map
+    (fun lb ->
+      List.concat_map
+        (fun rb ->
+          fks_between lb rb
+          @ List.map (List.map (fun (a, b) -> (b, a))) (fks_between rb lb))
+        rbind)
+    lbind
+
+let join_pred ctx ~left ~right =
+  let lcols = schema_of ctx left and rcols = schema_of ctx right in
+  let fk = fk_candidates ctx left right in
+  (* Only FK pairs whose columns survived projections. *)
+  let exported cols id = List.exists (fun (c : Props.col_info) -> Ident.equal c.id id) cols in
+  let fk =
+    List.filter
+      (fun pairs ->
+        List.for_all (fun (a, b) -> exported lcols a && exported rcols b) pairs)
+      fk
+  in
+  let equi =
+    if fk <> [] && Prng.chance ctx.g 0.75 then
+      Some
+        (S.conj
+           (List.map
+              (fun (a, b) -> S.eq (S.Col a) (S.Col b))
+              (Prng.pick ctx.g fk)))
+    else
+      match same_type_pairs lcols rcols with
+      | [] -> None
+      | pairs ->
+        (* Prefer pairs touching candidate keys: they keep rule
+           preconditions (semi-join to join, group-by motion) satisfiable. *)
+        let key_cols tree = List.concat_map Ident.Set.elements (Props.keys ctx.cat tree) in
+        let lkeys = key_cols left and rkeys = key_cols right in
+        let score ((a : Props.col_info), (b : Props.col_info)) =
+          (if List.exists (Ident.equal a.id) lkeys then 2 else 0)
+          + (if List.exists (Ident.equal b.id) rkeys then 2 else 0)
+          + (match a.ty with Datatype.TInt -> 1 | _ -> 0)
+        in
+        let best = List.fold_left (fun m p -> max m (score p)) 0 pairs in
+        let top = List.filter (fun p -> score p = best) pairs in
+        let a, b = Prng.pick ctx.g top in
+        Some (S.eq (S.Col a.id) (S.Col b.id))
+  in
+  match equi with
+  | None -> None
+  | Some base ->
+    if Prng.chance ctx.g 0.2 then
+      match same_type_pairs lcols rcols with
+      | [] -> Some base
+      | pairs ->
+        let a, b = Prng.pick ctx.g pairs in
+        Some (S.And (base, S.Cmp (cmp_for ctx a.ty, S.Col a.id, S.Col b.id)))
+    else Some base
+
+(* ------------------------------------------------------------------ *)
+(* Operator wrappers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let add_filter ctx child =
+  Option.map (fun pred -> L.Filter { pred; child }) (random_pred ctx child)
+
+let add_project ctx child =
+  match schema_of ctx child with
+  | [] -> None
+  | cols ->
+    let n = List.length cols in
+    let width =
+      (* SELECT-everything projections are common in practice and are what
+         identity-projection removal fires on. *)
+      if Prng.chance ctx.g 0.25 then n else 1 + Prng.int ctx.g (min 4 n)
+    in
+    let picked = Prng.sample ctx.g width cols in
+    (* Keep child order for readability. *)
+    let picked =
+      List.filter
+        (fun (c : Props.col_info) ->
+          List.exists (fun (p : Props.col_info) -> Ident.equal p.id c.id) picked)
+        cols
+    in
+    let base = List.map (fun (c : Props.col_info) -> (c.id, S.Col c.id)) picked in
+    let computed =
+      let numeric =
+        List.filter (fun (c : Props.col_info) -> Datatype.is_numeric c.ty) cols
+      in
+      if numeric <> [] && Prng.chance ctx.g 0.2 then
+        let c = Prng.pick ctx.g numeric in
+        [ ( Ident.make (Ident.fresh_rel ()) "expr",
+            S.Arith (S.Add, S.Col c.id, S.int (1 + Prng.int ctx.g 9)) ) ]
+      else []
+    in
+    Some (L.Project { cols = base @ computed; child })
+
+let agg_over ctx (cols : Props.col_info list) =
+  let numeric = List.filter (fun (c : Props.col_info) -> Datatype.is_numeric c.ty) cols in
+  let id () = Ident.make (Ident.fresh_rel ()) "agg" in
+  if numeric = [] || Prng.chance ctx.g 0.2 then (id (), A.CountStar)
+  else
+    let c = Prng.pick ctx.g numeric in
+    let e = S.Col (c : Props.col_info).id in
+    let f =
+      Prng.pick ctx.g
+        [ A.Sum e; A.Min e; A.Max e; A.Sum e; A.Min e; A.Count e; A.Avg e ]
+    in
+    (id (), f)
+
+let add_groupby ctx child =
+  match schema_of ctx child with
+  | [] -> None
+  | cols ->
+    let join_bias =
+      match child with
+      | L.Join { kind = L.Inner | L.LeftOuter | L.Cross; pred; left; right } ->
+        let lids = Props.output_idents ctx.cat left in
+        let rids = Props.output_idents ctx.cat right in
+        let lc, rc = Props.equi_join_columns pred lids rids in
+        let equi = Ident.Set.elements (Ident.Set.union lc rc) in
+        if equi = [] then None else Some equi
+      | _ -> None
+    in
+    let keys =
+      match join_bias with
+      | Some equi when Prng.chance ctx.g 0.75 ->
+        let extra =
+          if Prng.chance ctx.g 0.3 then
+            [ (Prng.pick ctx.g cols : Props.col_info).id ]
+          else []
+        in
+        List.sort_uniq Ident.compare (equi @ extra)
+      | _ -> (
+        (* Sometimes group on a candidate key (single-row groups): that is
+           the only way group-by elimination can fire. *)
+        match Props.keys ctx.cat child with
+        | key :: _ when Prng.chance ctx.g 0.25 && not (Ident.Set.is_empty key) ->
+          Ident.Set.elements key
+        | _ ->
+          if Prng.chance ctx.g 0.15 then []
+          else
+            let picked = Prng.sample ctx.g (1 + Prng.int ctx.g 2) cols in
+            List.map (fun (c : Props.col_info) -> c.id) picked)
+    in
+    (* Bias aggregates toward the left side when the child is a join, so
+       group-by push-down stays reachable. *)
+    let agg_cols =
+      match child with
+      | L.Join { left; _ } when Prng.chance ctx.g 0.8 -> (
+        match Props.schema ctx.cat left with Ok lc -> lc | Error _ -> cols)
+      | _ -> cols
+    in
+    let n_aggs = 1 + if Prng.chance ctx.g 0.3 then 1 else 0 in
+    let aggs = List.init n_aggs (fun _ -> agg_over ctx agg_cols) in
+    if keys = [] && aggs = [] then None
+    else Some (L.GroupBy { keys; aggs; child })
+
+let add_sort ctx child =
+  match schema_of ctx child with
+  | [] -> None
+  | cols ->
+    let picked = Prng.sample ctx.g (1 + Prng.int ctx.g 2) cols in
+    let keys =
+      List.map
+        (fun (c : Props.col_info) ->
+          (c.id, if Prng.bool ctx.g then L.Asc else L.Desc))
+        picked
+    in
+    Some (L.Sort { keys; child })
+
+let add_join ctx kind left right =
+  match kind with
+  | L.Cross -> Some (L.Join { kind; pred = S.true_; left; right })
+  | _ ->
+    Option.map
+      (fun pred -> L.Join { kind; pred; left; right })
+      (join_pred ctx ~left ~right)
+
+(* Injection of a type signature into a column list: greedily pick, for
+   each wanted type, an unused column of that type. *)
+let inject sig_types cols =
+  let rec go used = function
+    | [] -> Some []
+    | ty :: rest -> (
+      let candidate =
+        List.find_opt
+          (fun (c : Props.col_info) ->
+            Datatype.equal c.ty ty
+            && not (List.exists (Ident.equal c.id) used))
+          cols
+      in
+      match candidate with
+      | None -> None
+      | Some c ->
+        Option.map (fun tail -> c :: tail) (go (c.id :: used) rest))
+  in
+  go [] sig_types
+
+(* Project [child] down to [cols] — unless that is exactly its output
+   already, in which case the projection would only obscure the shape the
+   pattern asked for. *)
+let project_to ?(current = []) (cols : Props.col_info list) child =
+  let identity =
+    List.length current = List.length cols
+    && List.for_all2
+         (fun (a : Props.col_info) (b : Props.col_info) -> Ident.equal a.id b.id)
+         current cols
+  in
+  if identity then child
+  else
+    L.Project
+      { cols = List.map (fun (c : Props.col_info) -> (c.id, S.Col c.id)) cols; child }
+
+let build_setop kind a b =
+  match kind with
+  | L.KUnionAll -> Some (L.UnionAll (a, b))
+  | L.KUnion -> Some (L.Union (a, b))
+  | L.KIntersect -> Some (L.Intersect (a, b))
+  | L.KExcept -> Some (L.Except (a, b))
+  | _ -> None
+
+let add_setop ctx kind a b =
+  let ac = schema_of ctx a and bc = schema_of ctx b in
+  let types cols = List.map (fun (c : Props.col_info) -> c.ty) cols in
+  let aligned =
+    match inject (types ac) bc with
+    | Some picked -> Some (a, project_to ~current:bc picked b)
+    | None -> (
+      match inject (types bc) ac with
+      | Some picked -> Some (project_to ~current:ac picked a, b)
+      | None -> (
+        (* Common signature: a's columns whose types also appear in b. *)
+        let rec common acc_used = function
+          | [] -> []
+          | (c : Props.col_info) :: rest -> (
+            let avail =
+              List.find_opt
+                (fun (d : Props.col_info) ->
+                  Datatype.equal c.ty d.ty
+                  && not (List.exists (Ident.equal d.id) acc_used))
+                bc
+            in
+            match avail with
+            | None -> common acc_used rest
+            | Some d -> (c, d) :: common (d.id :: acc_used) rest)
+        in
+        match common [] ac with
+        | [] -> None
+        | pairs ->
+          Some (project_to (List.map fst pairs) a, project_to (List.map snd pairs) b)))
+  in
+  match aligned with
+  | None -> None
+  | Some (a', b') -> build_setop kind a' b'
+
+(* ------------------------------------------------------------------ *)
+(* Padding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let pad ctx tree n =
+  let wrap tree =
+    let r = Prng.float ctx.g 1.0 in
+    if r < 0.35 then add_filter ctx tree
+    else if r < 0.50 then add_project ctx tree
+    else if r < 0.62 then add_groupby ctx tree
+    else if r < 0.67 then Some (L.Distinct tree)
+    else if r < 0.72 then add_sort ctx tree
+    else if r < 0.95 then begin
+      let other = fresh_get ctx in
+      let kind =
+        Prng.pick ctx.g
+          [ L.Inner; L.Inner; L.Inner; L.LeftOuter; L.Semi; L.Cross ]
+      in
+      if Prng.bool ctx.g then add_join ctx kind tree other
+      else add_join ctx kind other tree
+    end
+    else add_setop ctx L.KUnionAll tree (refresh_labels tree)
+  in
+  let rec go tree budget attempts =
+    if budget <= 0 || attempts > 4 * n then tree
+    else
+      match wrap tree with
+      | Some tree' -> go tree' (budget - (L.size tree' - L.size tree)) (attempts + 1)
+      | None -> go tree budget (attempts + 1)
+  in
+  go tree n 0

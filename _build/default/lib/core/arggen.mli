@@ -1,0 +1,57 @@
+(** Argument selection for query generation (paper §3.1 step (b)):
+    instantiating operators with concrete arguments — predicates drawn
+    from the data, foreign-key-biased join conditions, grouping keys and
+    aggregates, projections — over the schemas of already-built subtrees.
+
+    Shared by the stochastic generator (the RANDOM baseline) and the
+    pattern-based generator (PATTERN): both select arguments the same way,
+    so coverage comparisons isolate the effect of the pattern shape. *)
+
+type ctx = { g : Storage.Prng.t; cat : Storage.Catalog.t }
+
+val fresh_get : ctx -> Relalg.Logical.t
+(** Scan of a uniformly chosen table under a fresh alias. *)
+
+val refresh_labels : Relalg.Logical.t -> Relalg.Logical.t
+(** Structural copy with every relation label (Get aliases and computed
+    output columns) replaced by a fresh one — used to build
+    union-compatible branches and self-joins. *)
+
+val schema_of : ctx -> Relalg.Logical.t -> Relalg.Props.col_info list
+(** Output schema (trees built here are valid by construction). *)
+
+val random_pred : ctx -> Relalg.Logical.t -> Relalg.Scalar.t option
+(** 1–2 conjuncts over the subtree's columns; constants are sampled from
+    the actual base-table data so predicates are rarely vacuous. [None]
+    when the subtree exports no usable column. *)
+
+val join_pred :
+  ctx -> left:Relalg.Logical.t -> right:Relalg.Logical.t -> Relalg.Scalar.t option
+(** An equi-join predicate between the two subtrees, biased toward
+    foreign-key/primary-key column pairs and toward candidate-key columns
+    (both make downstream rule preconditions satisfiable); occasionally
+    augmented with an extra comparison. *)
+
+val add_filter : ctx -> Relalg.Logical.t -> Relalg.Logical.t option
+val add_project : ctx -> Relalg.Logical.t -> Relalg.Logical.t option
+val add_groupby : ctx -> Relalg.Logical.t -> Relalg.Logical.t option
+(** Grouping keys are biased toward the equi-join columns and candidate
+    keys when the child is a join (see §3.1's discussion of preconditions
+    beyond the pattern). *)
+
+val add_sort : ctx -> Relalg.Logical.t -> Relalg.Logical.t option
+
+val add_join :
+  ctx -> Relalg.Logical.join_kind -> Relalg.Logical.t -> Relalg.Logical.t ->
+  Relalg.Logical.t option
+
+val add_setop :
+  ctx -> Relalg.Logical.op_kind -> Relalg.Logical.t -> Relalg.Logical.t ->
+  Relalg.Logical.t option
+(** Aligns the two branches to a common column signature with projections
+    when needed; [None] when no alignment exists. *)
+
+val pad : ctx -> Relalg.Logical.t -> int -> Relalg.Logical.t
+(** Grows the tree by roughly [n] random operators (never removing the
+    existing ones) — the paper's "add additional random operators"
+    constraint for complex test queries (§2.3). *)

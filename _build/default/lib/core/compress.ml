@@ -1,0 +1,218 @@
+type edge_costs = {
+  fw : Framework.t;
+  suite : Suite.t;
+  targets : Suite.target array;
+  memo : (int * int, float) Hashtbl.t;
+  mutable calls : int;
+}
+
+let edge_costs fw (suite : Suite.t) =
+  { fw;
+    suite;
+    targets = Array.of_list suite.targets;
+    memo = Hashtbl.create 256;
+    calls = 0 }
+
+let edge_cost ec ~target_idx ~query_idx =
+  match Hashtbl.find_opt ec.memo (target_idx, query_idx) with
+  | Some c -> c
+  | None ->
+    ec.calls <- ec.calls + 1;
+    let disabled = Suite.rules_of ec.targets.(target_idx) in
+    let query = ec.suite.entries.(query_idx).query in
+    let c =
+      match Framework.cost ec.fw ~disabled query with
+      | Ok c -> c
+      | Error _ -> Float.infinity
+    in
+    Hashtbl.replace ec.memo (target_idx, query_idx) c;
+    c
+
+let invocations_used ec = ec.calls
+
+type solution = {
+  assignment : (Suite.target * (int * float) list) list;
+  total_cost : float;
+  invocations : int;
+}
+
+let node_cost (suite : Suite.t) i = suite.entries.(i).cost
+
+(* Shared-execution objective: distinct node costs once + all edge costs. *)
+let solution_cost (suite : Suite.t) sol =
+  let used = Hashtbl.create 16 in
+  let node_total = ref 0.0 in
+  let edge_total = ref 0.0 in
+  List.iter
+    (fun (_, picks) ->
+      List.iter
+        (fun (q, ecost) ->
+          edge_total := !edge_total +. ecost;
+          if not (Hashtbl.mem used q) then begin
+            Hashtbl.replace used q ();
+            node_total := !node_total +. node_cost suite q
+          end)
+        picks)
+    sol.assignment;
+  !node_total +. !edge_total
+
+(* ------------------------------------------------------------------ *)
+(* BASELINE (§2.3): every target executes its own generated queries,    *)
+(* without sharing Plan(q) runs across targets.                         *)
+(* ------------------------------------------------------------------ *)
+
+let baseline fw (suite : Suite.t) =
+  let ec = edge_costs fw suite in
+  let tindex =
+    List.mapi (fun i (t, _) -> (t, i)) suite.per_target
+  in
+  let assignment =
+    List.map
+      (fun (target, indices) ->
+        let ti = List.assoc target tindex in
+        ( target,
+          List.map (fun q -> (q, edge_cost ec ~target_idx:ti ~query_idx:q)) indices ))
+      suite.per_target
+  in
+  (* Unshared semantics: node costs counted per (target, query) pick. *)
+  let total =
+    List.fold_left
+      (fun acc (_, picks) ->
+        List.fold_left
+          (fun acc (q, ecost) -> acc +. node_cost suite q +. ecost)
+          acc picks)
+      0.0 assignment
+  in
+  { assignment; total_cost = total; invocations = invocations_used ec }
+
+(* ------------------------------------------------------------------ *)
+(* Greedy Constrained Set-Multicover (Figure 5)                         *)
+(* ------------------------------------------------------------------ *)
+
+let smc fw (suite : Suite.t) =
+  let targets = Array.of_list suite.targets in
+  let nt = Array.length targets in
+  let nq = Array.length suite.entries in
+  let covers_q = Array.init nq (fun _ -> []) in
+  Array.iteri
+    (fun ti target ->
+      List.iter
+        (fun q -> covers_q.(q) <- ti :: covers_q.(q))
+        (Suite.covering suite target))
+    targets;
+  let need = Array.make nt suite.k in
+  (* A target with fewer covering queries than k can never be satisfied;
+     clamp so the loop terminates. *)
+  Array.iteri
+    (fun ti target ->
+      need.(ti) <- min need.(ti) (List.length (Suite.covering suite target)))
+    targets;
+  let picked = Array.make nq false in
+  let assignment = Array.make nt [] in
+  let remaining ti = need.(ti) > 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let best = ref None in
+    for q = 0 to nq - 1 do
+      if not picked.(q) then begin
+        let gain = List.length (List.filter remaining covers_q.(q)) in
+        if gain > 0 then
+          let benefit = float_of_int gain /. Float.max 1e-9 (node_cost suite q) in
+          match !best with
+          | Some (_, b) when b >= benefit -> ()
+          | _ -> best := Some (q, benefit)
+      end
+    done;
+    match !best with
+    | None -> continue_ := false
+    | Some (q, _) ->
+      picked.(q) <- true;
+      List.iter
+        (fun ti ->
+          if remaining ti then begin
+            need.(ti) <- need.(ti) - 1;
+            assignment.(ti) <- q :: assignment.(ti)
+          end)
+        covers_q.(q)
+  done;
+  (* SMC never looks at edge costs while choosing; they are computed once
+     afterwards to evaluate the solution, as when executing it. *)
+  let ec = edge_costs fw suite in
+  let assignment =
+    Array.to_list
+      (Array.mapi
+         (fun ti picks ->
+           ( targets.(ti),
+             List.rev_map
+               (fun q -> (q, edge_cost ec ~target_idx:ti ~query_idx:q))
+               picks ))
+         assignment)
+  in
+  let sol = { assignment; total_cost = 0.0; invocations = 0 } in
+  { sol with total_cost = solution_cost suite sol }
+
+(* ------------------------------------------------------------------ *)
+(* TopKIndependent (Figure 6), optionally with monotonicity (§5.3.1)    *)
+(* ------------------------------------------------------------------ *)
+
+(* Bounded max-queue of (edge_cost, query) keeping the k cheapest. *)
+module Kqueue = struct
+  type t = { k : int; mutable items : (float * int) list (* descending *) }
+
+  let create k = { k; items = [] }
+  let size q = List.length q.items
+  let max_cost q = match q.items with [] -> Float.infinity | (c, _) :: _ -> c
+
+  let push q cost query =
+    let items =
+      List.merge
+        (fun (a, _) (b, _) -> compare b a)
+        [ (cost, query) ] q.items
+    in
+    q.items <-
+      (if List.length items > q.k then List.tl items else items)
+
+  let contents q = List.rev_map (fun (c, i) -> (i, c)) q.items
+end
+
+let topk ?(exploit_monotonicity = false) fw (suite : Suite.t) =
+  let ec = edge_costs fw suite in
+  let targets = Array.of_list suite.targets in
+  let assignment =
+    Array.to_list
+      (Array.mapi
+         (fun ti target ->
+           let w = Suite.covering suite target in
+           let queue = Kqueue.create suite.k in
+           if exploit_monotonicity then begin
+             (* Scan in increasing node cost; once the queue holds k edges
+                all cheaper than the next node cost, no later edge can
+                improve it, since Cost(q) <= Cost(q, negated R). *)
+             let sorted =
+               List.sort
+                 (fun a b -> compare (node_cost suite a) (node_cost suite b))
+                 w
+             in
+             let rec scan = function
+               | [] -> ()
+               | q :: rest ->
+                 if
+                   Kqueue.size queue >= suite.k
+                   && node_cost suite q >= Kqueue.max_cost queue
+                 then ()
+                 else begin
+                   Kqueue.push queue (edge_cost ec ~target_idx:ti ~query_idx:q) q;
+                   scan rest
+                 end
+             in
+             scan sorted
+           end
+           else
+             List.iter
+               (fun q -> Kqueue.push queue (edge_cost ec ~target_idx:ti ~query_idx:q) q)
+               w;
+           (target, Kqueue.contents queue))
+         targets)
+  in
+  let sol = { assignment; total_cost = 0.0; invocations = invocations_used ec } in
+  { sol with total_cost = solution_cost suite sol }

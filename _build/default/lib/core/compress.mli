@@ -1,0 +1,50 @@
+(** The test-suite compression problem (§4) and its algorithms (§5).
+
+    Given the bipartite rule/query graph implied by a {!Suite.t} — node
+    cost [Cost(q)], edge cost [Cost(q, ¬R)] — find, for every target, [k]
+    covering queries minimizing the total execution cost
+    [Σ_{q used} Cost(q) + Σ_{edges} Cost(q, ¬R)].
+
+    - {!baseline} — the paper's BASELINE: each target keeps the queries
+      generated for it, no sharing (§2.3).
+    - {!smc} — the greedy Constrained Set-Multicover heuristic (Figure 5);
+      ignores edge costs.
+    - {!topk} — TopKIndependent (Figure 6); per target, the [k] cheapest
+      edges. Factor-2 approximation. With [~exploit_monotonicity:true],
+      edge-cost computations are pruned using
+      [Cost(q) <= Cost(q, ¬R)] (§5.3.1, Figure 14).
+
+    Every edge-cost computation is one optimizer invocation, counted by
+    the service so Figure 14 can be reproduced. *)
+
+type edge_costs
+(** Memoized [Cost(q, ¬R)] service over a suite. *)
+
+val edge_costs : Framework.t -> Suite.t -> edge_costs
+val edge_cost : edge_costs -> target_idx:int -> query_idx:int -> float
+(** Infinity when no plan exists with the rules disabled. *)
+
+val invocations_used : edge_costs -> int
+(** Distinct edge computations so far (each = one optimizer call). *)
+
+type solution = {
+  assignment : (Suite.target * (int * float) list) list;
+      (** per target: the chosen (query index, edge cost) pairs *)
+  total_cost : float;
+  invocations : int;
+      (** optimizer invocations consumed building the solution *)
+}
+
+val baseline : Framework.t -> Suite.t -> solution
+val smc : Framework.t -> Suite.t -> solution
+
+val topk :
+  ?exploit_monotonicity:bool -> Framework.t -> Suite.t -> solution
+(** Default [exploit_monotonicity] is [false] (the naive variant that
+    computes every edge cost). *)
+
+val solution_cost : Suite.t -> solution -> float
+(** Recomputes a solution's cost under shared-execution semantics
+    (distinct query node costs counted once, plus all edge costs) — the
+    objective of §4.1. Exposed for tests; equals [total_cost] for {!smc}
+    and {!topk} solutions. *)

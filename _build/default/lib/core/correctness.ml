@@ -1,0 +1,109 @@
+module RS = Executor.Resultset
+
+type bug = {
+  target : Suite.target;
+  query_index : int;
+  query : Relalg.Logical.t;
+  expected_rows : int;
+  actual_rows : int;
+  detail : string;
+}
+
+type report = {
+  pairs_checked : int;
+  executions : int;
+  skipped_identical : int;
+  bugs : bug list;
+  errors : (string * string) list;
+}
+
+let run fw (suite : Suite.t) (sol : Compress.solution) =
+  let cat = Framework.catalog fw in
+  let baseline_cache : (int, (Optimizer.Physical.t * RS.t, string) result) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let executions = ref 0 in
+  let baseline q =
+    match Hashtbl.find_opt baseline_cache q with
+    | Some r -> r
+    | None ->
+      let r =
+        match Framework.optimize fw suite.entries.(q).query with
+        | Error e -> Error e
+        | Ok res -> (
+          incr executions;
+          match Executor.Exec.run cat res.plan with
+          | Error e -> Error e
+          | Ok rows -> Ok (res.plan, rows))
+      in
+      Hashtbl.replace baseline_cache q r;
+      r
+  in
+  let pairs = ref 0 and skipped = ref 0 in
+  let bugs = ref [] and errors = ref [] in
+  List.iter
+    (fun (target, picks) ->
+      let disabled = Suite.rules_of target in
+      List.iter
+        (fun (q, _edge_cost) ->
+          incr pairs;
+          let context =
+            Printf.sprintf "%s / query %d" (Suite.target_name target) q
+          in
+          match baseline q with
+          | Error e -> errors := (context, "baseline: " ^ e) :: !errors
+          | Ok (base_plan, expected) -> (
+            match Framework.optimize fw ~disabled suite.entries.(q).query with
+            | Error e -> errors := (context, "variant: " ^ e) :: !errors
+            | Ok res ->
+              if Optimizer.Physical.equal res.plan base_plan then incr skipped
+              else begin
+                incr executions;
+                match Executor.Exec.run cat res.plan with
+                | Error e -> errors := (context, "variant exec: " ^ e) :: !errors
+                | Ok actual ->
+                  if not (RS.equal_bag expected actual) then
+                    let detail =
+                      match RS.first_difference expected actual with
+                      | Some (Some r, _) ->
+                        "row only with rule on: ("
+                        ^ String.concat ", "
+                            (Array.to_list (Array.map Storage.Value.to_sql r))
+                        ^ ")"
+                      | Some (None, Some r) ->
+                        "row only with rule off: ("
+                        ^ String.concat ", "
+                            (Array.to_list (Array.map Storage.Value.to_sql r))
+                        ^ ")"
+                      | _ -> "results diverge"
+                    in
+                    bugs :=
+                      { target;
+                        query_index = q;
+                        query = suite.entries.(q).query;
+                        expected_rows = RS.row_count expected;
+                        actual_rows = RS.row_count actual;
+                        detail }
+                      :: !bugs
+              end))
+        picks)
+    sol.assignment;
+  { pairs_checked = !pairs;
+    executions = !executions;
+    skipped_identical = !skipped;
+    bugs = List.rev !bugs;
+    errors = List.rev !errors }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>checked %d (rule, query) pairs; %d plan executions; %d skipped (identical plans); %d bugs; %d errors"
+    r.pairs_checked r.executions r.skipped_identical (List.length r.bugs)
+    (List.length r.errors);
+  List.iter
+    (fun b ->
+      Format.fprintf fmt "@,BUG %s on query #%d: %d rows vs %d rows (%s)"
+        (Suite.target_name b.target) b.query_index b.expected_rows b.actual_rows
+        b.detail)
+    r.bugs;
+  List.iter (fun (c, e) -> Format.fprintf fmt "@,error %s: %s" c e) r.errors;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,30 @@
+(** Test-suite execution for correctness validation (§2.3):
+
+    for each (target, query) in a compression solution, execute [Plan(q)]
+    (once per distinct query) and [Plan(q, ¬R)], and compare result bags.
+    When the two plans are identical the execution is skipped — the
+    results are guaranteed equal (the paper's footnote 1). *)
+
+type bug = {
+  target : Suite.target;
+  query_index : int;
+  query : Relalg.Logical.t;
+  expected_rows : int;
+  actual_rows : int;
+  detail : string;  (** first diverging row pair, printed *)
+}
+
+type report = {
+  pairs_checked : int;  (** (target, query) validations performed *)
+  executions : int;  (** plans actually executed *)
+  skipped_identical : int;  (** validations skipped because plans matched *)
+  bugs : bug list;
+  errors : (string * string) list;  (** (context, message) *)
+}
+
+val run : Framework.t -> Suite.t -> Compress.solution -> report
+(** Executes the solution against the framework's catalog (with the
+    framework's rule registry — inject faults via
+    [Framework.create ~rules:(Faults.inject ...)] to see bugs surface). *)
+
+val pp_report : Format.formatter -> report -> unit

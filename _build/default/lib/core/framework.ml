@@ -1,0 +1,52 @@
+module SSet = Optimizer.Engine.SSet
+
+type t = {
+  cat : Storage.Catalog.t;
+  options : Optimizer.Engine.options;
+  rule_list : Optimizer.Rule.t list;
+  mutable invocations : int;
+}
+
+let create ?(options = Optimizer.Engine.default_options)
+    ?(rules = Optimizer.Rules.all) cat =
+  { cat; options; rule_list = rules; invocations = 0 }
+
+let catalog t = t.cat
+let rules t = t.rule_list
+let invocations t = t.invocations
+let reset_invocations t = t.invocations <- 0
+
+let with_disabled options disabled =
+  { options with
+    Optimizer.Engine.disabled =
+      List.fold_left (fun s r -> SSet.add r s) options.Optimizer.Engine.disabled
+        disabled }
+
+let ruleset t q =
+  t.invocations <- t.invocations + 1;
+  Optimizer.Engine.ruleset ~options:t.options ~rules:t.rule_list t.cat q
+
+let optimize t ?(disabled = []) q =
+  t.invocations <- t.invocations + 1;
+  Optimizer.Engine.optimize
+    ~options:(with_disabled t.options disabled)
+    ~rules:t.rule_list t.cat q
+
+let cost t ?disabled q =
+  Result.map (fun (r : Optimizer.Engine.result) -> r.cost) (optimize t ?disabled q)
+
+let execute t ?disabled q =
+  match optimize t ?disabled q with
+  | Error e -> Error e
+  | Ok r -> Executor.Exec.run t.cat r.plan
+
+let pattern_of t name =
+  List.find_map
+    (fun (r : Optimizer.Rule.t) ->
+      if String.equal r.name name then
+        (* Round-trip through the XML export, as an external tool would. *)
+        match Optimizer.Pattern.of_xml (Optimizer.Pattern.to_xml r.pattern) with
+        | Ok p -> Some p
+        | Error _ -> None
+      else None)
+    t.rule_list

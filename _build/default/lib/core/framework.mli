@@ -1,0 +1,47 @@
+(** The testing framework's view of the DBMS (paper Figure 2, "Query
+    Optimizer Extensions"): [RuleSet(q)], [Plan(q, ¬R)], [Cost(q, ¬R)],
+    plus an optimizer-invocation counter — the unit of measurement in the
+    monotonicity experiment (Figure 14). *)
+
+module SSet = Optimizer.Engine.SSet
+
+type t
+
+val create :
+  ?options:Optimizer.Engine.options ->
+  ?rules:Optimizer.Rule.t list ->
+  Storage.Catalog.t ->
+  t
+(** [rules] overrides the exploration-rule registry (fault injection). *)
+
+val catalog : t -> Storage.Catalog.t
+val rules : t -> Optimizer.Rule.t list
+
+val ruleset : t -> Relalg.Logical.t -> (SSet.t, string) result
+(** [RuleSet(q)]: logical rules exercised while optimizing [q].
+    Exploration only — counted as an optimizer invocation. *)
+
+val optimize :
+  t -> ?disabled:string list -> Relalg.Logical.t ->
+  (Optimizer.Engine.result, string) result
+(** [Plan(q, ¬R)] with full costing — counted as an optimizer
+    invocation. *)
+
+val cost : t -> ?disabled:string list -> Relalg.Logical.t -> (float, string) result
+(** [Cost(q, ¬R)] — optimizer-estimated cost, as used throughout §6. *)
+
+val execute :
+  t -> ?disabled:string list -> Relalg.Logical.t ->
+  (Executor.Resultset.t, string) result
+(** Optimize then run the chosen plan against the catalog. *)
+
+val invocations : t -> int
+(** Number of optimizer invocations ([ruleset]/[optimize]/[cost]/[execute])
+    since creation or the last {!reset_invocations}. *)
+
+val reset_invocations : t -> unit
+
+val pattern_of : t -> string -> Optimizer.Pattern.t option
+(** The exported rule pattern for a rule name, obtained through the XML
+    export/import round trip — i.e. what a test tool outside the server
+    would receive (§3.1). *)

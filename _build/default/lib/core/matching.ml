@@ -1,0 +1,122 @@
+(* Min-cost max-flow on the bipartite graph
+     source -> target_i (capacity k, cost 0)
+     target_i -> query_j (capacity 1, cost Cost(q)+Cost(q, negated R))
+     query_j -> sink (capacity 1, cost 0)
+   solved with successive shortest augmenting paths (Bellman-Ford, since
+   reduced costs are not maintained; graphs here are small). *)
+
+type arc = {
+  dst : int;
+  mutable cap : int;
+  cost : float;
+  mutable flow : int;
+  rev : int;  (* index of the reverse arc in graph.(dst) *)
+}
+
+type graph = { arcs : arc list Stdlib.ref array }
+
+let add_arc g u v cap cost =
+  let fwd = { dst = v; cap; cost; flow = 0; rev = List.length !(g.arcs.(v)) } in
+  let bwd =
+    { dst = u; cap = 0; cost = -.cost; flow = 0; rev = List.length !(g.arcs.(u)) }
+  in
+  g.arcs.(u) := !(g.arcs.(u)) @ [ fwd ];
+  g.arcs.(v) := !(g.arcs.(v)) @ [ bwd ]
+
+type result = {
+  assignment : (Suite.target * (int * float) list) list;
+  total_cost : float;
+  complete : bool;
+}
+
+let solve fw (suite : Suite.t) =
+  let ec = Compress.edge_costs fw suite in
+  let targets = Array.of_list suite.targets in
+  let nt = Array.length targets in
+  let nq = Array.length suite.entries in
+  let n = 2 + nt + nq in
+  let source = 0 and sink = 1 in
+  let tnode i = 2 + i and qnode j = 2 + nt + j in
+  let g = { arcs = Array.init n (fun _ -> ref []) } in
+  Array.iteri (fun ti _ -> add_arc g source (tnode ti) suite.k 0.0) targets;
+  for j = 0 to nq - 1 do
+    add_arc g (qnode j) sink 1 0.0
+  done;
+  Array.iteri
+    (fun ti target ->
+      List.iter
+        (fun q ->
+          let c = Compress.edge_cost ec ~target_idx:ti ~query_idx:q in
+          if c < Float.infinity then
+            add_arc g (tnode ti) (qnode q)
+              1
+              (c +. suite.entries.(q).cost))
+        (Suite.covering suite target))
+    targets;
+  (* Successive shortest paths with Bellman-Ford over residual graph. *)
+  let rec augment () =
+    let dist = Array.make n Float.infinity in
+    let prev = Array.make n None in
+    dist.(source) <- 0.0;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for u = 0 to n - 1 do
+        if dist.(u) < Float.infinity then
+          List.iteri
+            (fun ai arc ->
+              if arc.cap - arc.flow > 0 && dist.(u) +. arc.cost < dist.(arc.dst) -. 1e-9
+              then begin
+                dist.(arc.dst) <- dist.(u) +. arc.cost;
+                prev.(arc.dst) <- Some (u, ai);
+                changed := true
+              end)
+            !(g.arcs.(u))
+      done
+    done;
+    if dist.(sink) = Float.infinity then ()
+    else begin
+      (* Unit augmentation along the shortest path. *)
+      let rec push v =
+        match prev.(v) with
+        | None -> ()
+        | Some (u, ai) ->
+          let arc = List.nth !(g.arcs.(u)) ai in
+          arc.flow <- arc.flow + 1;
+          let back = List.nth !(g.arcs.(arc.dst)) arc.rev in
+          back.flow <- back.flow - 1;
+          push u
+      in
+      push sink;
+      augment ()
+    end
+  in
+  augment ();
+  let assignment =
+    Array.to_list
+      (Array.mapi
+         (fun ti target ->
+           let picks =
+             List.filter_map
+               (fun arc ->
+                 if arc.flow > 0 && arc.dst >= 2 + nt then
+                   let q = arc.dst - 2 - nt in
+                   Some (q, Compress.edge_cost ec ~target_idx:ti ~query_idx:q)
+                 else None)
+               !(g.arcs.(tnode ti))
+           in
+           (target, picks))
+         targets)
+  in
+  let total =
+    List.fold_left
+      (fun acc (_, picks) ->
+        List.fold_left
+          (fun acc (q, ecost) -> acc +. suite.entries.(q).cost +. ecost)
+          acc picks)
+      0.0 assignment
+  in
+  let complete =
+    List.for_all (fun (_, picks) -> List.length picks = suite.k) assignment
+  in
+  { assignment; total_cost = total; complete }

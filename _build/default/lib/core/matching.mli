@@ -1,0 +1,20 @@
+(** The §7 variant of test-suite compression: no sharing of queries across
+    rules — each query maps to at most one rule, each rule gets [k]
+    distinct queries, minimize total cost. The paper notes this reduces to
+    bipartite matching and "can be solved efficiently"; we solve it
+    exactly as a min-cost flow (successive shortest augmenting paths). *)
+
+type result = {
+  assignment : (Suite.target * (int * float) list) list;
+      (** per target, the assigned (query, edge cost) pairs; queries are
+          pairwise distinct across the whole assignment *)
+  total_cost : float;
+      (** Σ assigned (Cost(q) + Cost(q, ¬R)) *)
+  complete : bool;
+      (** false when some target could not receive k distinct queries *)
+}
+
+val solve : Framework.t -> Suite.t -> result
+(** Optimal no-sharing assignment. Edge costs are computed for every
+    (target, covering query) pair — this variant is about execution cost,
+    not graph-construction cost. *)

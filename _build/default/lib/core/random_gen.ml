@@ -1,0 +1,6 @@
+open Storage
+
+let generate ?(min_ops = 2) ?(max_ops = 10) (ctx : Arggen.ctx) =
+  let target = Prng.int_in ctx.g (max 1 min_ops) (max min_ops max_ops) in
+  let base = Arggen.fresh_get ctx in
+  Arggen.pad ctx base (target - 1)

@@ -1,0 +1,8 @@
+(** RAGS-style stochastic query generation — the state-of-the-art baseline
+    the paper compares against (§3, RANDOM): generate random valid queries
+    until one happens to exercise the target rule(s). *)
+
+val generate : ?min_ops:int -> ?max_ops:int -> Arggen.ctx -> Relalg.Logical.t
+(** A random valid logical query tree with between [min_ops] (default 2)
+    and [max_ops] (default 10) operators. All trees returned satisfy
+    {!Relalg.Props.validate}. *)

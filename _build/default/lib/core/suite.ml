@@ -1,0 +1,107 @@
+module L = Relalg.Logical
+
+type target = Single of string | Pair of string * string
+
+let target_name = function
+  | Single r -> r
+  | Pair (a, b) -> a ^ "+" ^ b
+
+let rules_of = function Single r -> [ r ] | Pair (a, b) -> [ a; b ]
+
+let all_pairs rules =
+  let arr = Array.of_list rules in
+  let n = Array.length arr in
+  let pairs = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      pairs := Pair (arr.(i), arr.(j)) :: !pairs
+    done
+  done;
+  List.rev !pairs
+
+type entry = { query : L.t; ruleset : Framework.SSet.t; cost : float }
+
+type t = {
+  k : int;
+  targets : target list;
+  entries : entry array;
+  per_target : (target * int list) list;
+}
+
+type gen_method = Pattern_based | Random_based
+
+let generate ?(gen = Pattern_based) ?(extra_ops = 3) ?(max_trials = 60) fw g
+    ~targets ~k =
+  let entries : entry list ref = ref [] in
+  let count = ref 0 in
+  let index_of query =
+    (* Structural dedup across the whole suite. *)
+    let rec find i = function
+      | [] -> None
+      | e :: _ when L.equal e.query query -> Some (!count - 1 - i)
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 0 !entries
+  in
+  let add query =
+    match index_of query with
+    | Some i -> Some i
+    | None -> (
+      match (Framework.ruleset fw query, Framework.cost fw query) with
+      | Ok ruleset, Ok cost ->
+        entries := { query; ruleset; cost } :: !entries;
+        incr count;
+        Some (!count - 1)
+      | _ -> None)
+  in
+  let generate_one target =
+    match gen with
+    | Random_based ->
+      Option.map
+        (fun (r : Query_gen.generated) -> r.query)
+        (Query_gen.random_for_rules ~max_trials fw g (rules_of target))
+    | Pattern_based -> (
+      let res =
+        match target with
+        | Single r -> Query_gen.for_rule ~max_trials ~extra_ops fw g r
+        | Pair (a, b) -> Query_gen.for_pair ~max_trials ~extra_ops fw g (a, b)
+      in
+      match res with Some r -> Some r.query | None -> None)
+  in
+  let per_target =
+    List.map
+      (fun target ->
+        (* Up to k distinct queries; cap attempts so a hard target cannot
+           stall the generation forever. *)
+        let indices = ref [] in
+        let attempts = ref 0 in
+        while List.length !indices < k && !attempts < 3 * k do
+          incr attempts;
+          match generate_one target with
+          | None -> ()
+          | Some query -> (
+            match add query with
+            | Some i when not (List.mem i !indices) -> indices := i :: !indices
+            | _ -> ())
+        done;
+        (target, List.rev !indices))
+      targets
+  in
+  { k; targets; entries = Array.of_list (List.rev !entries); per_target }
+
+let covering t target =
+  let wanted = rules_of target in
+  let hits = ref [] in
+  Array.iteri
+    (fun i e ->
+      if List.for_all (fun r -> Framework.SSet.mem r e.ruleset) wanted then
+        hits := i :: !hits)
+    t.entries;
+  List.rev !hits
+
+let shortfall t =
+  List.filter_map
+    (fun (target, indices) ->
+      let n = List.length indices in
+      if n < t.k then Some (target, t.k - n) else None)
+    t.per_target

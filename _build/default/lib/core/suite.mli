@@ -1,0 +1,51 @@
+(** Test-suite generation (§2.3): for each target (a singleton rule or a
+    rule pair), [k] distinct queries each exercising the target. *)
+
+type target = Single of string | Pair of string * string
+
+val target_name : target -> string
+val rules_of : target -> string list
+(** The rule names to disable when validating this target. *)
+
+val all_pairs : string list -> target list
+(** All nC2 unordered pairs, in lexicographic index order. *)
+
+type entry = {
+  query : Relalg.Logical.t;
+  ruleset : Framework.SSet.t;  (** RuleSet(query) *)
+  cost : float;  (** Cost(query), all rules enabled *)
+}
+
+type t = {
+  k : int;
+  targets : target list;
+  entries : entry array;  (** distinct queries of the overall suite TS *)
+  per_target : (target * int list) list;
+      (** the k entry indices generated for each target (the paper's TS_i);
+          an index can appear under several targets only via deduplication *)
+}
+
+type gen_method = Pattern_based | Random_based
+
+val generate :
+  ?gen:gen_method ->
+  ?extra_ops:int ->
+  ?max_trials:int ->
+  Framework.t ->
+  Storage.Prng.t ->
+  targets:target list ->
+  k:int ->
+  t
+(** Generates TS_i for every target and the deduplicated overall suite.
+    Queries whose generation fails within [max_trials] are simply absent —
+    a target may end with fewer than [k] queries (reported by
+    {!shortfall}). [extra_ops] (default 3) pads queries with random extra
+    operators so suite costs vary, as with the paper's complex stochastic
+    queries. *)
+
+val covering : t -> target -> int list
+(** Entry indices whose RuleSet exercises the target — the bipartite
+    graph's edge lists (§4.1). *)
+
+val shortfall : t -> (target * int) list
+(** Targets that got fewer than [k] distinct queries, with the deficit. *)

@@ -1,0 +1,1 @@
+lib/executor/eval.ml: Option Relalg Storage Value

@@ -1,0 +1,1 @@
+lib/executor/exec.ml: Array Catalog Eval Hashtbl List Optimizer Printf Relalg Resultset Schema Storage Value

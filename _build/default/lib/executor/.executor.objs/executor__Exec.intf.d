@@ -1,0 +1,1 @@
+lib/executor/exec.mli: Optimizer Relalg Resultset Storage

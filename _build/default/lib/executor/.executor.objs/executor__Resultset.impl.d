@@ -1,0 +1,1 @@
+lib/executor/resultset.ml: Array Format List Relalg Stdlib Storage String Value

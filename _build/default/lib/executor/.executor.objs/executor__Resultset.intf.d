@@ -1,0 +1,1 @@
+lib/executor/resultset.mli: Format Relalg Storage

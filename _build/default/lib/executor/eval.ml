@@ -1,0 +1,70 @@
+open Storage
+module S = Relalg.Scalar
+
+type env = Relalg.Ident.t -> Value.t
+
+let of_bool3 = function None -> Value.Null | Some b -> Value.Bool b
+let bad_bool v = invalid_arg ("Eval: expected boolean, got " ^ Value.to_sql v)
+
+let as_bool3 = function
+  | (Value.Bool _ | Value.Null) as v -> v
+  | v -> bad_bool v
+
+let rec scalar env (e : S.t) : Value.t =
+  match e with
+  | S.Const v -> v
+  | S.Col id -> env id
+  | S.Neg a -> Value.neg (scalar env a)
+  | S.Arith (op, a, b) ->
+    let f =
+      match op with
+      | S.Add -> Value.add
+      | S.Sub -> Value.sub
+      | S.Mul -> Value.mul
+      | S.Div -> Value.div
+    in
+    f (scalar env a) (scalar env b)
+  | S.Cmp (op, a, b) ->
+    let va = scalar env a and vb = scalar env b in
+    of_bool3
+      (match op with
+      | S.Eq -> Value.eq_sql va vb
+      | S.Ne -> Option.map not (Value.eq_sql va vb)
+      | S.Lt -> Value.lt_sql va vb
+      | S.Le -> Value.le_sql va vb
+      | S.Gt -> Value.lt_sql vb va
+      | S.Ge -> Value.le_sql vb va)
+  | S.And (a, b) -> (
+    (* Kleene logic: false dominates NULL. *)
+    match scalar env a with
+    | Value.Bool false -> Value.Bool false
+    | Value.Bool true -> as_bool3 (scalar env b)
+    | Value.Null -> (
+      match scalar env b with
+      | Value.Bool false -> Value.Bool false
+      | Value.Bool true | Value.Null -> Value.Null
+      | v -> bad_bool v)
+    | v -> bad_bool v)
+  | S.Or (a, b) -> (
+    match scalar env a with
+    | Value.Bool true -> Value.Bool true
+    | Value.Bool false -> as_bool3 (scalar env b)
+    | Value.Null -> (
+      match scalar env b with
+      | Value.Bool true -> Value.Bool true
+      | Value.Bool false | Value.Null -> Value.Null
+      | v -> bad_bool v)
+    | v -> bad_bool v)
+  | S.Not a -> (
+    match scalar env a with
+    | Value.Bool b -> Value.Bool (not b)
+    | Value.Null -> Value.Null
+    | v -> bad_bool v)
+  | S.IsNull a -> Value.Bool (Value.is_null (scalar env a))
+  | S.IsNotNull a -> Value.Bool (not (Value.is_null (scalar env a)))
+
+let pred_true env p =
+  match scalar env p with
+  | Value.Bool true -> true
+  | Value.Bool false | Value.Null -> false
+  | v -> bad_bool v

@@ -1,0 +1,14 @@
+(** Scalar evaluation with SQL three-valued logic. *)
+
+type env = Relalg.Ident.t -> Storage.Value.t
+(** Value of each in-scope column for the current row. Raise [Not_found]
+    for unknown columns. *)
+
+val scalar : env -> Relalg.Scalar.t -> Storage.Value.t
+(** Comparisons and logical connectives return [Bool _] or [Null]
+    (UNKNOWN). Arithmetic propagates NULL. Raises [Invalid_argument] on
+    type errors the binder should have prevented. *)
+
+val pred_true : env -> Relalg.Scalar.t -> bool
+(** [true] iff the predicate evaluates to exactly [Bool true] — UNKNOWN
+    does not pass a WHERE/ON clause. *)

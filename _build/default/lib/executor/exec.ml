@@ -1,0 +1,417 @@
+open Storage
+module P = Optimizer.Physical
+module L = Relalg.Logical
+module A = Relalg.Aggregate
+module Ident = Relalg.Ident
+
+exception Exec_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
+
+module RowTbl = Hashtbl.Make (struct
+  type t = Value.t array
+
+  let equal a b = Resultset.compare_rows a b = 0
+  let hash row = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 row
+end)
+
+let make_env (cols : Ident.t array) =
+  let index : (Ident.t, int) Hashtbl.t = Hashtbl.create (Array.length cols) in
+  Array.iteri (fun i c -> Hashtbl.replace index c i) cols;
+  fun (row : Value.t array) (id : Ident.t) ->
+    match Hashtbl.find_opt index id with
+    | Some i -> row.(i)
+    | None -> fail "unknown column %s" (Ident.to_sql id)
+
+let key_indices (cols : Ident.t array) keys =
+  let find k =
+    let rec go i =
+      if i = Array.length cols then fail "unknown key column %s" (Ident.to_sql k)
+      else if Ident.equal cols.(i) k then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  Array.of_list (List.map find keys)
+
+let extract_key idx row = Array.map (fun i -> row.(i)) idx
+let key_has_null key = Array.exists Value.is_null key
+let nulls n = Array.make n Value.Null
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let compute_agg env rows (agg : A.t) : Value.t =
+  let non_null e =
+    List.filter_map
+      (fun row ->
+        let v = Eval.scalar (env row) e in
+        if Value.is_null v then None else Some v)
+      rows
+  in
+  match agg with
+  | A.CountStar -> Value.Int (List.length rows)
+  | A.Count e -> Value.Int (List.length (non_null e))
+  | A.Sum e -> (
+    match non_null e with
+    | [] -> Value.Null
+    | v :: vs -> List.fold_left Value.add v vs)
+  | A.Min e -> (
+    match non_null e with
+    | [] -> Value.Null
+    | v :: vs ->
+      List.fold_left (fun a b -> if Value.compare_total b a < 0 then b else a) v vs)
+  | A.Max e -> (
+    match non_null e with
+    | [] -> Value.Null
+    | v :: vs ->
+      List.fold_left (fun a b -> if Value.compare_total b a > 0 then b else a) v vs)
+  | A.Avg e -> (
+    match non_null e with
+    | [] -> Value.Null
+    | vs ->
+      let total =
+        List.fold_left
+          (fun acc v ->
+            match v with
+            | Value.Int x -> acc +. float_of_int x
+            | Value.Float x -> acc +. x
+            | _ -> fail "AVG over non-numeric value")
+          0.0 vs
+      in
+      Value.Float (total /. float_of_int (List.length vs)))
+
+(* Output of grouped aggregation: one row per group, keys then aggregates.
+   With no keys, exactly one (possibly empty-input) global group exists. *)
+let grouped_output (input : Resultset.t) keys aggs
+    (groups : (Value.t array * Value.t array list) list) : Resultset.t =
+  let env = make_env input.cols in
+  let rows =
+    List.map
+      (fun (key, members) ->
+        let agg_values = List.map (fun (_, a) -> compute_agg env members a) aggs in
+        Array.append key (Array.of_list agg_values))
+      groups
+  in
+  let cols = Array.of_list (keys @ List.map fst aggs) in
+  { Resultset.cols; rows }
+
+(* ------------------------------------------------------------------ *)
+(* Joins                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared join finalization: [match_lists.(li)] holds the indices of right
+   rows fully matching left row [li]. *)
+let join_output (kind : L.join_kind) (left : Resultset.t) (right : Resultset.t)
+    (match_lists : int list array) : Resultset.t =
+  let larr = Array.of_list left.rows in
+  let rarr = Array.of_list right.rows in
+  let right_matched = Array.make (Array.length rarr) false in
+  let out = ref [] in
+  let emit row = out := row :: !out in
+  let combine li ri = Array.append larr.(li) rarr.(ri) in
+  let right_arity = Array.length right.cols in
+  let left_arity = Array.length left.cols in
+  Array.iteri
+    (fun li ms ->
+      match kind with
+      | L.Semi -> if ms <> [] then emit larr.(li)
+      | L.AntiSemi -> if ms = [] then emit larr.(li)
+      | L.Inner | L.Cross -> List.iter (fun ri -> emit (combine li ri)) ms
+      | L.LeftOuter ->
+        if ms = [] then emit (Array.append larr.(li) (nulls right_arity))
+        else List.iter (fun ri -> emit (combine li ri)) ms
+      | L.RightOuter ->
+        List.iter
+          (fun ri ->
+            right_matched.(ri) <- true;
+            emit (combine li ri))
+          ms
+      | L.FullOuter ->
+        if ms = [] then emit (Array.append larr.(li) (nulls right_arity))
+        else
+          List.iter
+            (fun ri ->
+              right_matched.(ri) <- true;
+              emit (combine li ri))
+            ms)
+    match_lists;
+  (match kind with
+  | L.RightOuter | L.FullOuter ->
+    Array.iteri
+      (fun ri matched ->
+        if not matched then emit (Array.append (nulls left_arity) rarr.(ri)))
+      right_matched
+  | L.Semi | L.AntiSemi | L.Inner | L.Cross | L.LeftOuter -> ());
+  let cols =
+    match kind with
+    | L.Semi | L.AntiSemi -> left.cols
+    | L.Inner | L.Cross | L.LeftOuter | L.RightOuter | L.FullOuter ->
+      Array.append left.cols right.cols
+  in
+  { Resultset.cols; rows = List.rev !out }
+
+let nested_loops_matches pred (left : Resultset.t) (right : Resultset.t) =
+  let combined_cols = Array.append left.cols right.cols in
+  let env = make_env combined_cols in
+  let rarr = Array.of_list right.rows in
+  let larr = Array.of_list left.rows in
+  Array.map
+    (fun lrow ->
+      let ms = ref [] in
+      Array.iteri
+        (fun ri rrow ->
+          if Eval.pred_true (env (Array.append lrow rrow)) pred then ms := ri :: !ms)
+        rarr;
+      List.rev !ms)
+    larr
+
+let hash_matches ~left_keys ~right_keys ~residual (left : Resultset.t)
+    (right : Resultset.t) =
+  let lidx = key_indices left.cols left_keys in
+  let ridx = key_indices right.cols right_keys in
+  let table : int list ref RowTbl.t = RowTbl.create 64 in
+  List.iteri
+    (fun ri rrow ->
+      let key = extract_key ridx rrow in
+      if not (key_has_null key) then
+        match RowTbl.find_opt table key with
+        | Some cell -> cell := ri :: !cell
+        | None -> RowTbl.add table key (ref [ ri ]))
+    right.rows;
+  let rarr = Array.of_list right.rows in
+  let combined_cols = Array.append left.cols right.cols in
+  let env = make_env combined_cols in
+  let check_residual lrow ri =
+    Relalg.Scalar.equal residual Relalg.Scalar.true_
+    || Eval.pred_true (env (Array.append lrow rarr.(ri))) residual
+  in
+  Array.of_list
+    (List.map
+       (fun lrow ->
+         let key = extract_key lidx lrow in
+         if key_has_null key then []
+         else
+           match RowTbl.find_opt table key with
+           | None -> []
+           | Some cell -> List.filter (check_residual lrow) (List.rev !cell))
+       left.rows)
+
+(* Inner merge join over inputs already sorted on their keys. Rows with
+   NULL keys sort first and can never match; they are skipped. *)
+let merge_matches ~left_keys ~right_keys ~residual (left : Resultset.t)
+    (right : Resultset.t) =
+  let lidx = key_indices left.cols left_keys in
+  let ridx = key_indices right.cols right_keys in
+  let larr = Array.of_list left.rows in
+  let rarr = Array.of_list right.rows in
+  let nl = Array.length larr and nr = Array.length rarr in
+  let match_lists = Array.make nl [] in
+  let combined_cols = Array.append left.cols right.cols in
+  let env = make_env combined_cols in
+  let key_cmp a b = Resultset.compare_rows a b in
+  let li = ref 0 and ri = ref 0 in
+  while !li < nl && !ri < nr do
+    let lkey = extract_key lidx larr.(!li) in
+    let rkey = extract_key ridx rarr.(!ri) in
+    if key_has_null lkey then incr li
+    else if key_has_null rkey then incr ri
+    else
+      let c = key_cmp lkey rkey in
+      if c < 0 then incr li
+      else if c > 0 then incr ri
+      else begin
+        (* Collect the equal-key groups on both sides. *)
+        let l_end = ref !li in
+        while
+          !l_end < nl && key_cmp (extract_key lidx larr.(!l_end)) lkey = 0
+        do
+          incr l_end
+        done;
+        let r_end = ref !ri in
+        while
+          !r_end < nr && key_cmp (extract_key ridx rarr.(!r_end)) rkey = 0
+        do
+          incr r_end
+        done;
+        for i = !li to !l_end - 1 do
+          let ms = ref [] in
+          for j = !ri to !r_end - 1 do
+            let ok =
+              Relalg.Scalar.equal residual Relalg.Scalar.true_
+              || Eval.pred_true (env (Array.append larr.(i) rarr.(j))) residual
+            in
+            if ok then ms := j :: !ms
+          done;
+          match_lists.(i) <- List.rev !ms
+        done;
+        li := !l_end;
+        ri := !r_end
+      end
+  done;
+  match_lists
+
+(* ------------------------------------------------------------------ *)
+(* Operators                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let distinct_rows rows =
+  let seen = RowTbl.create 64 in
+  List.filter
+    (fun row ->
+      if RowTbl.mem seen row then false
+      else begin
+        RowTbl.add seen row ();
+        true
+      end)
+    rows
+
+let rec exec catalog (plan : P.t) : Resultset.t =
+  match plan with
+  | P.TableScan { table; alias } -> (
+    match Catalog.find catalog table with
+    | None -> fail "unknown table %s" table
+    | Some tb ->
+      let cols =
+        Array.of_list
+          (List.map (fun c -> Ident.make alias c.Schema.col_name) tb.schema.columns)
+      in
+      { Resultset.cols; rows = Array.to_list tb.rows })
+  | P.FilterOp { pred; child } ->
+    let input = exec catalog child in
+    let env = make_env input.cols in
+    { input with rows = List.filter (fun row -> Eval.pred_true (env row) pred) input.rows }
+  | P.ComputeScalar { cols; child } ->
+    let input = exec catalog child in
+    let env = make_env input.cols in
+    let out_cols = Array.of_list (List.map fst cols) in
+    let rows =
+      List.map
+        (fun row ->
+          Array.of_list (List.map (fun (_, e) -> Eval.scalar (env row) e) cols))
+        input.rows
+    in
+    { Resultset.cols = out_cols; rows }
+  | P.NestedLoopsJoin { kind; pred; left; right } ->
+    let l = exec catalog left and r = exec catalog right in
+    join_output kind l r (nested_loops_matches pred l r)
+  | P.HashJoin { kind; left_keys; right_keys; residual; left; right } ->
+    let l = exec catalog left and r = exec catalog right in
+    join_output kind l r (hash_matches ~left_keys ~right_keys ~residual l r)
+  | P.MergeJoin { left_keys; right_keys; residual; left; right } ->
+    let l = exec catalog left and r = exec catalog right in
+    join_output L.Inner l r (merge_matches ~left_keys ~right_keys ~residual l r)
+  | P.HashAggregate { keys; aggs; child } ->
+    let input = exec catalog child in
+    let kidx = key_indices input.cols keys in
+    if keys = [] then
+      grouped_output input keys aggs [ ([||], input.rows) ]
+    else begin
+      let table : Value.t array list ref RowTbl.t = RowTbl.create 64 in
+      let order = ref [] in
+      List.iter
+        (fun row ->
+          let key = extract_key kidx row in
+          match RowTbl.find_opt table key with
+          | Some cell -> cell := row :: !cell
+          | None ->
+            RowTbl.add table key (ref [ row ]);
+            order := key :: !order)
+        input.rows;
+      let groups =
+        List.rev_map
+          (fun key -> (key, List.rev !(RowTbl.find table key)))
+          !order
+      in
+      grouped_output input keys aggs groups
+    end
+  | P.StreamAggregate { keys; aggs; child } ->
+    let input = exec catalog child in
+    let kidx = key_indices input.cols keys in
+    if keys = [] then grouped_output input keys aggs [ ([||], input.rows) ]
+    else begin
+      (* Consecutive runs of equal keys (input sorted by keys). *)
+      let groups = ref [] in
+      let current_key = ref None in
+      let current = ref [] in
+      let flush () =
+        match !current_key with
+        | Some key -> groups := (key, List.rev !current) :: !groups
+        | None -> ()
+      in
+      List.iter
+        (fun row ->
+          let key = extract_key kidx row in
+          match !current_key with
+          | Some k when Resultset.compare_rows k key = 0 -> current := row :: !current
+          | _ ->
+            flush ();
+            current_key := Some key;
+            current := [ row ])
+        input.rows;
+      flush ();
+      grouped_output input keys aggs (List.rev !groups)
+    end
+  | P.SortOp { keys; child } ->
+    let input = exec catalog child in
+    let kidx = key_indices input.cols (List.map fst keys) in
+    let dirs = Array.of_list (List.map snd keys) in
+    let cmp a b =
+      let rec go i =
+        if i = Array.length kidx then 0
+        else
+          let c = Value.compare_total a.(kidx.(i)) b.(kidx.(i)) in
+          let c = match dirs.(i) with L.Asc -> c | L.Desc -> -c in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+    in
+    { input with rows = List.stable_sort cmp input.rows }
+  | P.Concat (a, b) ->
+    let ra = exec catalog a and rb = exec catalog b in
+    check_arity ra rb;
+    { ra with rows = ra.rows @ rb.rows }
+  | P.HashUnion (a, b) ->
+    let ra = exec catalog a and rb = exec catalog b in
+    check_arity ra rb;
+    { ra with rows = distinct_rows (ra.rows @ rb.rows) }
+  | P.HashIntersect (a, b) ->
+    let ra = exec catalog a and rb = exec catalog b in
+    check_arity ra rb;
+    let in_b = RowTbl.create 64 in
+    List.iter (fun row -> RowTbl.replace in_b row ()) rb.rows;
+    { ra with rows = distinct_rows (List.filter (RowTbl.mem in_b) ra.rows) }
+  | P.HashExcept (a, b) ->
+    let ra = exec catalog a and rb = exec catalog b in
+    check_arity ra rb;
+    let in_b = RowTbl.create 64 in
+    List.iter (fun row -> RowTbl.replace in_b row ()) rb.rows;
+    { ra with
+      rows = distinct_rows (List.filter (fun r -> not (RowTbl.mem in_b r)) ra.rows) }
+  | P.HashDistinct child ->
+    let input = exec catalog child in
+    { input with rows = distinct_rows input.rows }
+  | P.LimitOp { count; child } ->
+    let input = exec catalog child in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: xs -> x :: take (n - 1) xs
+    in
+    { input with rows = take count input.rows }
+
+and check_arity (a : Resultset.t) (b : Resultset.t) =
+  if Array.length a.cols <> Array.length b.cols then
+    fail "set operation arity mismatch: %d vs %d" (Array.length a.cols)
+      (Array.length b.cols)
+
+let run catalog plan =
+  try Ok (exec catalog plan) with
+  | Exec_error msg -> Error msg
+  | Invalid_argument msg -> Error ("execution type error: " ^ msg)
+
+let run_logical ?options catalog tree =
+  match Optimizer.Engine.optimize ?options catalog tree with
+  | Error e -> Error e
+  | Ok r -> run catalog r.plan

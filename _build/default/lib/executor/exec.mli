@@ -1,0 +1,19 @@
+(** Physical plan interpreter over the in-memory catalog.
+
+    Faithful SQL semantics where it matters for rule-correctness testing:
+    three-valued predicate logic, NULL-key behaviour of hash and merge
+    joins, outer-join padding, NULL-skipping aggregates, a fabricated row
+    for global aggregation over empty input, and null-safe set
+    operations. *)
+
+val run :
+  Storage.Catalog.t -> Optimizer.Physical.t -> (Resultset.t, string) result
+(** Materializing, bottom-up execution. Fails (rather than raising) on
+    unknown tables/columns or type errors. *)
+
+val run_logical :
+  ?options:Optimizer.Engine.options ->
+  Storage.Catalog.t ->
+  Relalg.Logical.t ->
+  (Resultset.t, string) result
+(** Convenience: optimize then execute. *)

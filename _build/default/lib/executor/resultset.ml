@@ -1,0 +1,58 @@
+open Storage
+
+type t = { cols : Relalg.Ident.t array; rows : Value.t array list }
+
+let row_count t = List.length t.rows
+
+let compare_rows (a : Value.t array) (b : Value.t array) =
+  let n = min (Array.length a) (Array.length b) in
+  let rec go i =
+    if i = n then Stdlib.compare (Array.length a) (Array.length b)
+    else
+      match Value.compare_total a.(i) b.(i) with 0 -> go (i + 1) | c -> c
+  in
+  go 0
+
+let normalize t = { t with rows = List.sort compare_rows t.rows }
+
+let same_cols a b =
+  Array.length a.cols = Array.length b.cols
+  && Array.for_all2 Relalg.Ident.equal a.cols b.cols
+
+let equal_bag a b =
+  same_cols a b
+  &&
+  let ra = List.sort compare_rows a.rows and rb = List.sort compare_rows b.rows in
+  List.length ra = List.length rb
+  && List.for_all2 (fun x y -> compare_rows x y = 0) ra rb
+
+let first_difference a b =
+  if not (same_cols a b) then Some (None, None)
+  else
+    let ra = List.sort compare_rows a.rows and rb = List.sort compare_rows b.rows in
+    let rec go = function
+      | [], [] -> None
+      | x :: _, [] -> Some (Some x, None)
+      | [], y :: _ -> Some (None, Some y)
+      | x :: xs, y :: ys ->
+        if compare_rows x y = 0 then go (xs, ys) else Some (Some x, Some y)
+    in
+    go (ra, rb)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%s  (%d rows)"
+    (String.concat ", "
+       (Array.to_list (Array.map Relalg.Ident.to_sql t.cols)))
+    (row_count t);
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: xs -> x :: take (n - 1) xs
+  in
+  List.iter
+    (fun row ->
+      Format.fprintf fmt "@,(%s)"
+        (String.concat ", " (Array.to_list (Array.map Value.to_sql row))))
+    (take 20 t.rows);
+  if row_count t > 20 then Format.fprintf fmt "@,...";
+  Format.fprintf fmt "@]"

@@ -1,0 +1,30 @@
+(** Query results and the bag comparison used for correctness validation
+    (§2.3: "check if the results of executing the two plans are
+    identical"). *)
+
+type t = {
+  cols : Relalg.Ident.t array;
+  rows : Storage.Value.t array list;
+}
+
+val row_count : t -> int
+
+val compare_rows : Storage.Value.t array -> Storage.Value.t array -> int
+(** Lexicographic total order on rows ({!Storage.Value.compare_total} per
+    column; NULL first). *)
+
+val normalize : t -> t
+(** Rows sorted by {!compare_rows} — the canonical form. *)
+
+val equal_bag : t -> t -> bool
+(** Same column identifiers in the same order, and the same multiset of
+    rows. All equivalent plans for a query produce the same column list,
+    so a mismatch of columns simply reports inequality. *)
+
+val first_difference :
+  t -> t -> (Storage.Value.t array option * Storage.Value.t array option) option
+(** After normalization, the first position where the two results diverge
+    (for bug reports); [None] when the results are bag-equal. *)
+
+val pp : Format.formatter -> t -> unit
+(** Header and at most 20 rows. *)

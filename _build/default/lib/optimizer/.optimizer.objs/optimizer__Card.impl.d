@@ -1,0 +1,1 @@
+lib/optimizer/card.ml: Catalog Float Hashtbl Ident List Logical Relalg Scalar Stats Storage Table Value

@@ -1,0 +1,1 @@
+lib/optimizer/engine.ml: Card Float Hashtbl Ident List Logical Option Physical Props Queue Relalg Rule Rules Scalar Set Storage String

@@ -1,0 +1,1 @@
+lib/optimizer/engine.mli: Physical Relalg Rule Set Stdlib Storage

@@ -1,0 +1,1 @@
+lib/optimizer/pattern.ml: Format List Logical Option Printf Relalg String

@@ -1,0 +1,1 @@
+lib/optimizer/pattern.mli: Format Relalg

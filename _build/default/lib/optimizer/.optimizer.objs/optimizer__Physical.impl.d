@@ -1,0 +1,1 @@
+lib/optimizer/physical.ml: Aggregate Format Ident List Logical Printf Relalg Scalar String

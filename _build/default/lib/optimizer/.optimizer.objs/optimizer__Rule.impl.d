@@ -1,0 +1,1 @@
+lib/optimizer/rule.ml: Ident List Logical Pattern Props Relalg Scalar Storage

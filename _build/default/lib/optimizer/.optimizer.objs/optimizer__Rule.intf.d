@@ -1,0 +1,1 @@
+lib/optimizer/rule.mli: Pattern Relalg Storage

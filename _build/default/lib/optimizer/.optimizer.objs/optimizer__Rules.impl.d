@@ -1,0 +1,1 @@
+lib/optimizer/rules.ml: List Option Pattern Printf Rule Rules_agg Rules_extra Rules_join Rules_select String

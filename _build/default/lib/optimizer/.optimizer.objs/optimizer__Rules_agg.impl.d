@@ -1,0 +1,1 @@
+lib/optimizer/rules_agg.ml: Aggregate Ident List Logical Option Pattern Props Relalg Rule Scalar

@@ -1,0 +1,1 @@
+lib/optimizer/rules_extra.ml: Logical Pattern Props Relalg Rule Scalar

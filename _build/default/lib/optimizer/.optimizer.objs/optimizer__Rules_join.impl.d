@@ -1,0 +1,1 @@
+lib/optimizer/rules_join.ml: Ident Logical Pattern Props Relalg Rule Scalar

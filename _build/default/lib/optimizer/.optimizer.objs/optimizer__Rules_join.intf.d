@@ -1,0 +1,1 @@
+lib/optimizer/rules_join.mli: Rule

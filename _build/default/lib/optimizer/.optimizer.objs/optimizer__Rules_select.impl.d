@@ -1,0 +1,1 @@
+lib/optimizer/rules_select.ml: Ident List Logical Pattern Props Relalg Rule Scalar

@@ -1,0 +1,149 @@
+open Relalg
+module L = Logical
+module S = Scalar
+open Storage
+
+type t = {
+  catalog : Catalog.t;
+  rows_cache : (L.t, float) Hashtbl.t;
+  alias_cache : (L.t, (string * string) list) Hashtbl.t;
+      (* subtree -> (alias, table) bindings *)
+}
+
+let create catalog =
+  { catalog; rows_cache = Hashtbl.create 512; alias_cache = Hashtbl.create 512 }
+
+let clamp lo hi x = Float.max lo (Float.min hi x)
+
+let aliases_of est tree =
+  match Hashtbl.find_opt est.alias_cache tree with
+  | Some a -> a
+  | None ->
+    let a =
+      L.fold
+        (fun acc node ->
+          match node with L.Get { table; alias } -> (alias, table) :: acc | _ -> acc)
+        [] tree
+    in
+    Hashtbl.replace est.alias_cache tree a;
+    a
+
+let col_stats est scope (id : Ident.t) =
+  let bindings = List.concat_map (aliases_of est) scope in
+  match List.assoc_opt id.rel bindings with
+  | None -> None
+  | Some table -> (
+    match Catalog.find est.catalog table with
+    | None -> None
+    | Some tb -> Stats.col tb.stats id.name)
+
+let ndv est scope id =
+  match col_stats est scope id with
+  | Some cs when cs.ndv > 0 -> float_of_int cs.ndv
+  | _ -> 100.0
+
+let null_fraction est scope id =
+  match col_stats est scope id with
+  | Some cs when cs.ndv + cs.null_count > 0 ->
+    float_of_int cs.null_count /. float_of_int (cs.ndv + cs.null_count)
+  | _ -> 0.05
+
+(* Fraction of a numeric/date column's range below a constant. *)
+let range_fraction est scope id v op =
+  let default = 1.0 /. 3.0 in
+  match col_stats est scope id with
+  | None -> default
+  | Some cs -> (
+    let as_float = function
+      | Value.Int x -> Some (float_of_int x)
+      | Value.Float x -> Some x
+      | Value.Date x -> Some (float_of_int x)
+      | Value.Null | Value.Str _ | Value.Bool _ -> None
+    in
+    match (as_float cs.min_value, as_float cs.max_value, as_float v) with
+    | Some lo, Some hi, Some x when hi > lo ->
+      let below = clamp 0.0 1.0 ((x -. lo) /. (hi -. lo)) in
+      (match op with
+      | S.Lt | S.Le -> below
+      | S.Gt | S.Ge -> 1.0 -. below
+      | S.Eq | S.Ne -> default)
+    | _ -> default)
+
+let rec pred_selectivity est scope (p : S.t) : float =
+  match p with
+  | S.Const (Value.Bool true) -> 1.0
+  | S.Const (Value.Bool false) | S.Const Value.Null -> 0.0
+  | S.Const _ | S.Col _ -> 0.5
+  | S.And (a, b) -> pred_selectivity est scope a *. pred_selectivity est scope b
+  | S.Or (a, b) ->
+    let pa = pred_selectivity est scope a and pb = pred_selectivity est scope b in
+    pa +. pb -. (pa *. pb)
+  | S.Not a -> 1.0 -. pred_selectivity est scope a
+  | S.IsNull (S.Col id) -> null_fraction est scope id
+  | S.IsNull _ -> 0.05
+  | S.IsNotNull (S.Col id) -> 1.0 -. null_fraction est scope id
+  | S.IsNotNull _ -> 0.95
+  | S.Cmp (S.Eq, S.Col a, S.Col b) ->
+    1.0 /. Float.max (ndv est scope a) (ndv est scope b)
+  | S.Cmp (S.Eq, S.Col a, S.Const _) | S.Cmp (S.Eq, S.Const _, S.Col a) ->
+    1.0 /. ndv est scope a
+  | S.Cmp (S.Eq, _, _) -> 0.1
+  | S.Cmp (S.Ne, a, b) -> 1.0 -. pred_selectivity est scope (S.Cmp (S.Eq, a, b))
+  | S.Cmp (op, S.Col a, S.Const v) -> range_fraction est scope a v op
+  | S.Cmp (op, S.Const v, S.Col a) ->
+    let flipped =
+      match op with
+      | S.Lt -> S.Gt
+      | S.Le -> S.Ge
+      | S.Gt -> S.Lt
+      | S.Ge -> S.Le
+      | S.Eq | S.Ne -> op
+    in
+    range_fraction est scope a v flipped
+  | S.Cmp ((S.Lt | S.Le | S.Gt | S.Ge), _, _) -> 1.0 /. 3.0
+  | S.Neg _ | S.Arith _ -> 0.5
+
+let selectivity est scope pred = clamp 1e-4 1.0 (pred_selectivity est scope pred)
+
+let rec rows est (t : L.t) : float =
+  match Hashtbl.find_opt est.rows_cache t with
+  | Some r -> r
+  | None ->
+    let r = compute est t in
+    let r = Float.max 0.0 r in
+    Hashtbl.replace est.rows_cache t r;
+    r
+
+and compute est (t : L.t) : float =
+  match t with
+  | L.Get { table; _ } -> (
+    match Catalog.find est.catalog table with
+    | Some tb -> float_of_int (Table.row_count tb)
+    | None -> 1000.0)
+  | L.Filter { pred; child } -> rows est child *. selectivity est [ child ] pred
+  | L.Project { child; _ } -> rows est child
+  | L.Join { kind; pred; left; right } -> (
+    let nl = rows est left and nr = rows est right in
+    let inner = nl *. nr *. selectivity est [ left; right ] pred in
+    match kind with
+    | L.Inner | L.Cross -> inner
+    | L.LeftOuter -> Float.max inner nl
+    | L.RightOuter -> Float.max inner nr
+    | L.FullOuter -> Float.max inner (nl +. nr)
+    | L.Semi -> Float.min nl inner
+    | L.AntiSemi -> Float.max 1.0 (nl -. Float.min nl inner))
+  | L.GroupBy { keys; child; _ } ->
+    if keys = [] then 1.0
+    else
+      let n = rows est child in
+      let groups =
+        List.fold_left (fun acc k -> acc *. ndv est [ child ] k) 1.0 keys
+      in
+      Float.min n groups
+  | L.UnionAll (a, b) -> rows est a +. rows est b
+  | L.Union (a, b) -> 0.9 *. (rows est a +. rows est b)
+  | L.Intersect (a, b) -> 0.5 *. Float.min (rows est a) (rows est b)
+  | L.Except (a, _) -> 0.5 *. rows est a
+  | L.Distinct child -> 0.9 *. rows est child
+  | L.Sort { child; _ } -> rows est child
+  | L.Limit { count; child } -> Float.min (float_of_int count) (rows est child)

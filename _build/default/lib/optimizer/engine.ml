@@ -1,0 +1,338 @@
+open Relalg
+module L = Logical
+module S = Scalar
+module SSet = Set.Make (String)
+
+type options = { disabled : SSet.t; max_trees : int; max_growth : int }
+
+let default_options = { disabled = SSet.empty; max_trees = 1200; max_growth = 6 }
+
+type result = {
+  best_logical : L.t;
+  plan : Physical.t;
+  cost : float;
+  exercised : SSet.t;
+  impl_exercised : SSet.t;
+  trees_explored : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Exploration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let replace_nth lst i x = List.mapi (fun j y -> if j = i then x else y) lst
+
+(* All (rule name, rewritten whole tree) pairs obtained by applying a rule
+   at any node of [t]. *)
+let rec rewrites catalog rules (t : L.t) : (string * L.t) list =
+  let at_root =
+    List.concat_map
+      (fun (r : Rule.t) -> List.map (fun t' -> (r.name, t')) (r.apply catalog t))
+      rules
+  in
+  let kids = L.children t in
+  let in_children =
+    List.concat
+      (List.mapi
+         (fun i kid ->
+           List.map
+             (fun (name, kid') -> (name, L.with_children t (replace_nth kids i kid')))
+             (rewrites catalog rules kid))
+         kids)
+  in
+  at_root @ in_children
+
+type exploration = {
+  trees : L.t list;  (** insertion order; head is the input tree *)
+  logical_exercised : SSet.t;
+  count : int;
+}
+
+let explore ~options ~rules catalog t0 : exploration =
+  let rules =
+    List.filter (fun (r : Rule.t) -> not (SSet.mem r.name options.disabled)) rules
+  in
+  let max_size = L.size t0 + options.max_growth in
+  let seen : (L.t, unit) Hashtbl.t = Hashtbl.create 256 in
+  let order = ref [ t0 ] in
+  let queue = Queue.create () in
+  Hashtbl.replace seen t0 ();
+  Queue.add t0 queue;
+  let count = ref 1 in
+  let exercised = ref SSet.empty in
+  while (not (Queue.is_empty queue)) && !count < options.max_trees do
+    let t = Queue.pop queue in
+    List.iter
+      (fun (name, t') ->
+        exercised := SSet.add name !exercised;
+        if
+          !count < options.max_trees
+          && L.size t' <= max_size
+          && not (Hashtbl.mem seen t')
+        then begin
+          Hashtbl.replace seen t' ();
+          order := t' :: !order;
+          Queue.add t' queue;
+          incr count
+        end)
+      (rewrites catalog rules t)
+  done;
+  { trees = List.rev !order; logical_exercised = !exercised; count = !count }
+
+(* ------------------------------------------------------------------ *)
+(* Implementation (costing)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let implementation_rule_names =
+  [ "GetToTableScan"; "SelectToFilter"; "ProjectToComputeScalar";
+    "JoinToNestedLoops"; "JoinToHashJoin"; "JoinToMergeJoin";
+    "GbAggToHashAggregate"; "GbAggToStreamAggregate"; "SortToSort";
+    "DistinctToHashDistinct"; "UnionAllToConcat"; "UnionToHashUnion";
+    "IntersectToHashIntersect"; "ExceptToHashExcept"; "LimitToLimit" ]
+
+type planner = {
+  catalog : Storage.Catalog.t;
+  est : Card.t;
+  cache : (L.t, (Physical.t * float) option) Hashtbl.t;
+  impl_disabled : SSet.t;
+  mutable impl_exercised : SSet.t;
+}
+
+let log2 x = Float.max 1.0 (Float.log (x +. 2.0) /. Float.log 2.0)
+
+(* Paired equi-join keys and the residual predicate. *)
+let equi_keys catalog pred left right =
+  let lids = Props.output_idents catalog left in
+  let rids = Props.output_idents catalog right in
+  let keys, residual =
+    List.fold_left
+      (fun (keys, residual) conjunct ->
+        match conjunct with
+        | S.Cmp (S.Eq, S.Col a, S.Col b)
+          when Ident.Set.mem a lids && Ident.Set.mem b rids ->
+          ((a, b) :: keys, residual)
+        | S.Cmp (S.Eq, S.Col a, S.Col b)
+          when Ident.Set.mem b lids && Ident.Set.mem a rids ->
+          ((b, a) :: keys, residual)
+        | c -> (keys, c :: residual))
+      ([], []) (S.conjuncts pred)
+  in
+  (List.rev keys, S.conj (List.rev residual))
+
+let rec plan p (t : L.t) : (Physical.t * float) option =
+  match Hashtbl.find_opt p.cache t with
+  | Some r -> r
+  | None ->
+    (* Seed the cache to guard against cycles (none expected). *)
+    Hashtbl.replace p.cache t None;
+    let r = plan_uncached p t in
+    Hashtbl.replace p.cache t r;
+    r
+
+and alternative p name (mk : unit -> (Physical.t * float) option) =
+  if SSet.mem name p.impl_disabled then None
+  else
+    match mk () with
+    | Some _ as r ->
+      p.impl_exercised <- SSet.add name p.impl_exercised;
+      r
+    | None -> None
+
+and plan_uncached p (t : L.t) : (Physical.t * float) option =
+  let rows t = Card.rows p.est t in
+  let alts : (Physical.t * float) option list =
+    match t with
+    | L.Get { table; alias } ->
+      [ alternative p "GetToTableScan" (fun () ->
+            Some (Physical.TableScan { table; alias }, rows t)) ]
+    | L.Filter { pred; child } ->
+      [ alternative p "SelectToFilter" (fun () ->
+            Option.map
+              (fun (c, cost) ->
+                (Physical.FilterOp { pred; child = c }, cost +. (0.2 *. rows child)))
+              (plan p child)) ]
+    | L.Project { cols; child } ->
+      [ alternative p "ProjectToComputeScalar" (fun () ->
+            Option.map
+              (fun (c, cost) ->
+                (Physical.ComputeScalar { cols; child = c }, cost +. (0.2 *. rows child)))
+              (plan p child)) ]
+    | L.Join { kind; pred; left; right } ->
+      let nl = rows left and nr = rows right and nout = rows t in
+      let keys, residual = equi_keys p.catalog pred left right in
+      let nested =
+        alternative p "JoinToNestedLoops" (fun () ->
+            match (plan p left, plan p right) with
+            | Some (pl, cl), Some (pr, cr) ->
+              Some
+                ( Physical.NestedLoopsJoin { kind; pred; left = pl; right = pr },
+                  cl +. (nl *. cr) +. (0.05 *. nl *. nr) +. (0.1 *. nout) )
+            | _ -> None)
+      in
+      let hash =
+        if keys = [] then None
+        else
+          alternative p "JoinToHashJoin" (fun () ->
+              match (plan p left, plan p right) with
+              | Some (pl, cl), Some (pr, cr) ->
+                Some
+                  ( Physical.HashJoin
+                      { kind;
+                        left_keys = List.map fst keys;
+                        right_keys = List.map snd keys;
+                        residual;
+                        left = pl;
+                        right = pr },
+                    cl +. cr +. (1.5 *. (nl +. nr)) +. (0.1 *. nout) )
+              | _ -> None)
+      in
+      let merge =
+        if keys = [] || kind <> L.Inner then None
+        else
+          alternative p "JoinToMergeJoin" (fun () ->
+              match (plan p left, plan p right) with
+              | Some (pl, cl), Some (pr, cr) ->
+                let sort_keys ids = List.map (fun id -> (id, L.Asc)) ids in
+                let sorted_l =
+                  Physical.SortOp { keys = sort_keys (List.map fst keys); child = pl }
+                in
+                let sorted_r =
+                  Physical.SortOp { keys = sort_keys (List.map snd keys); child = pr }
+                in
+                Some
+                  ( Physical.MergeJoin
+                      { left_keys = List.map fst keys;
+                        right_keys = List.map snd keys;
+                        residual;
+                        left = sorted_l;
+                        right = sorted_r },
+                    cl +. cr
+                    +. (nl *. log2 nl)
+                    +. (nr *. log2 nr)
+                    +. nl +. nr +. (0.1 *. nout) )
+              | _ -> None)
+      in
+      [ nested; hash; merge ]
+    | L.GroupBy { keys; aggs; child } ->
+      let nc = rows child in
+      let hash =
+        alternative p "GbAggToHashAggregate" (fun () ->
+            Option.map
+              (fun (c, cost) ->
+                (Physical.HashAggregate { keys; aggs; child = c }, cost +. (1.5 *. nc)))
+              (plan p child))
+      in
+      let stream =
+        if keys = [] then None
+        else
+          alternative p "GbAggToStreamAggregate" (fun () ->
+              Option.map
+                (fun (c, cost) ->
+                  let sorted =
+                    Physical.SortOp
+                      { keys = List.map (fun k -> (k, L.Asc)) keys; child = c }
+                  in
+                  ( Physical.StreamAggregate { keys; aggs; child = sorted },
+                    cost +. (nc *. log2 nc) +. nc ))
+                (plan p child))
+      in
+      [ hash; stream ]
+    | L.UnionAll (a, b) ->
+      [ alternative p "UnionAllToConcat" (fun () ->
+            match (plan p a, plan p b) with
+            | Some (pa, ca), Some (pb, cb) -> Some (Physical.Concat (pa, pb), ca +. cb)
+            | _ -> None) ]
+    | L.Union (a, b) ->
+      [ alternative p "UnionToHashUnion" (fun () ->
+            match (plan p a, plan p b) with
+            | Some (pa, ca), Some (pb, cb) ->
+              Some
+                ( Physical.HashUnion (pa, pb),
+                  ca +. cb +. (1.5 *. (rows a +. rows b)) )
+            | _ -> None) ]
+    | L.Intersect (a, b) ->
+      [ alternative p "IntersectToHashIntersect" (fun () ->
+            match (plan p a, plan p b) with
+            | Some (pa, ca), Some (pb, cb) ->
+              Some
+                ( Physical.HashIntersect (pa, pb),
+                  ca +. cb +. (1.5 *. (rows a +. rows b)) )
+            | _ -> None) ]
+    | L.Except (a, b) ->
+      [ alternative p "ExceptToHashExcept" (fun () ->
+            match (plan p a, plan p b) with
+            | Some (pa, ca), Some (pb, cb) ->
+              Some
+                ( Physical.HashExcept (pa, pb),
+                  ca +. cb +. (1.5 *. (rows a +. rows b)) )
+            | _ -> None) ]
+    | L.Distinct child ->
+      [ alternative p "DistinctToHashDistinct" (fun () ->
+            Option.map
+              (fun (c, cost) -> (Physical.HashDistinct c, cost +. (1.5 *. rows child)))
+              (plan p child)) ]
+    | L.Sort { keys; child } ->
+      [ alternative p "SortToSort" (fun () ->
+            Option.map
+              (fun (c, cost) ->
+                let nc = rows child in
+                (Physical.SortOp { keys; child = c }, cost +. (nc *. log2 nc)))
+              (plan p child)) ]
+    | L.Limit { count; child } ->
+      [ alternative p "LimitToLimit" (fun () ->
+            Option.map
+              (fun (c, cost) ->
+                (Physical.LimitOp { count; child = c }, cost +. float_of_int count))
+              (plan p child)) ]
+  in
+  List.fold_left
+    (fun best alt ->
+      match (best, alt) with
+      | None, x | x, None -> x
+      | (Some (_, cb) as b), (Some (_, ca) as a) -> if ca < cb then a else b)
+    None alts
+
+(* ------------------------------------------------------------------ *)
+(* Public entry points                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let optimize ?(options = default_options) ?(rules = Rules.all) catalog t0 =
+  match Props.validate catalog t0 with
+  | Error e -> Error ("invalid input tree: " ^ e)
+  | Ok () ->
+    let exploration = explore ~options ~rules catalog t0 in
+    let planner =
+      { catalog;
+        est = Card.create catalog;
+        cache = Hashtbl.create 1024;
+        impl_disabled = options.disabled;
+        impl_exercised = SSet.empty }
+    in
+    let best =
+      List.fold_left
+        (fun best tree ->
+          match plan planner tree with
+          | None -> best
+          | Some (phys, cost) -> (
+            match best with
+            | Some (_, _, best_cost) when best_cost <= cost -> best
+            | _ -> Some (tree, phys, cost)))
+        None exploration.trees
+    in
+    (match best with
+    | None -> Error "no physical plan (are implementation rules disabled?)"
+    | Some (best_logical, plan, cost) ->
+      Ok
+        { best_logical;
+          plan;
+          cost;
+          exercised = exploration.logical_exercised;
+          impl_exercised = planner.impl_exercised;
+          trees_explored = exploration.count })
+
+let ruleset ?(options = default_options) ?(rules = Rules.all) catalog t0 =
+  match Props.validate catalog t0 with
+  | Error e -> Error ("invalid input tree: " ^ e)
+  | Ok () ->
+    let exploration = explore ~options ~rules catalog t0 in
+    Ok exploration.logical_exercised

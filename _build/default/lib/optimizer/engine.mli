@@ -1,0 +1,62 @@
+(** The optimizer's search engine.
+
+    A Volcano-style exhaustive transformation closure: starting from the
+    input logical tree, every enabled exploration rule is applied at every
+    node of every (deduplicated) tree until fixpoint or budget; every
+    explored tree is then costed through the implementation rules, with
+    planning memoized per logical subtree. The engine provides the two
+    extensions the paper requires of the DBMS (§2.3):
+
+    - tracking which rules are exercised during an optimization
+      ([RuleSet(q)], the [exercised] field), and
+    - optimizing with a given set of rules disabled
+      ([Plan(q, ¬R)], the [disabled] option).
+
+    Because disabling a rule only removes trees from the closure (and
+    plans from the implementation alternatives), the engine is
+    "well-behaved" in the paper's §5.2 sense: [Cost(q) <= Cost(q, ¬R)]
+    whenever the closure completes within budget. *)
+
+module SSet : Set.S with type elt = string
+
+type options = {
+  disabled : SSet.t;  (** rule names (logical or implementation) to turn off *)
+  max_trees : int;  (** exploration budget; default 1200 *)
+  max_growth : int;  (** max extra operators over the input size; default 6 *)
+}
+
+val default_options : options
+
+type result = {
+  best_logical : Relalg.Logical.t;
+  plan : Physical.t;
+  cost : float;
+  exercised : SSet.t;  (** logical (exploration) rules exercised *)
+  impl_exercised : SSet.t;  (** implementation rules exercised *)
+  trees_explored : int;
+}
+
+val optimize :
+  ?options:options ->
+  ?rules:Rule.t list ->
+  Storage.Catalog.t ->
+  Relalg.Logical.t ->
+  (result, string) Stdlib.result
+(** Full optimization: explore, then cost. Fails when the input tree is
+    invalid, or no physical plan exists (e.g. all implementation rules for
+    some operator are disabled). [rules] overrides the exploration-rule
+    registry (default {!Rules.all}) — used to inject deliberately broken
+    rules in correctness-testing demonstrations. *)
+
+val ruleset :
+  ?options:options ->
+  ?rules:Rule.t list ->
+  Storage.Catalog.t ->
+  Relalg.Logical.t ->
+  (SSet.t, string) Stdlib.result
+(** [RuleSet(q)]: the logical rules exercised when optimizing [q] —
+    exploration only, skipping the costing phase (used by the coverage
+    experiments, which never execute queries). *)
+
+val implementation_rule_names : string list
+(** Names of the implementation rules (disjoint from {!Rules.names}). *)

@@ -1,0 +1,39 @@
+(** Rule patterns (paper §3.1, Figure 3).
+
+    A pattern is the operator shape that must be present in a logical tree
+    for a rule to be considered — a {e necessary} (not sufficient) firing
+    condition. Concrete nodes name an operator kind; [Any] is the generic
+    placeholder (drawn as a circle in the paper) that matches any operator
+    subtree.
+
+    The DBMS side of the paper exports rule patterns through a new API in
+    XML; {!to_xml}/{!of_xml} reproduce that interface. *)
+
+type t =
+  | Op of Relalg.Logical.op_kind * t list
+  | Any
+
+val matches : t -> Relalg.Logical.t -> bool
+(** Structural match at the root of the tree. *)
+
+val matches_anywhere : t -> Relalg.Logical.t -> bool
+(** Match at any node of the tree. *)
+
+val size : t -> int
+(** Number of concrete (non-[Any]) nodes. *)
+
+val leaves : t -> int
+(** Number of [Any] placeholders. *)
+
+val substitute_leaf : t -> int -> t -> t option
+(** [substitute_leaf p i q] replaces the [i]-th [Any] placeholder (in
+    left-to-right order) of [p] with [q]; [None] when [i] is out of
+    range. Used for rule-pair pattern composition (§3.2). *)
+
+val to_xml : t -> string
+(** E.g. [<op kind="Join"><any/><any/></op>]. *)
+
+val of_xml : string -> (t, string) result
+(** Inverse of {!to_xml}. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+(** Transformation rules: (name, pattern, substitution) triples (§3.1).
+
+    [apply] is the substitution function: given a tree whose root matches
+    [pattern], it returns zero or more equivalent trees. Returning [] means
+    the rule's preconditions (beyond the pattern) did not hold — the
+    pattern is necessary, not sufficient. A rule is {e exercised} when
+    [apply] returns at least one substitute. *)
+
+type t = {
+  name : string;
+  pattern : Pattern.t;
+  apply : Storage.Catalog.t -> Relalg.Logical.t -> Relalg.Logical.t list;
+}
+
+val make :
+  string ->
+  Pattern.t ->
+  (Storage.Catalog.t -> Relalg.Logical.t -> Relalg.Logical.t list) ->
+  t
+(** Wraps [apply] with the pattern check: the returned rule's [apply] is a
+    no-op on trees whose root does not match [pattern]. *)
+
+(** {2 Helpers shared by rule implementations} *)
+
+val subst :
+  (Relalg.Ident.t -> Relalg.Scalar.t option) -> Relalg.Scalar.t -> Relalg.Scalar.t
+(** Substitutes column references by expressions. *)
+
+val positional_rename :
+  Relalg.Props.col_info list ->
+  Relalg.Props.col_info list ->
+  Relalg.Ident.t ->
+  Relalg.Ident.t
+(** [positional_rename from_cols to_cols] maps the i-th ident of
+    [from_cols] to the i-th of [to_cols]; other idents map to themselves. *)
+
+val split_by_scope :
+  Relalg.Scalar.t -> Relalg.Ident.Set.t -> Relalg.Scalar.t * Relalg.Scalar.t
+(** [split_by_scope pred cols] splits the conjuncts of [pred] into (those
+    referencing only [cols] — and at least one column, so constant
+    conjuncts stay behind —, the rest). Both sides are [Scalar.true_] when
+    empty. *)
+
+val identity_project :
+  Relalg.Props.col_info list -> Relalg.Logical.t -> Relalg.Logical.t
+(** Project re-exporting exactly the given columns (used by rules that
+    change column order and must restore it). *)
+
+val null_safe_row_eq :
+  Relalg.Props.col_info list -> Relalg.Props.col_info list -> Relalg.Scalar.t
+(** Pairwise null-safe equality predicate
+    [(a1 = b1 OR (a1 IS NULL AND b1 IS NULL)) AND ...] between two
+    positionally-matched column lists. *)

@@ -1,0 +1,32 @@
+let all : Rule.t list =
+  Rules_join.rules @ Rules_select.rules @ Rules_agg.rules @ Rules_extra.rules
+
+let () =
+  (* The registry is the unit of identity for the whole framework; duplicate
+     names would corrupt rule tracking. *)
+  let names = List.map (fun (r : Rule.t) -> r.name) all in
+  let sorted = List.sort_uniq String.compare names in
+  assert (List.length sorted = List.length names)
+
+let names = List.map (fun (r : Rule.t) -> r.name) all
+let count = List.length all
+let find name = List.find_opt (fun (r : Rule.t) -> String.equal r.name name) all
+
+let find_exn name =
+  match find name with
+  | Some r -> r
+  | None -> invalid_arg ("Rules.find_exn: unknown rule " ^ name)
+
+let nth i =
+  match List.nth_opt all i with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Rules.nth: index %d out of range" i)
+
+let pattern_xml name =
+  Option.map (fun (r : Rule.t) -> Pattern.to_xml r.pattern) (find name)
+
+let all_patterns_xml () =
+  let entry (r : Rule.t) =
+    Printf.sprintf "<rule name=\"%s\">%s</rule>" r.name (Pattern.to_xml r.pattern)
+  in
+  "<rules>" ^ String.concat "" (List.map entry all) ^ "</rules>"

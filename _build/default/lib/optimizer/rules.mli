@@ -1,0 +1,22 @@
+(** The rule registry: all exploration (logical) transformation rules in a
+    canonical order, plus the pattern-export API the paper adds to the
+    DBMS (§3.1: "we have extended the database server with an API through
+    which it returns the rule pattern tree for a rule in a XML format"). *)
+
+val all : Rule.t list
+(** All exploration rules; the order is stable and experiments index rules
+    by position in this list. *)
+
+val names : string list
+val count : int
+val find : string -> Rule.t option
+val find_exn : string -> Rule.t
+
+val nth : int -> Rule.t
+(** Raises [Invalid_argument] when out of range. *)
+
+val pattern_xml : string -> string option
+(** The XML rule-pattern export for a rule name. *)
+
+val all_patterns_xml : unit -> string
+(** One [<rules>...</rules>] document with every rule's pattern. *)

@@ -1,0 +1,6 @@
+(** Exploration rules over joins: commutativity, associativity,
+    select-pushdown, outer-join simplification and commutation,
+    join/outer-join associativity (the paper's §3 example), semi-join to
+    inner join. *)
+
+val rules : Rule.t list

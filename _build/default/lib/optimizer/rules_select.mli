@@ -1,0 +1,5 @@
+(** Exploration rules over filters and projections: merge/split, commuting
+    with Project/GroupBy/Distinct, pushing below set operations, and
+    trivial-operator elimination. *)
+
+val rules : Rule.t list

@@ -1,0 +1,1 @@
+lib/relalg/aggregate.ml: Format Ident Result Scalar Storage

@@ -1,0 +1,1 @@
+lib/relalg/ident.ml: Format Hashtbl Map Set String

@@ -1,0 +1,1 @@
+lib/relalg/ident.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/relalg/logical.ml: Aggregate Format Hashtbl Ident List Printf Scalar Stdlib String

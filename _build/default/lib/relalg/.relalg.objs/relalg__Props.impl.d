@@ -1,0 +1,1 @@
+lib/relalg/props.ml: Aggregate Catalog Datatype Hashtbl Ident List Logical Result Scalar Schema Storage String

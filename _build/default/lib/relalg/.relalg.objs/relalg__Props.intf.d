@@ -1,0 +1,1 @@
+lib/relalg/props.mli: Ident Logical Scalar Storage

@@ -1,0 +1,1 @@
+lib/relalg/scalar.ml: Buffer Format Ident List Printf Result Stdlib Storage

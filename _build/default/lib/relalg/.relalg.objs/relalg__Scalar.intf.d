@@ -1,0 +1,1 @@
+lib/relalg/scalar.mli: Format Ident Storage

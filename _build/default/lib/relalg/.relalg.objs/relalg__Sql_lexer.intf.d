@@ -1,0 +1,1 @@
+lib/relalg/sql_lexer.mli:

@@ -1,0 +1,1 @@
+lib/relalg/sql_parser.ml: Aggregate Ident List Logical Option Printf Props Scalar Sql_lexer Storage String

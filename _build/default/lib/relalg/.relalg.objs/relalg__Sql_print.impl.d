@@ -1,0 +1,1 @@
+lib/relalg/sql_print.ml: Aggregate Buffer Ident List Logical Printf Scalar Storage String

@@ -1,0 +1,54 @@
+type t =
+  | CountStar
+  | Count of Scalar.t
+  | Sum of Scalar.t
+  | Min of Scalar.t
+  | Max of Scalar.t
+  | Avg of Scalar.t
+
+let equal (a : t) (b : t) = a = b
+
+let argument = function
+  | CountStar -> None
+  | Count e | Sum e | Min e | Max e | Avg e -> Some e
+
+let columns t =
+  match argument t with None -> Ident.Set.empty | Some e -> Scalar.columns e
+
+let rename f = function
+  | CountStar -> CountStar
+  | Count e -> Count (Scalar.rename f e)
+  | Sum e -> Sum (Scalar.rename f e)
+  | Min e -> Min (Scalar.rename f e)
+  | Max e -> Max (Scalar.rename f e)
+  | Avg e -> Avg (Scalar.rename f e)
+
+let result_type env t : (Storage.Datatype.t, string) result =
+  let ( let* ) = Result.bind in
+  match t with
+  | CountStar -> Ok Storage.Datatype.TInt
+  | Count e ->
+    let* _ = Scalar.type_of env e in
+    Ok Storage.Datatype.TInt
+  | Avg e ->
+    let* ty = Scalar.type_of env e in
+    if Storage.Datatype.is_numeric ty then Ok Storage.Datatype.TFloat
+    else Error "AVG on non-numeric"
+  | Sum e ->
+    let* ty = Scalar.type_of env e in
+    if Storage.Datatype.is_numeric ty then Ok ty else Error "SUM on non-numeric"
+  | Min e | Max e -> Scalar.type_of env e
+
+let is_duplicate_insensitive = function
+  | Min _ | Max _ -> true
+  | CountStar | Count _ | Sum _ | Avg _ -> false
+
+let to_sql = function
+  | CountStar -> "COUNT(*)"
+  | Count e -> "COUNT(" ^ Scalar.to_sql e ^ ")"
+  | Sum e -> "SUM(" ^ Scalar.to_sql e ^ ")"
+  | Min e -> "MIN(" ^ Scalar.to_sql e ^ ")"
+  | Max e -> "MAX(" ^ Scalar.to_sql e ^ ")"
+  | Avg e -> "AVG(" ^ Scalar.to_sql e ^ ")"
+
+let pp fmt t = Format.pp_print_string fmt (to_sql t)

@@ -1,0 +1,25 @@
+(** Aggregate functions of the GroupBy operator. *)
+
+type t =
+  | CountStar
+  | Count of Scalar.t  (** counts non-NULL evaluations *)
+  | Sum of Scalar.t
+  | Min of Scalar.t
+  | Max of Scalar.t
+  | Avg of Scalar.t
+
+val equal : t -> t -> bool
+val argument : t -> Scalar.t option
+val columns : t -> Ident.Set.t
+val rename : (Ident.t -> Ident.t) -> t -> t
+
+val result_type :
+  Scalar.env -> t -> (Storage.Datatype.t, string) result
+(** COUNT yields TInt; AVG yields TFloat; SUM/MIN/MAX take the argument
+    type (SUM requires numeric). *)
+
+val is_duplicate_insensitive : t -> bool
+(** MIN and MAX ignore duplicates; COUNT/SUM/AVG do not. *)
+
+val to_sql : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+type t = { rel : string; name : string }
+
+let make rel name =
+  if rel = "" || String.contains rel '_' then
+    invalid_arg ("Ident.make: bad relation label " ^ rel);
+  { rel; name }
+
+let equal a b = String.equal a.rel b.rel && String.equal a.name b.name
+
+let compare a b =
+  match String.compare a.rel b.rel with
+  | 0 -> String.compare a.name b.name
+  | c -> c
+
+let hash a = Hashtbl.hash (a.rel, a.name)
+let to_sql a = a.rel ^ "_" ^ a.name
+
+let of_sql s =
+  match String.index_opt s '_' with
+  | None -> None
+  | Some i when i = 0 || i = String.length s - 1 -> None
+  | Some i ->
+    Some
+      { rel = String.sub s 0 i;
+        name = String.sub s (i + 1) (String.length s - i - 1) }
+
+let pp fmt a = Format.pp_print_string fmt (to_sql a)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+let counter = ref 0
+
+let fresh_rel () =
+  let n = !counter in
+  incr counter;
+  "r" ^ string_of_int n
+
+let reset_fresh () = counter := 0

@@ -1,0 +1,37 @@
+(** Column identifiers.
+
+    Every relation instance in a logical query tree carries a unique
+    relation label (e.g. ["r0"], ["r1"], ...) so a column is globally
+    identified by the pair (relation label, column name). This makes
+    transformation rules purely structural: moving an operator never
+    requires renaming the columns it references.
+
+    The SQL surface spelling is [label_name] (e.g. [r0_l_orderkey]); labels
+    never contain ['_'], so the spelling is unambiguous. *)
+
+type t = { rel : string; name : string }
+
+val make : string -> string -> t
+(** [make rel name]. [rel] must be non-empty and must not contain '_'. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val to_sql : t -> string
+(** [rel ^ "_" ^ name]. *)
+
+val of_sql : string -> t option
+(** Inverse of {!to_sql}: splits at the first '_'. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val fresh_rel : unit -> string
+(** A process-unique relation label ["r<n>"]. *)
+
+val reset_fresh : unit -> unit
+(** Reset the label counter (tests only; makes generated trees
+    reproducible). *)

@@ -1,0 +1,147 @@
+type join_kind = Inner | Cross | LeftOuter | RightOuter | FullOuter | Semi | AntiSemi
+type sort_dir = Asc | Desc
+
+type t =
+  | Get of { table : string; alias : string }
+  | Filter of { pred : Scalar.t; child : t }
+  | Project of { cols : (Ident.t * Scalar.t) list; child : t }
+  | Join of { kind : join_kind; pred : Scalar.t; left : t; right : t }
+  | GroupBy of { keys : Ident.t list; aggs : (Ident.t * Aggregate.t) list; child : t }
+  | UnionAll of t * t
+  | Union of t * t
+  | Intersect of t * t
+  | Except of t * t
+  | Distinct of t
+  | Sort of { keys : (Ident.t * sort_dir) list; child : t }
+  | Limit of { count : int; child : t }
+
+type op_kind =
+  | KGet
+  | KFilter
+  | KProject
+  | KJoin of join_kind
+  | KGroupBy
+  | KUnionAll
+  | KUnion
+  | KIntersect
+  | KExcept
+  | KDistinct
+  | KSort
+  | KLimit
+
+let kind = function
+  | Get _ -> KGet
+  | Filter _ -> KFilter
+  | Project _ -> KProject
+  | Join { kind; _ } -> KJoin kind
+  | GroupBy _ -> KGroupBy
+  | UnionAll _ -> KUnionAll
+  | Union _ -> KUnion
+  | Intersect _ -> KIntersect
+  | Except _ -> KExcept
+  | Distinct _ -> KDistinct
+  | Sort _ -> KSort
+  | Limit _ -> KLimit
+
+let join_kind_to_sql = function
+  | Inner -> "JOIN"
+  | Cross -> "CROSS JOIN"
+  | LeftOuter -> "LEFT OUTER JOIN"
+  | RightOuter -> "RIGHT OUTER JOIN"
+  | FullOuter -> "FULL OUTER JOIN"
+  | Semi -> "SEMI JOIN"
+  | AntiSemi -> "ANTI SEMI JOIN"
+
+let kind_name = function
+  | KGet -> "Get"
+  | KFilter -> "Filter"
+  | KProject -> "Project"
+  | KJoin Inner -> "Join"
+  | KJoin Cross -> "CrossJoin"
+  | KJoin LeftOuter -> "LeftOuterJoin"
+  | KJoin RightOuter -> "RightOuterJoin"
+  | KJoin FullOuter -> "FullOuterJoin"
+  | KJoin Semi -> "SemiJoin"
+  | KJoin AntiSemi -> "AntiSemiJoin"
+  | KGroupBy -> "GbAgg"
+  | KUnionAll -> "UnionAll"
+  | KUnion -> "Union"
+  | KIntersect -> "Intersect"
+  | KExcept -> "Except"
+  | KDistinct -> "Distinct"
+  | KSort -> "Sort"
+  | KLimit -> "Limit"
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (a : t) = Hashtbl.hash a
+
+let children = function
+  | Get _ -> []
+  | Filter { child; _ } | Project { child; _ } | GroupBy { child; _ }
+  | Distinct child | Sort { child; _ } | Limit { child; _ } ->
+    [ child ]
+  | Join { left; right; _ } -> [ left; right ]
+  | UnionAll (a, b) | Union (a, b) | Intersect (a, b) | Except (a, b) -> [ a; b ]
+
+let with_children node kids =
+  match node, kids with
+  | Get _, [] -> node
+  | Filter f, [ c ] -> Filter { f with child = c }
+  | Project p, [ c ] -> Project { p with child = c }
+  | GroupBy g, [ c ] -> GroupBy { g with child = c }
+  | Distinct _, [ c ] -> Distinct c
+  | Sort s, [ c ] -> Sort { s with child = c }
+  | Limit l, [ c ] -> Limit { l with child = c }
+  | Join j, [ l; r ] -> Join { j with left = l; right = r }
+  | UnionAll _, [ a; b ] -> UnionAll (a, b)
+  | Union _, [ a; b ] -> Union (a, b)
+  | Intersect _, [ a; b ] -> Intersect (a, b)
+  | Except _, [ a; b ] -> Except (a, b)
+  | _ -> invalid_arg "Logical.with_children: arity mismatch"
+
+let rec size t = 1 + List.fold_left (fun acc c -> acc + size c) 0 (children t)
+
+let rec fold f acc t = List.fold_left (fold f) (f acc t) (children t)
+
+let aliases t =
+  List.rev
+    (fold (fun acc n -> match n with Get g -> g.alias :: acc | _ -> acc) [] t)
+
+let label = function
+  | Get g -> Printf.sprintf "Get(%s AS %s)" g.table g.alias
+  | Filter f -> Printf.sprintf "Filter(%s)" (Scalar.to_sql f.pred)
+  | Project p ->
+    let item (id, e) = Ident.to_sql id ^ " := " ^ Scalar.to_sql e in
+    Printf.sprintf "Project(%s)" (String.concat ", " (List.map item p.cols))
+  | Join j -> (
+    match j.kind with
+    | Cross -> "CrossJoin"
+    | k -> Printf.sprintf "%s(%s)" (kind_name (KJoin k)) (Scalar.to_sql j.pred))
+  | GroupBy g ->
+    let agg (id, a) = Ident.to_sql id ^ " := " ^ Aggregate.to_sql a in
+    Printf.sprintf "GbAgg(keys=[%s]; %s)"
+      (String.concat ", " (List.map Ident.to_sql g.keys))
+      (String.concat ", " (List.map agg g.aggs))
+  | UnionAll _ -> "UnionAll"
+  | Union _ -> "Union"
+  | Intersect _ -> "Intersect"
+  | Except _ -> "Except"
+  | Distinct _ -> "Distinct"
+  | Sort s ->
+    let key (id, dir) =
+      Ident.to_sql id ^ (match dir with Asc -> " ASC" | Desc -> " DESC")
+    in
+    Printf.sprintf "Sort(%s)" (String.concat ", " (List.map key s.keys))
+  | Limit l -> Printf.sprintf "Limit(%d)" l.count
+
+let rec pp_indent fmt depth t =
+  Format.fprintf fmt "%s%s" (String.make (2 * depth) ' ') (label t);
+  List.iter
+    (fun c ->
+      Format.pp_print_cut fmt ();
+      pp_indent fmt (depth + 1) c)
+    (children t)
+
+let pp fmt t = Format.fprintf fmt "@[<v>%a@]" (fun fmt -> pp_indent fmt 0) t
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,75 @@
+(** Logical query trees (the optimizer's input representation, paper §2.2).
+
+    Every [Get] carries a unique relation label ([alias]); all columns are
+    identified globally (see {!Ident}), so subtrees can be rearranged by
+    transformation rules without renaming. *)
+
+type join_kind =
+  | Inner
+  | Cross  (** no predicate *)
+  | LeftOuter
+  | RightOuter
+  | FullOuter
+  | Semi  (** left rows with a match; output = left columns *)
+  | AntiSemi  (** left rows without a match *)
+
+type sort_dir = Asc | Desc
+
+type t =
+  | Get of { table : string; alias : string }
+  | Filter of { pred : Scalar.t; child : t }
+  | Project of { cols : (Ident.t * Scalar.t) list; child : t }
+  | Join of { kind : join_kind; pred : Scalar.t; left : t; right : t }
+      (** [pred] is [Scalar.true_] for [Cross]. *)
+  | GroupBy of {
+      keys : Ident.t list;
+      aggs : (Ident.t * Aggregate.t) list;
+      child : t;
+    }  (** output columns = [keys @ map fst aggs] *)
+  | UnionAll of t * t
+  | Union of t * t  (** set union (distinct) *)
+  | Intersect of t * t
+  | Except of t * t
+  | Distinct of t
+  | Sort of { keys : (Ident.t * sort_dir) list; child : t }
+  | Limit of { count : int; child : t }
+
+type op_kind =
+  | KGet
+  | KFilter
+  | KProject
+  | KJoin of join_kind
+  | KGroupBy
+  | KUnionAll
+  | KUnion
+  | KIntersect
+  | KExcept
+  | KDistinct
+  | KSort
+  | KLimit
+
+val kind : t -> op_kind
+val kind_name : op_kind -> string
+val join_kind_to_sql : join_kind -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val children : t -> t list
+val with_children : t -> t list -> t
+(** Replaces the children in order; raises [Invalid_argument] on arity
+    mismatch. *)
+
+val size : t -> int
+(** Number of operator nodes. *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Pre-order fold over all nodes. *)
+
+val aliases : t -> string list
+(** Relation labels of all [Get] nodes, in tree order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented tree rendering, one operator per line (paper Figure 1). *)
+
+val to_string : t -> string

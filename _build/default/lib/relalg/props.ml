@@ -1,0 +1,265 @@
+open Storage
+
+type col_info = { id : Ident.t; ty : Datatype.t; nullable : bool }
+
+let ( let* ) = Result.bind
+
+(* Derived properties are recomputed millions of times during rule
+   exploration; memoize per subtree. Caches are keyed on the catalog's
+   physical identity and flushed when a different catalog shows up. *)
+let cache_owner : Catalog.t option ref = ref None
+let schema_cache : (Logical.t, (col_info list, string) result) Hashtbl.t =
+  Hashtbl.create 4096
+
+let keys_cache : (Logical.t, Ident.Set.t list) Hashtbl.t = Hashtbl.create 4096
+
+let with_cache cat cache compute t =
+  let flush =
+    match !cache_owner with Some c -> not (c == cat) | None -> true
+  in
+  if flush then begin
+    Hashtbl.reset schema_cache;
+    Hashtbl.reset keys_cache;
+    cache_owner := Some cat
+  end;
+  match Hashtbl.find_opt cache t with
+  | Some r -> r
+  | None ->
+    let r = compute t in
+    Hashtbl.replace cache t r;
+    r
+
+let env_of cols : Scalar.env =
+ fun id ->
+  List.find_map
+    (fun c -> if Ident.equal c.id id then Some c.ty else None)
+    cols
+
+let distinct_idents ids =
+  let sorted = List.sort_uniq Ident.compare ids in
+  List.length sorted = List.length ids
+
+let rec schema cat (t : Logical.t) : (col_info list, string) result =
+  with_cache cat schema_cache (schema_uncached cat) t
+
+and schema_uncached cat (t : Logical.t) : (col_info list, string) result =
+  match t with
+  | Get { table; alias } -> (
+    match Catalog.find cat table with
+    | None -> Error ("unknown table " ^ table)
+    | Some tb ->
+      Ok
+        (List.map
+           (fun (c : Schema.column) ->
+             { id = Ident.make alias c.col_name;
+               ty = c.col_type;
+               nullable = c.nullable })
+           tb.schema.columns))
+  | Filter { pred; child } ->
+    let* cols = schema cat child in
+    let* ty = Scalar.type_of (env_of cols) pred in
+    if Datatype.equal ty TBool then Ok cols
+    else Error "Filter predicate is not boolean"
+  | Project { cols = items; child } ->
+    let* cols = schema cat child in
+    let env = env_of cols in
+    if not (distinct_idents (List.map fst items)) then
+      Error "Project: duplicate output columns"
+    else if items = [] then Error "Project: empty column list"
+    else
+      let rec build = function
+        | [] -> Ok []
+        | (id, e) :: rest ->
+          let* ty = Scalar.type_of env e in
+          let nullable =
+            match e with
+            | Scalar.Col c ->
+              List.exists (fun ci -> Ident.equal ci.id c && ci.nullable) cols
+            | _ -> true
+          in
+          let* tail = build rest in
+          Ok ({ id; ty; nullable } :: tail)
+      in
+      build items
+  | Join { kind; pred; left; right } -> (
+    let* lc = schema cat left in
+    let* rc = schema cat right in
+    let both = lc @ rc in
+    if not (distinct_idents (List.map (fun c -> c.id) both)) then
+      Error "Join: overlapping column identifiers"
+    else
+      let* pty = Scalar.type_of (env_of both) pred in
+      if not (Datatype.equal pty TBool) then Error "Join predicate is not boolean"
+      else
+        let scoped =
+          Ident.Set.subset (Scalar.columns pred)
+            (Ident.Set.of_list (List.map (fun c -> c.id) both))
+        in
+        if not scoped then Error "Join predicate references out-of-scope columns"
+        else
+          let nullable_all = List.map (fun c -> { c with nullable = true }) in
+          match kind with
+          | Cross ->
+            if Scalar.equal pred Scalar.true_ then Ok both
+            else Error "Cross join with a predicate"
+          | Inner -> Ok both
+          | LeftOuter -> Ok (lc @ nullable_all rc)
+          | RightOuter -> Ok (nullable_all lc @ rc)
+          | FullOuter -> Ok (nullable_all lc @ nullable_all rc)
+          | Semi | AntiSemi -> Ok lc)
+  | GroupBy { keys; aggs; child } ->
+    let* cols = schema cat child in
+    let env = env_of cols in
+    let find_key k =
+      match List.find_opt (fun c -> Ident.equal c.id k) cols with
+      | Some c -> Ok c
+      | None -> Error ("GroupBy key not in child: " ^ Ident.to_sql k)
+    in
+    let rec build_keys = function
+      | [] -> Ok []
+      | k :: rest ->
+        let* c = find_key k in
+        let* tail = build_keys rest in
+        Ok (c :: tail)
+    in
+    let rec build_aggs = function
+      | [] -> Ok []
+      | (id, agg) :: rest ->
+        let* ty = Aggregate.result_type env agg in
+        let nullable =
+          (* COUNT never returns NULL; other aggregates do on empty groups
+             (only possible for global aggregation) or NULL-only groups. *)
+          match agg with Aggregate.CountStar | Aggregate.Count _ -> false | _ -> true
+        in
+        let* tail = build_aggs rest in
+        Ok ({ id; ty; nullable } :: tail)
+    in
+    let* kcols = build_keys keys in
+    let* acols = build_aggs aggs in
+    let out = kcols @ acols in
+    if aggs = [] && keys = [] then Error "GroupBy: no keys and no aggregates"
+    else if not (distinct_idents (List.map (fun c -> c.id) out)) then
+      Error "GroupBy: duplicate output columns"
+    else Ok out
+  | UnionAll (a, b) | Union (a, b) | Intersect (a, b) | Except (a, b) ->
+    let* ac = schema cat a in
+    let* bc = schema cat b in
+    if List.length ac <> List.length bc then
+      Error "set operation: children have different arities"
+    else
+      let compatible =
+        List.for_all2 (fun x y -> Datatype.equal x.ty y.ty) ac bc
+      in
+      if not compatible then Error "set operation: column type mismatch"
+      else
+        Ok
+          (List.map2
+             (fun x y -> { x with nullable = x.nullable || y.nullable })
+             ac bc)
+  | Distinct child -> schema cat child
+  | Sort { keys; child } ->
+    let* cols = schema cat child in
+    let ids = Ident.Set.of_list (List.map (fun c -> c.id) cols) in
+    if List.for_all (fun (k, _) -> Ident.Set.mem k ids) keys then Ok cols
+    else Error "Sort key not in child output"
+  | Limit { count; child } ->
+    if count < 0 then Error "Limit: negative count" else schema cat child
+
+let schema_exn cat t =
+  match schema cat t with
+  | Ok cols -> cols
+  | Error msg -> invalid_arg ("Props.schema_exn: " ^ msg)
+
+let output_idents cat t =
+  match schema cat t with
+  | Ok cols -> Ident.Set.of_list (List.map (fun c -> c.id) cols)
+  | Error _ -> Ident.Set.empty
+
+let equi_join_columns pred left right =
+  List.fold_left
+    (fun (ls, rs) conjunct ->
+      match conjunct with
+      | Scalar.Cmp (Scalar.Eq, Scalar.Col a, Scalar.Col b) ->
+        if Ident.Set.mem a left && Ident.Set.mem b right then
+          (Ident.Set.add a ls, Ident.Set.add b rs)
+        else if Ident.Set.mem b left && Ident.Set.mem a right then
+          (Ident.Set.add b ls, Ident.Set.add a rs)
+        else (ls, rs)
+      | _ -> (ls, rs))
+    (Ident.Set.empty, Ident.Set.empty)
+    (Scalar.conjuncts pred)
+
+let rec keys cat (t : Logical.t) : Ident.Set.t list =
+  with_cache cat keys_cache (keys_uncached cat) t
+
+and keys_uncached cat (t : Logical.t) : Ident.Set.t list =
+  match t with
+  | Get { table; alias } -> (
+    match Catalog.find cat table with
+    | None -> []
+    | Some tb ->
+      List.map
+        (fun key -> Ident.Set.of_list (List.map (Ident.make alias) key))
+        (Schema.keys tb.schema))
+  | Filter { child; _ } | Sort { child; _ } | Limit { child; _ } -> keys cat child
+  | Project { cols; child } ->
+    (* A child key survives when each of its columns is exported verbatim. *)
+    let exports =
+      List.filter_map
+        (fun (id, e) -> match e with Scalar.Col c -> Some (c, id) | _ -> None)
+        cols
+    in
+    let translate key =
+      let translated =
+        Ident.Set.fold
+          (fun k acc ->
+            match acc with
+            | None -> None
+            | Some s -> (
+              match List.find_opt (fun (c, _) -> Ident.equal c k) exports with
+              | Some (_, out) -> Some (Ident.Set.add out s)
+              | None -> None))
+          key (Some Ident.Set.empty)
+      in
+      translated
+    in
+    List.filter_map translate (keys cat child)
+  | Join { kind; pred; left; right } -> (
+    let lk = keys cat left and rk = keys cat right in
+    let lids = output_idents cat left and rids = output_idents cat right in
+    let lcols, rcols = equi_join_columns pred lids rids in
+    let right_on_key = List.exists (fun k -> Ident.Set.subset k rcols) rk in
+    let left_on_key = List.exists (fun k -> Ident.Set.subset k lcols) lk in
+    let combined =
+      List.concat_map (fun a -> List.map (fun b -> Ident.Set.union a b) rk) lk
+    in
+    match kind with
+    | Semi | AntiSemi -> lk
+    | Inner ->
+      (if right_on_key then lk else [])
+      @ (if left_on_key then rk else [])
+      @ combined
+    | Cross -> combined
+    | LeftOuter -> (if right_on_key then lk else []) @ combined
+    | RightOuter -> (if left_on_key then rk else []) @ combined
+    | FullOuter -> [])
+  | GroupBy { keys = gks; aggs = _; child = _ } -> [ Ident.Set.of_list gks ]
+  | Distinct child -> [ output_idents cat child ]
+  | Union _ | Intersect _ | Except _ ->
+    (* Set semantics: the full column list is a key. *)
+    [ output_idents cat t ]
+  | UnionAll _ -> []
+
+let has_key_within cat t cols =
+  List.exists (fun k -> Ident.Set.subset k cols) (keys cat t)
+
+let validate cat t =
+  (* [schema] already walks the whole tree and checks scoping/typing;
+     additionally require globally unique Get aliases. *)
+  let aliases = Logical.aliases t in
+  let sorted = List.sort_uniq String.compare aliases in
+  if List.length sorted <> List.length aliases then
+    Error "duplicate relation aliases"
+  else
+    let* _ = schema cat t in
+    Ok ()

@@ -1,0 +1,197 @@
+type arith_op = Add | Sub | Mul | Div
+type cmp_op = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Const of Storage.Value.t
+  | Col of Ident.t
+  | Neg of t
+  | Arith of arith_op * t * t
+  | Cmp of cmp_op * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | IsNull of t
+  | IsNotNull of t
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let true_ = Const (Storage.Value.Bool true)
+let col id = Col id
+let int n = Const (Storage.Value.Int n)
+let eq a b = Cmp (Eq, a, b)
+
+let conj = function
+  | [] -> true_
+  | p :: ps -> List.fold_left (fun acc q -> And (acc, q)) p ps
+
+let rec conjuncts p =
+  match p with
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | Const (Storage.Value.Bool true) -> []
+  | _ -> [ p ]
+
+let rec columns = function
+  | Const _ -> Ident.Set.empty
+  | Col id -> Ident.Set.singleton id
+  | Neg e | Not e | IsNull e | IsNotNull e -> columns e
+  | Arith (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+    Ident.Set.union (columns a) (columns b)
+
+let rec rename f = function
+  | Const v -> Const v
+  | Col id -> Col (f id)
+  | Neg e -> Neg (rename f e)
+  | Not e -> Not (rename f e)
+  | IsNull e -> IsNull (rename f e)
+  | IsNotNull e -> IsNotNull (rename f e)
+  | Arith (op, a, b) -> Arith (op, rename f a, rename f b)
+  | Cmp (op, a, b) -> Cmp (op, rename f a, rename f b)
+  | And (a, b) -> And (rename f a, rename f b)
+  | Or (a, b) -> Or (rename f a, rename f b)
+
+(* [strict e cols]: e evaluates to NULL whenever all referenced columns in
+   [cols] are NULL and e references at least one of them. *)
+let rec strict e cols =
+  match e with
+  | Col id -> Ident.Set.mem id cols
+  | Const _ -> false
+  | Neg a -> strict a cols
+  | Arith (_, a, b) ->
+    (* NULL propagates through arithmetic from either side. *)
+    strict a cols || strict b cols
+  | Cmp _ | And _ | Or _ | Not _ | IsNull _ | IsNotNull _ -> false
+
+let rec is_null_rejecting p cols =
+  match p with
+  | Cmp (_, a, b) -> strict a cols || strict b cols
+  | And (a, b) -> is_null_rejecting a cols || is_null_rejecting b cols
+  | Or (a, b) -> is_null_rejecting a cols && is_null_rejecting b cols
+  | IsNotNull e -> strict e cols
+  | Const _ | Col _ | Neg _ | Arith _ | Not _ | IsNull _ -> false
+
+type env = Ident.t -> Storage.Datatype.t option
+
+open Storage.Datatype
+
+let comparable a b =
+  equal a b || (is_numeric a && is_numeric b)
+
+let rec type_of env e : (Storage.Datatype.t, string) result =
+  let ( let* ) = Result.bind in
+  match e with
+  | Const v -> (
+    match Storage.Value.type_of v with
+    | Some ty -> Ok ty
+    | None -> Ok TBool (* bare NULL literal: context-free default *))
+  | Col id -> (
+    match env id with
+    | Some ty -> Ok ty
+    | None -> Error ("unknown column " ^ Ident.to_sql id))
+  | Neg a ->
+    let* ta = type_of env a in
+    if is_numeric ta then Ok ta else Error "negation of non-numeric"
+  | Arith (_, a, b) ->
+    let* ta = type_of env a in
+    let* tb = type_of env b in
+    if is_numeric ta && is_numeric tb then
+      Ok (if equal ta TFloat || equal tb TFloat then TFloat else TInt)
+    else Error "arithmetic on non-numeric operands"
+  | Cmp (_, a, b) ->
+    let* ta = type_of env a in
+    let* tb = type_of env b in
+    (* Allow NULL literals to compare against anything. *)
+    let null_lit x = match x with Const v -> Storage.Value.is_null v | _ -> false in
+    if comparable ta tb || null_lit a || null_lit b then Ok TBool
+    else
+      Error
+        (Printf.sprintf "incomparable types %s vs %s" (to_string ta) (to_string tb))
+  | And (a, b) | Or (a, b) ->
+    let* ta = type_of env a in
+    let* tb = type_of env b in
+    if equal ta TBool && equal tb TBool then Ok TBool
+    else Error "logical connective on non-boolean"
+  | Not a ->
+    let* ta = type_of env a in
+    if equal ta TBool then Ok TBool else Error "NOT on non-boolean"
+  | IsNull a | IsNotNull a ->
+    let* _ = type_of env a in
+    Ok TBool
+
+let arith_op_to_sql = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let cmp_op_to_sql = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+(* Precedence climbing for minimal parentheses: or(1) < and(2) < not(3) <
+   cmp/is(4) < add(5) < mul(6) < unary(7). *)
+let rec emit buf prec e =
+  let paren p body =
+    if p < prec then begin
+      Buffer.add_char buf '(';
+      body ();
+      Buffer.add_char buf ')'
+    end
+    else body ()
+  in
+  match e with
+  | Const v -> Buffer.add_string buf (Storage.Value.to_sql v)
+  | Col id -> Buffer.add_string buf (Ident.to_sql id)
+  | Or (a, b) ->
+    paren 1 (fun () ->
+        emit buf 1 a;
+        Buffer.add_string buf " OR ";
+        emit buf 2 b)
+  | And (a, b) ->
+    paren 2 (fun () ->
+        emit buf 2 a;
+        Buffer.add_string buf " AND ";
+        emit buf 3 b)
+  | Not a ->
+    paren 3 (fun () ->
+        Buffer.add_string buf "NOT ";
+        emit buf 3 a)
+  | Cmp (op, a, b) ->
+    paren 4 (fun () ->
+        emit buf 5 a;
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (cmp_op_to_sql op);
+        Buffer.add_char buf ' ';
+        emit buf 5 b)
+  | IsNull a ->
+    paren 4 (fun () ->
+        emit buf 7 a;
+        Buffer.add_string buf " IS NULL")
+  | IsNotNull a ->
+    paren 4 (fun () ->
+        emit buf 7 a;
+        Buffer.add_string buf " IS NOT NULL")
+  | Arith ((Add | Sub) as op, a, b) ->
+    paren 5 (fun () ->
+        emit buf 5 a;
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (arith_op_to_sql op);
+        Buffer.add_char buf ' ';
+        emit buf 6 b)
+  | Arith ((Mul | Div) as op, a, b) ->
+    paren 6 (fun () ->
+        emit buf 6 a;
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (arith_op_to_sql op);
+        Buffer.add_char buf ' ';
+        emit buf 7 b)
+  | Neg a ->
+    paren 7 (fun () ->
+        Buffer.add_string buf "-";
+        emit buf 7 a)
+
+let to_sql e =
+  let buf = Buffer.create 64 in
+  emit buf 0 e;
+  Buffer.contents buf
+
+let pp fmt e = Format.pp_print_string fmt (to_sql e)

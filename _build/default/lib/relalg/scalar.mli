@@ -1,0 +1,57 @@
+(** Scalar expressions (including boolean predicates).
+
+    Predicates are boolean-typed scalars; SQL three-valued logic is applied
+    at evaluation time (in the executor), not here. *)
+
+type arith_op = Add | Sub | Mul | Div
+type cmp_op = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Const of Storage.Value.t
+  | Col of Ident.t
+  | Neg of t
+  | Arith of arith_op * t * t
+  | Cmp of cmp_op * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | IsNull of t
+  | IsNotNull of t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val true_ : t
+val col : Ident.t -> t
+val int : int -> t
+val eq : t -> t -> t
+val conj : t list -> t
+(** Conjunction of a possibly-empty list ([true_] for []). *)
+
+val conjuncts : t -> t list
+(** Flattens nested [And]s. [conjuncts true_ = []]. *)
+
+val columns : t -> Ident.Set.t
+(** All column identifiers referenced. *)
+
+val rename : (Ident.t -> Ident.t) -> t -> t
+(** Applies a column substitution. *)
+
+val is_null_rejecting : t -> Ident.Set.t -> bool
+(** [is_null_rejecting p cols] is [true] when [p] is guaranteed to evaluate
+    to false-or-unknown whenever every column of [cols] that [p] references
+    is NULL, and [p] references at least one column of [cols]. This is a
+    conservative syntactic check used by outer-join simplification. *)
+
+type env = Ident.t -> Storage.Datatype.t option
+(** Typing environment: type of each in-scope column. *)
+
+val type_of : env -> t -> (Storage.Datatype.t, string) result
+(** Type checker. Comparisons require comparable operand types; arithmetic
+    requires numeric operands; logical connectives require booleans. [Const
+    Null] takes the type of its context, reported here as the other
+    operand's type (a bare NULL literal with no context types as TBool). *)
+
+val cmp_op_to_sql : cmp_op -> string
+val pp : Format.formatter -> t -> unit
+val to_sql : t -> string

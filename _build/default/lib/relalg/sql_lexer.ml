@@ -1,0 +1,164 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | SLASH
+  | EOF
+
+let keywords =
+  [ "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "ORDER"; "ASC"; "DESC"; "LIMIT";
+    "AS"; "ON"; "JOIN"; "INNER"; "LEFT"; "RIGHT"; "FULL"; "OUTER"; "CROSS";
+    "UNION"; "ALL"; "INTERSECT"; "EXCEPT"; "DISTINCT"; "EXISTS"; "NOT"; "AND";
+    "OR"; "NULL"; "TRUE"; "FALSE"; "IS"; "DATE"; "COUNT"; "SUM"; "MIN"; "MAX";
+    "AVG" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let toks = ref [] in
+  let error = ref None in
+  let push t = toks := t :: !toks in
+  let i = ref 0 in
+  (try
+     while !i < n do
+       let c = input.[!i] in
+       if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+       else if is_ident_start c then begin
+         let start = !i in
+         while !i < n && is_ident_char input.[!i] do
+           incr i
+         done;
+         let word = String.sub input start (!i - start) in
+         let upper = String.uppercase_ascii word in
+         if List.mem upper keywords then push (KW upper) else push (IDENT word)
+       end
+       else if is_digit c then begin
+         let start = !i in
+         while !i < n && is_digit input.[!i] do
+           incr i
+         done;
+         let is_float = ref false in
+         if !i < n && input.[!i] = '.' && !i + 1 < n && is_digit input.[!i + 1]
+         then begin
+           is_float := true;
+           incr i;
+           while !i < n && is_digit input.[!i] do
+             incr i
+           done
+         end;
+         (* Exponent part of %g-printed floats. *)
+         if !i < n && (input.[!i] = 'e' || input.[!i] = 'E') then begin
+           is_float := true;
+           incr i;
+           if !i < n && (input.[!i] = '+' || input.[!i] = '-') then incr i;
+           while !i < n && is_digit input.[!i] do
+             incr i
+           done
+         end;
+         let text = String.sub input start (!i - start) in
+         if !is_float then push (FLOAT (float_of_string text))
+         else push (INT (int_of_string text))
+       end
+       else if c = '\'' then begin
+         (* String literal with '' escapes. *)
+         let buf = Buffer.create 16 in
+         incr i;
+         let closed = ref false in
+         while not !closed && !i < n do
+           if input.[!i] = '\'' then
+             if !i + 1 < n && input.[!i + 1] = '\'' then begin
+               Buffer.add_char buf '\'';
+               i := !i + 2
+             end
+             else begin
+               closed := true;
+               incr i
+             end
+           else begin
+             Buffer.add_char buf input.[!i];
+             incr i
+           end
+         done;
+         if not !closed then raise Exit;
+         push (STRING (Buffer.contents buf))
+       end
+       else begin
+         let two =
+           if !i + 1 < n then String.sub input !i 2 else ""
+         in
+         match two with
+         | "<>" ->
+           push NE;
+           i := !i + 2
+         | "<=" ->
+           push LE;
+           i := !i + 2
+         | ">=" ->
+           push GE;
+           i := !i + 2
+         | "!=" ->
+           push NE;
+           i := !i + 2
+         | _ -> (
+           incr i;
+           match c with
+           | '(' -> push LPAREN
+           | ')' -> push RPAREN
+           | ',' -> push COMMA
+           | '.' -> push DOT
+           | '*' -> push STAR
+           | '=' -> push EQ
+           | '<' -> push LT
+           | '>' -> push GT
+           | '+' -> push PLUS
+           | '-' -> push MINUS
+           | '/' -> push SLASH
+           | _ ->
+             error := Some (Printf.sprintf "unexpected character %c at %d" c (!i - 1));
+             raise Exit)
+       end
+     done
+   with Exit -> if !error = None then error := Some "unterminated string literal");
+  match !error with
+  | Some msg -> Error msg
+  | None -> Ok (List.rev (EOF :: !toks))
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | STRING s -> "'" ^ s ^ "'"
+  | KW k -> k
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | DOT -> "."
+  | STAR -> "*"
+  | EQ -> "="
+  | NE -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | SLASH -> "/"
+  | EOF -> "<eof>"

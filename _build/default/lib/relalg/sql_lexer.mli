@@ -1,0 +1,28 @@
+(** Lexer for the SQL dialect emitted by {!Sql_print}. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW of string  (** upper-cased keyword *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | SLASH
+  | EOF
+
+val tokenize : string -> (token list, string) result
+(** The trailing [EOF] token is always present on success. *)
+
+val token_to_string : token -> string

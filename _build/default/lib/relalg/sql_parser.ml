@@ -1,0 +1,479 @@
+open Sql_lexer
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type state = { mutable toks : token list; catalog : Storage.Catalog.t }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+
+let advance st =
+  match st.toks with
+  | [] -> ()
+  | _ :: rest -> st.toks <- rest
+
+let eat st tok =
+  if peek st = tok then advance st
+  else fail "expected %s, found %s" (token_to_string tok) (token_to_string (peek st))
+
+let eat_kw st kw = eat st (KW kw)
+
+let accept st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let accept_kw st kw = accept st (KW kw)
+
+let ident st =
+  match peek st with
+  | IDENT s ->
+    advance st;
+    s
+  | t -> fail "expected identifier, found %s" (token_to_string t)
+
+let column_ident st =
+  (* Either [alias.col] or the flat global spelling [alias_col]. *)
+  let first = ident st in
+  if accept st DOT then Ident.make first (ident st)
+  else
+    match Ident.of_sql first with
+    | Some id -> id
+    | None -> fail "not a column identifier: %s" first
+
+(* ------------------------------------------------------------------ *)
+(* Scalar expressions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_or st =
+  let lhs = expr_and st in
+  if accept_kw st "OR" then Scalar.Or (lhs, expr_or st) else lhs
+
+and expr_and st =
+  let lhs = expr_not st in
+  if accept_kw st "AND" then Scalar.And (lhs, expr_and st) else lhs
+
+and expr_not st =
+  if accept_kw st "NOT" then Scalar.Not (expr_not st) else expr_cmp st
+
+and expr_cmp st =
+  let lhs = expr_add st in
+  match peek st with
+  | EQ ->
+    advance st;
+    Scalar.Cmp (Scalar.Eq, lhs, expr_add st)
+  | NE ->
+    advance st;
+    Scalar.Cmp (Scalar.Ne, lhs, expr_add st)
+  | LT ->
+    advance st;
+    Scalar.Cmp (Scalar.Lt, lhs, expr_add st)
+  | LE ->
+    advance st;
+    Scalar.Cmp (Scalar.Le, lhs, expr_add st)
+  | GT ->
+    advance st;
+    Scalar.Cmp (Scalar.Gt, lhs, expr_add st)
+  | GE ->
+    advance st;
+    Scalar.Cmp (Scalar.Ge, lhs, expr_add st)
+  | KW "IS" ->
+    advance st;
+    if accept_kw st "NOT" then begin
+      eat_kw st "NULL";
+      Scalar.IsNotNull lhs
+    end
+    else begin
+      eat_kw st "NULL";
+      Scalar.IsNull lhs
+    end
+  | _ -> lhs
+
+and expr_add st =
+  let rec loop lhs =
+    match peek st with
+    | PLUS ->
+      advance st;
+      loop (Scalar.Arith (Scalar.Add, lhs, expr_mul st))
+    | MINUS ->
+      advance st;
+      loop (Scalar.Arith (Scalar.Sub, lhs, expr_mul st))
+    | _ -> lhs
+  in
+  loop (expr_mul st)
+
+and expr_mul st =
+  let rec loop lhs =
+    match peek st with
+    | STAR ->
+      advance st;
+      loop (Scalar.Arith (Scalar.Mul, lhs, expr_unary st))
+    | SLASH ->
+      advance st;
+      loop (Scalar.Arith (Scalar.Div, lhs, expr_unary st))
+    | _ -> lhs
+  in
+  loop (expr_unary st)
+
+and expr_unary st =
+  if accept st MINUS then Scalar.Neg (expr_unary st) else expr_atom st
+
+and expr_atom st =
+  match peek st with
+  | INT n ->
+    advance st;
+    Scalar.Const (Storage.Value.Int n)
+  | FLOAT f ->
+    advance st;
+    Scalar.Const (Storage.Value.Float f)
+  | STRING s ->
+    advance st;
+    Scalar.Const (Storage.Value.Str s)
+  | KW "NULL" ->
+    advance st;
+    Scalar.Const Storage.Value.Null
+  | KW "TRUE" ->
+    advance st;
+    Scalar.Const (Storage.Value.Bool true)
+  | KW "FALSE" ->
+    advance st;
+    Scalar.Const (Storage.Value.Bool false)
+  | KW "DATE" ->
+    advance st;
+    (match peek st with
+    | STRING s ->
+      advance st;
+      (match String.split_on_char '-' s with
+      | [ y; m; d ] -> (
+        match (int_of_string_opt y, int_of_string_opt m, int_of_string_opt d) with
+        | Some y, Some m, Some d ->
+          Scalar.Const (Storage.Value.Date (Storage.Value.date_of_ymd y m d))
+        | _ -> fail "bad date literal %s" s)
+      | _ -> fail "bad date literal %s" s)
+    | t -> fail "expected date string, found %s" (token_to_string t))
+  | LPAREN ->
+    advance st;
+    let e = expr_or st in
+    eat st RPAREN;
+    e
+  | IDENT _ -> Scalar.Col (column_ident st)
+  | t -> fail "unexpected token in expression: %s" (token_to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Select statements                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type select_item =
+  | Item_star
+  | Item_expr of Scalar.t * Ident.t option
+  | Item_agg of Aggregate.t * Ident.t
+
+type where_clause =
+  | W_pred of Scalar.t
+  | W_exists of bool * Logical.t * Scalar.t  (** negated?, subtree, predicate *)
+
+let agg_keyword = function
+  | KW ("COUNT" | "SUM" | "MIN" | "MAX" | "AVG") -> true
+  | _ -> false
+
+let out_ident st =
+  let name = ident st in
+  match Ident.of_sql name with
+  | Some id -> id
+  | None -> fail "output alias %s is not a column identifier" name
+
+let rec select_item st =
+  if accept st STAR then Item_star
+  else if agg_keyword (peek st) then begin
+    let kw = match peek st with KW k -> k | _ -> assert false in
+    advance st;
+    eat st LPAREN;
+    let agg =
+      if kw = "COUNT" && peek st = STAR then begin
+        advance st;
+        Aggregate.CountStar
+      end
+      else
+        let e = expr_or st in
+        match kw with
+        | "COUNT" -> Aggregate.Count e
+        | "SUM" -> Aggregate.Sum e
+        | "MIN" -> Aggregate.Min e
+        | "MAX" -> Aggregate.Max e
+        | "AVG" -> Aggregate.Avg e
+        | _ -> assert false
+    in
+    eat st RPAREN;
+    eat_kw st "AS";
+    Item_agg (agg, out_ident st)
+  end
+  else
+    let e = expr_or st in
+    if accept_kw st "AS" then Item_expr (e, Some (out_ident st))
+    else Item_expr (e, None)
+
+and select_items st =
+  let first = select_item st in
+  let rec loop acc = if accept st COMMA then loop (select_item st :: acc) else List.rev acc in
+  loop [ first ]
+
+(* FROM primaries: base table or parenthesized body. *)
+and from_primary st =
+  match peek st with
+  | IDENT _ ->
+    let table = ident st in
+    eat_kw st "AS";
+    let alias = ident st in
+    if not (Storage.Catalog.mem st.catalog table) then
+      fail "unknown table %s" table;
+    Logical.Get { table; alias }
+  | LPAREN ->
+    advance st;
+    let t = body st in
+    eat st RPAREN;
+    eat_kw st "AS";
+    let _dalias = ident st in
+    t
+  | t -> fail "unexpected token in FROM: %s" (token_to_string t)
+
+and from_clause st =
+  let lhs = from_primary st in
+  let rec loop lhs =
+    match peek st with
+    | KW "CROSS" ->
+      advance st;
+      eat_kw st "JOIN";
+      let rhs = from_primary st in
+      loop
+        (Logical.Join { kind = Logical.Cross; pred = Scalar.true_; left = lhs; right = rhs })
+    | KW "INNER" | KW "JOIN" | KW "LEFT" | KW "RIGHT" | KW "FULL" ->
+      let kind =
+        match peek st with
+        | KW "INNER" ->
+          advance st;
+          Logical.Inner
+        | KW "JOIN" -> Logical.Inner
+        | KW "LEFT" ->
+          advance st;
+          ignore (accept_kw st "OUTER");
+          Logical.LeftOuter
+        | KW "RIGHT" ->
+          advance st;
+          ignore (accept_kw st "OUTER");
+          Logical.RightOuter
+        | KW "FULL" ->
+          advance st;
+          ignore (accept_kw st "OUTER");
+          Logical.FullOuter
+        | _ -> assert false
+      in
+      eat_kw st "JOIN";
+      let rhs = from_primary st in
+      eat_kw st "ON";
+      let pred = expr_or st in
+      loop (Logical.Join { kind; pred; left = lhs; right = rhs })
+    | _ -> lhs
+  in
+  loop lhs
+
+and where_clause st : where_clause =
+  (* NOT only introduces an anti-semi-join when directly followed by
+     EXISTS; otherwise it belongs to the predicate grammar. *)
+  let negated =
+    match st.toks with
+    | KW "NOT" :: KW "EXISTS" :: _ ->
+      advance st;
+      true
+    | _ -> false
+  in
+  if accept_kw st "EXISTS" then begin
+    eat st LPAREN;
+    eat_kw st "SELECT";
+    (* The Sql_print form is SELECT 1 FROM (body) AS d WHERE pred. *)
+    (match peek st with
+    | INT _ ->
+      advance st
+    | STAR -> advance st
+    | t -> fail "unexpected EXISTS select list: %s" (token_to_string t));
+    eat_kw st "FROM";
+    let sub = from_primary st in
+    eat_kw st "WHERE";
+    let pred = expr_or st in
+    eat st RPAREN;
+    W_exists (negated, sub, pred)
+  end
+  else if negated then W_pred (Scalar.Not (expr_or st))
+  else W_pred (expr_or st)
+
+and order_clause st =
+  let one () =
+    let id = column_ident st in
+    let dir =
+      if accept_kw st "DESC" then Logical.Desc
+      else begin
+        ignore (accept_kw st "ASC");
+        Logical.Asc
+      end
+    in
+    (id, dir)
+  in
+  let first = one () in
+  let rec loop acc = if accept st COMMA then loop (one () :: acc) else List.rev acc in
+  loop [ first ]
+
+and select_stmt st : Logical.t =
+  eat_kw st "SELECT";
+  let distinct = accept_kw st "DISTINCT" in
+  let items = select_items st in
+  eat_kw st "FROM";
+  let from = from_clause st in
+  let where = if accept_kw st "WHERE" then Some (where_clause st) else None in
+  let groupby =
+    if accept_kw st "GROUP" then begin
+      eat_kw st "BY";
+      let first = column_ident st in
+      let rec loop acc =
+        if accept st COMMA then loop (column_ident st :: acc) else List.rev acc
+      in
+      Some (loop [ first ])
+    end
+    else None
+  in
+  let orderby =
+    if accept_kw st "ORDER" then begin
+      eat_kw st "BY";
+      Some (order_clause st)
+    end
+    else None
+  in
+  let limit =
+    if accept_kw st "LIMIT" then begin
+      match peek st with
+      | INT n ->
+        advance st;
+        Some n
+      | t -> fail "expected integer after LIMIT, found %s" (token_to_string t)
+    end
+    else None
+  in
+  build st ~distinct ~items ~from ~where ~groupby ~orderby ~limit
+
+and build st ~distinct ~items ~from ~where ~groupby ~orderby ~limit =
+  let t = from in
+  let t =
+    match where with
+    | None -> t
+    | Some (W_pred pred) -> Logical.Filter { pred; child = t }
+    | Some (W_exists (negated, sub, pred)) ->
+      let kind = if negated then Logical.AntiSemi else Logical.Semi in
+      Logical.Join { kind; pred; left = t; right = sub }
+  in
+  let is_agg = function Item_agg _ -> true | Item_star | Item_expr _ -> false in
+  let t =
+    if groupby <> None || List.exists is_agg items then begin
+      let keys = Option.value groupby ~default:[] in
+      let aggs =
+        List.filter_map
+          (function Item_agg (a, id) -> Some (id, a) | Item_star | Item_expr _ -> None)
+          items
+      in
+      (* Non-aggregate items must be exactly the grouping keys. *)
+      let plain =
+        List.filter_map
+          (function
+            | Item_expr (Scalar.Col c, None) -> Some c
+            | Item_expr (Scalar.Col c, Some id) when Ident.equal c id -> Some c
+            | Item_expr _ -> fail "non-column item in aggregation select list"
+            | Item_star -> fail "star mixed with aggregates"
+            | Item_agg _ -> None)
+          items
+      in
+      let same_keys =
+        List.length keys = List.length plain
+        && List.for_all2 Ident.equal keys plain
+      in
+      if not same_keys then fail "select list does not match GROUP BY keys"
+      else Logical.GroupBy { keys; aggs; child = t }
+    end
+    else
+      match items with
+      | [ Item_star ] -> t
+      | _ ->
+        let cols =
+          List.map
+            (function
+              | Item_expr (e, Some id) -> (id, e)
+              | Item_expr (Scalar.Col c, None) -> (c, Scalar.Col c)
+              | Item_expr _ -> fail "projection item without AS alias"
+              | Item_star -> fail "star mixed with projection items"
+              | Item_agg _ -> assert false)
+            items
+        in
+        collapse_identity st (Logical.Project { cols; child = t })
+  in
+  let t = if distinct then Logical.Distinct t else t in
+  let t =
+    match orderby with None -> t | Some keys -> Logical.Sort { keys; child = t }
+  in
+  match limit with None -> t | Some count -> Logical.Limit { count; child = t }
+
+(* Project that re-exports exactly the child's columns in order is the
+   printer's encoding of a bare Get; drop it. *)
+and collapse_identity st t =
+  match t with
+  | Logical.Project { cols; child } -> (
+    match Props.schema st.catalog child with
+    | Error _ -> t
+    | Ok child_cols ->
+      let identity =
+        List.length cols = List.length child_cols
+        && List.for_all2
+             (fun (id, e) (ci : Props.col_info) ->
+               Ident.equal id ci.id
+               && match e with Scalar.Col c -> Ident.equal c ci.id | _ -> false)
+             cols child_cols
+      in
+      if identity then child else t)
+  | _ -> t
+
+and body st : Logical.t =
+  let term () =
+    if peek st = LPAREN then begin
+      advance st;
+      let t = body st in
+      eat st RPAREN;
+      t
+    end
+    else select_stmt st
+  in
+  let lhs = term () in
+  let rec loop lhs =
+    match peek st with
+    | KW "UNION" ->
+      advance st;
+      if accept_kw st "ALL" then loop (Logical.UnionAll (lhs, term ()))
+      else loop (Logical.Union (lhs, term ()))
+    | KW "INTERSECT" ->
+      advance st;
+      loop (Logical.Intersect (lhs, term ()))
+    | KW "EXCEPT" ->
+      advance st;
+      loop (Logical.Except (lhs, term ()))
+    | _ -> lhs
+  in
+  loop lhs
+
+let parse catalog input =
+  match tokenize input with
+  | Error msg -> Error ("lex error: " ^ msg)
+  | Ok toks -> (
+    let st = { toks; catalog } in
+    try
+      let t = body st in
+      if peek st <> EOF then
+        Error ("parse error: trailing tokens at " ^ token_to_string (peek st))
+      else Ok t
+    with Parse_error msg -> Error ("parse error: " ^ msg))

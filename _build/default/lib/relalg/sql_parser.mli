@@ -1,0 +1,9 @@
+(** Parser for the SQL dialect emitted by {!Sql_print}, back into logical
+    query trees.
+
+    The parser needs the catalog to recognize base-table scans ([Get]) and
+    to collapse identity projections, so that
+    [parse cat (Sql_print.to_sql cat t)] returns a tree structurally equal
+    to [t] for every valid [t] (round-trip property, tested). *)
+
+val parse : Storage.Catalog.t -> string -> (Logical.t, string) result

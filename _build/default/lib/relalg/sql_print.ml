@@ -1,0 +1,117 @@
+(* Each operator becomes one SELECT over derived tables. Derived-table
+   aliases (d0, d1, ...) are syntactic only: column names are globally
+   unique (Ident), so references never need qualification. *)
+
+type ctx = { mutable next : int; catalog : Storage.Catalog.t }
+
+let fresh ctx =
+  let n = ctx.next in
+  ctx.next <- n + 1;
+  "d" ^ string_of_int n
+
+let sort_dir_to_sql = function Logical.Asc -> "ASC" | Logical.Desc -> "DESC"
+
+let rec select ctx (t : Logical.t) : string =
+  match t with
+  | Get { table; alias } ->
+    (* Export every column under its global name. *)
+    let tb =
+      match Storage.Catalog.find ctx.catalog table with
+      | Some tb -> tb
+      | None -> invalid_arg ("Sql_print: unknown table " ^ table)
+    in
+    let item name = Printf.sprintf "%s.%s AS %s_%s" alias name alias name in
+    Printf.sprintf "SELECT %s FROM %s AS %s"
+      (String.concat ", " (List.map item (Storage.Schema.column_names tb.schema)))
+      table alias
+  | Filter { pred; child } ->
+    Printf.sprintf "SELECT * FROM (%s) AS %s WHERE %s" (select ctx child)
+      (fresh ctx) (Scalar.to_sql pred)
+  | Project { cols; child } ->
+    let item (id, e) = Printf.sprintf "%s AS %s" (Scalar.to_sql e) (Ident.to_sql id) in
+    Printf.sprintf "SELECT %s FROM (%s) AS %s"
+      (String.concat ", " (List.map item cols))
+      (select ctx child) (fresh ctx)
+  | Join { kind = Semi; pred; left; right } ->
+    Printf.sprintf "SELECT * FROM (%s) AS %s WHERE EXISTS (SELECT 1 FROM (%s) AS %s WHERE %s)"
+      (select ctx left) (fresh ctx) (select ctx right) (fresh ctx)
+      (Scalar.to_sql pred)
+  | Join { kind = AntiSemi; pred; left; right } ->
+    Printf.sprintf
+      "SELECT * FROM (%s) AS %s WHERE NOT EXISTS (SELECT 1 FROM (%s) AS %s WHERE %s)"
+      (select ctx left) (fresh ctx) (select ctx right) (fresh ctx)
+      (Scalar.to_sql pred)
+  | Join { kind = Cross; pred = _; left; right } ->
+    Printf.sprintf "SELECT * FROM (%s) AS %s CROSS JOIN (%s) AS %s"
+      (select ctx left) (fresh ctx) (select ctx right) (fresh ctx)
+  | Join { kind; pred; left; right } ->
+    let kw =
+      match kind with
+      | Logical.Inner -> "INNER JOIN"
+      | Logical.LeftOuter -> "LEFT OUTER JOIN"
+      | Logical.RightOuter -> "RIGHT OUTER JOIN"
+      | Logical.FullOuter -> "FULL OUTER JOIN"
+      | Logical.Cross | Logical.Semi | Logical.AntiSemi -> assert false
+    in
+    Printf.sprintf "SELECT * FROM (%s) AS %s %s (%s) AS %s ON %s"
+      (select ctx left) (fresh ctx) kw (select ctx right) (fresh ctx)
+      (Scalar.to_sql pred)
+  | GroupBy { keys; aggs; child } ->
+    let key_items = List.map Ident.to_sql keys in
+    let agg_items =
+      List.map
+        (fun (id, a) -> Printf.sprintf "%s AS %s" (Aggregate.to_sql a) (Ident.to_sql id))
+        aggs
+    in
+    let group_clause =
+      if keys = [] then ""
+      else " GROUP BY " ^ String.concat ", " key_items
+    in
+    Printf.sprintf "SELECT %s FROM (%s) AS %s%s"
+      (String.concat ", " (key_items @ agg_items))
+      (select ctx child) (fresh ctx) group_clause
+  | UnionAll (a, b) -> setop ctx "UNION ALL" a b
+  | Union (a, b) -> setop ctx "UNION" a b
+  | Intersect (a, b) -> setop ctx "INTERSECT" a b
+  | Except (a, b) -> setop ctx "EXCEPT" a b
+  | Distinct child ->
+    Printf.sprintf "SELECT DISTINCT * FROM (%s) AS %s" (select ctx child) (fresh ctx)
+  | Sort { keys; child } ->
+    let key (id, dir) = Ident.to_sql id ^ " " ^ sort_dir_to_sql dir in
+    Printf.sprintf "SELECT * FROM (%s) AS %s ORDER BY %s" (select ctx child)
+      (fresh ctx)
+      (String.concat ", " (List.map key keys))
+  | Limit { count; child } ->
+    Printf.sprintf "SELECT * FROM (%s) AS %s LIMIT %d" (select ctx child)
+      (fresh ctx) count
+
+and setop ctx kw a b =
+  Printf.sprintf "SELECT * FROM ((%s) %s (%s)) AS %s" (select ctx a) kw
+    (select ctx b) (fresh ctx)
+
+let to_sql catalog t = select { next = 0; catalog } t
+
+(* Pretty renderer: re-indent the flat SQL at parenthesis depth. Keeps the
+   two renderings trivially token-equivalent. *)
+let to_sql_pretty catalog t =
+  let s = to_sql catalog t in
+  let buf = Buffer.create (String.length s * 2) in
+  let depth = ref 0 in
+  let newline () =
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (String.make (2 * !depth) ' ')
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' ->
+        incr depth;
+        Buffer.add_char buf c;
+        newline ()
+      | ')' ->
+        decr depth;
+        newline ();
+        Buffer.add_char buf c
+      | _ -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

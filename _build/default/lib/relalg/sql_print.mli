@@ -1,0 +1,16 @@
+(** SQL generation from logical query trees — the paper's "Generate SQL"
+    module (§2.3, after Elhemali & Giakoumakis [9]).
+
+    Every operator is emitted as a derived-table SELECT, so any tree in the
+    algebra maps to a single executable SQL statement. Column identifiers
+    are spelled [rel_name] (see {!Ident.to_sql}); base-table columns are
+    exported under their global names ([SELECT r0.c AS r0_c ... FROM t AS
+    r0]), which requires the catalog. The companion {!Sql_parser} reads the
+    emitted dialect back into the algebra. *)
+
+val to_sql : Storage.Catalog.t -> Logical.t -> string
+(** Single-line SQL statement. Raises [Invalid_argument] when a [Get]
+    references a table absent from the catalog. *)
+
+val to_sql_pretty : Storage.Catalog.t -> Logical.t -> string
+(** Indented multi-line rendering of the same statement. *)

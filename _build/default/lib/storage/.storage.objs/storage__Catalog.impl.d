@@ -1,0 +1,1 @@
+lib/storage/catalog.ml: Format List Map Option Schema String Table

@@ -1,0 +1,1 @@
+lib/storage/datagen.ml: Array Catalog List Printf Prng Schema String Table Value

@@ -1,0 +1,1 @@
+lib/storage/datagen.mli: Catalog Schema

@@ -1,0 +1,1 @@
+lib/storage/stats.ml: Array Format List Schema Set Value

@@ -1,0 +1,1 @@
+lib/storage/table.ml: Array Datatype Format Printf Schema Stats String Value

@@ -1,0 +1,1 @@
+lib/storage/value.ml: Buffer Datatype Float Format Hashtbl Option Printf Stdlib String

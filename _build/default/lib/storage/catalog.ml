@@ -1,0 +1,24 @@
+module SMap = Map.Make (String)
+
+type t = Table.t SMap.t
+
+let empty = SMap.empty
+let add t (table : Table.t) = SMap.add table.schema.name table t
+let of_tables tables = List.fold_left add empty tables
+let find t name = SMap.find_opt name t
+let find_exn t name = SMap.find name t
+let mem t name = SMap.mem name t
+let table_names t = SMap.bindings t |> List.map fst
+let tables t = SMap.bindings t |> List.map snd
+let schemas t = tables t |> List.map (fun (tb : Table.t) -> tb.schema)
+
+let referenced_key t (fk : Schema.foreign_key) =
+  Option.map (fun (tb : Table.t) -> tb.schema) (find t fk.fk_table)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  SMap.iter
+    (fun _ (tb : Table.t) ->
+      Format.fprintf fmt "%a  -- %d rows@," Schema.pp tb.schema (Table.row_count tb))
+    t;
+  Format.fprintf fmt "@]"

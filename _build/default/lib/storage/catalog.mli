@@ -1,0 +1,25 @@
+(** A named collection of tables — the "test database" the framework is
+    invoked against (the paper assumes a fixed input database, §2.3). *)
+
+type t
+
+val empty : t
+val add : t -> Table.t -> t
+(** Replaces any previous table with the same name. *)
+
+val of_tables : Table.t list -> t
+val find : t -> string -> Table.t option
+val find_exn : t -> string -> Table.t
+(** Raises [Not_found]. *)
+
+val mem : t -> string -> bool
+val table_names : t -> string list
+(** Sorted. *)
+
+val tables : t -> Table.t list
+val schemas : t -> Schema.t list
+
+val referenced_key : t -> Schema.foreign_key -> Schema.t option
+(** The schema a foreign key points at, when present in the catalog. *)
+
+val pp : Format.formatter -> t -> unit

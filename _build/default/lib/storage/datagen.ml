@@ -1,0 +1,309 @@
+let col = Schema.column
+
+let region_schema =
+  Schema.make "region" ~primary_key:[ "r_regionkey" ]
+    [ col "r_regionkey" TInt;
+      col "r_name" TString;
+      col ~nullable:true "r_comment" TString ]
+
+let nation_schema =
+  Schema.make "nation" ~primary_key:[ "n_nationkey" ]
+    ~foreign_keys:
+      [ { fk_columns = [ "n_regionkey" ];
+          fk_table = "region";
+          fk_ref_columns = [ "r_regionkey" ] } ]
+    [ col "n_nationkey" TInt;
+      col "n_name" TString;
+      col "n_regionkey" TInt;
+      col ~nullable:true "n_comment" TString ]
+
+let supplier_schema =
+  Schema.make "supplier" ~primary_key:[ "s_suppkey" ]
+    ~foreign_keys:
+      [ { fk_columns = [ "s_nationkey" ];
+          fk_table = "nation";
+          fk_ref_columns = [ "n_nationkey" ] } ]
+    [ col "s_suppkey" TInt;
+      col "s_name" TString;
+      col "s_address" TString;
+      col "s_nationkey" TInt;
+      col "s_phone" TString;
+      col "s_acctbal" TFloat;
+      col ~nullable:true "s_comment" TString ]
+
+let part_schema =
+  Schema.make "part" ~primary_key:[ "p_partkey" ]
+    [ col "p_partkey" TInt;
+      col "p_name" TString;
+      col "p_mfgr" TString;
+      col "p_brand" TString;
+      col "p_type" TString;
+      col "p_size" TInt;
+      col "p_container" TString;
+      col "p_retailprice" TFloat;
+      col ~nullable:true "p_comment" TString ]
+
+let partsupp_schema =
+  Schema.make "partsupp" ~primary_key:[ "ps_partkey"; "ps_suppkey" ]
+    ~foreign_keys:
+      [ { fk_columns = [ "ps_partkey" ];
+          fk_table = "part";
+          fk_ref_columns = [ "p_partkey" ] };
+        { fk_columns = [ "ps_suppkey" ];
+          fk_table = "supplier";
+          fk_ref_columns = [ "s_suppkey" ] } ]
+    [ col "ps_partkey" TInt;
+      col "ps_suppkey" TInt;
+      col "ps_availqty" TInt;
+      col "ps_supplycost" TFloat;
+      col ~nullable:true "ps_comment" TString ]
+
+let customer_schema =
+  Schema.make "customer" ~primary_key:[ "c_custkey" ]
+    ~foreign_keys:
+      [ { fk_columns = [ "c_nationkey" ];
+          fk_table = "nation";
+          fk_ref_columns = [ "n_nationkey" ] } ]
+    [ col "c_custkey" TInt;
+      col "c_name" TString;
+      col "c_address" TString;
+      col "c_nationkey" TInt;
+      col "c_phone" TString;
+      col "c_acctbal" TFloat;
+      col "c_mktsegment" TString;
+      col ~nullable:true "c_comment" TString ]
+
+let orders_schema =
+  Schema.make "orders" ~primary_key:[ "o_orderkey" ]
+    ~foreign_keys:
+      [ { fk_columns = [ "o_custkey" ];
+          fk_table = "customer";
+          fk_ref_columns = [ "c_custkey" ] } ]
+    [ col "o_orderkey" TInt;
+      col "o_custkey" TInt;
+      col "o_orderstatus" TString;
+      col "o_totalprice" TFloat;
+      col "o_orderdate" TDate;
+      col "o_orderpriority" TString;
+      col "o_clerk" TString;
+      col "o_shippriority" TInt;
+      col ~nullable:true "o_comment" TString ]
+
+let lineitem_schema =
+  Schema.make "lineitem" ~primary_key:[ "l_orderkey"; "l_linenumber" ]
+    ~foreign_keys:
+      [ { fk_columns = [ "l_orderkey" ];
+          fk_table = "orders";
+          fk_ref_columns = [ "o_orderkey" ] };
+        { fk_columns = [ "l_partkey" ];
+          fk_table = "part";
+          fk_ref_columns = [ "p_partkey" ] };
+        { fk_columns = [ "l_suppkey" ];
+          fk_table = "supplier";
+          fk_ref_columns = [ "s_suppkey" ] } ]
+    [ col "l_orderkey" TInt;
+      col "l_partkey" TInt;
+      col "l_suppkey" TInt;
+      col "l_linenumber" TInt;
+      col "l_quantity" TInt;
+      col "l_extendedprice" TFloat;
+      col "l_discount" TFloat;
+      col "l_tax" TFloat;
+      col "l_returnflag" TString;
+      col "l_linestatus" TString;
+      col "l_shipdate" TDate;
+      col "l_commitdate" TDate;
+      col "l_receiptdate" TDate;
+      col "l_shipinstruct" TString;
+      col "l_shipmode" TString;
+      col ~nullable:true "l_comment" TString ]
+
+let tpch_schemas =
+  [ region_schema; nation_schema; supplier_schema; part_schema;
+    partsupp_schema; customer_schema; orders_schema; lineitem_schema ]
+
+(* Word pools, loosely after the TPC-H grammar. *)
+let region_names = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+let nation_names =
+  [| "ALGERIA"; "ARGENTINA"; "BRAZIL"; "CANADA"; "EGYPT"; "ETHIOPIA"; "FRANCE";
+     "GERMANY"; "INDIA"; "INDONESIA"; "IRAN"; "IRAQ"; "JAPAN"; "JORDAN";
+     "KENYA"; "MOROCCO"; "MOZAMBIQUE"; "PERU"; "CHINA"; "ROMANIA";
+     "SAUDI ARABIA"; "VIETNAM"; "RUSSIA"; "UNITED KINGDOM"; "UNITED STATES" |]
+
+let segments = [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+let priorities = [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+let ship_modes = [| "REG AIR"; "AIR"; "RAIL"; "SHIP"; "TRUCK"; "MAIL"; "FOB" |]
+let ship_instructs = [| "DELIVER IN PERSON"; "COLLECT COD"; "NONE"; "TAKE BACK RETURN" |]
+let containers = [| "SM CASE"; "LG BOX"; "MED BAG"; "JUMBO JAR"; "WRAP PKG" |]
+let type_words = [| "STANDARD"; "SMALL"; "MEDIUM"; "LARGE"; "ECONOMY"; "PROMO" |]
+let metal_words = [| "TIN"; "NICKEL"; "BRASS"; "STEEL"; "COPPER" |]
+let noise_words =
+  [| "furiously"; "quickly"; "carefully"; "blithely"; "slyly"; "ironic";
+     "regular"; "express"; "final"; "pending"; "bold"; "even"; "silent" |]
+
+let comment g =
+  (* ~6% NULLs so outer joins and 3VL predicates see missing data. *)
+  if Prng.chance g 0.06 then Value.Null
+  else
+    let n = Prng.int_in g 2 5 in
+    let words = List.init n (fun _ -> Prng.pick_arr g noise_words) in
+    Value.Str (String.concat " " words)
+
+let phone g =
+  Value.Str
+    (Printf.sprintf "%d-%03d-%03d-%04d" (Prng.int_in g 10 34) (Prng.int g 1000)
+       (Prng.int g 1000) (Prng.int g 10000))
+
+let money g lo hi = Value.Float (float_of_int (Prng.int_in g (lo * 100) (hi * 100)) /. 100.0)
+
+let scaled scale base = max 2 (int_of_float (float_of_int base *. scale))
+
+let date_lo = Value.date_of_ymd 1992 1 1
+let date_hi = Value.date_of_ymd 1998 8 2
+
+let tpch ?(seed = 2009) ~scale () =
+  if scale <= 0.0 then invalid_arg "Datagen.tpch: scale must be positive";
+  let g = Prng.create seed in
+  let n_supplier = scaled scale 10_000 in
+  let n_part = scaled scale 20_000 in
+  let n_customer = scaled scale 15_000 in
+  let n_orders = scaled scale 150_000 in
+  let region =
+    Array.init 5 (fun i ->
+        [| Value.Int i; Value.Str region_names.(i); comment g |])
+  in
+  let nation =
+    Array.init 25 (fun i ->
+        [| Value.Int i; Value.Str nation_names.(i); Value.Int (i mod 5); comment g |])
+  in
+  let supplier =
+    Array.init n_supplier (fun i ->
+        [| Value.Int (i + 1);
+           Value.Str (Printf.sprintf "Supplier#%09d" (i + 1));
+           Value.Str (Printf.sprintf "addr %d %s" (Prng.int g 1000) (Prng.pick_arr g noise_words));
+           Value.Int (Prng.int g 25);
+           phone g;
+           money g (-900) 9900;
+           comment g |])
+  in
+  let part =
+    Array.init n_part (fun i ->
+        let ty =
+          Printf.sprintf "%s %s" (Prng.pick_arr g type_words) (Prng.pick_arr g metal_words)
+        in
+        [| Value.Int (i + 1);
+           Value.Str (Printf.sprintf "%s %s part" (Prng.pick_arr g noise_words) (Prng.pick_arr g metal_words));
+           Value.Str (Printf.sprintf "Manufacturer#%d" (1 + Prng.int g 5));
+           Value.Str (Printf.sprintf "Brand#%d%d" (1 + Prng.int g 5) (1 + Prng.int g 5));
+           Value.Str ty;
+           Value.Int (Prng.int_in g 1 50);
+           Value.Str (Prng.pick_arr g containers);
+           money g 900 2000;
+           comment g |])
+  in
+  let partsupp =
+    (* 4 suppliers per part, TPC-H style. *)
+    let rows = ref [] in
+    for p = 1 to n_part do
+      for k = 0 to 3 do
+        let s = 1 + ((p + k * ((n_supplier / 4) + 1)) mod n_supplier) in
+        rows :=
+          [| Value.Int p; Value.Int s;
+             Value.Int (Prng.int_in g 1 9999);
+             money g 1 1000;
+             comment g |]
+          :: !rows
+      done
+    done;
+    Array.of_list (List.rev !rows)
+  in
+  let customer =
+    Array.init n_customer (fun i ->
+        [| Value.Int (i + 1);
+           Value.Str (Printf.sprintf "Customer#%09d" (i + 1));
+           Value.Str (Printf.sprintf "addr %d %s" (Prng.int g 1000) (Prng.pick_arr g noise_words));
+           Value.Int (Prng.int g 25);
+           phone g;
+           money g (-900) 9900;
+           Value.Str (Prng.pick_arr g segments);
+           comment g |])
+  in
+  let orders =
+    Array.init n_orders (fun i ->
+        [| Value.Int (i + 1);
+           Value.Int (1 + Prng.int g n_customer);
+           Value.Str (Prng.pick g [ "O"; "F"; "P" ]);
+           money g 800 50000;
+           Value.Date (Prng.int_in g date_lo date_hi);
+           Value.Str (Prng.pick_arr g priorities);
+           Value.Str (Printf.sprintf "Clerk#%09d" (1 + Prng.int g 1000));
+           Value.Int 0;
+           comment g |])
+  in
+  let lineitem =
+    let rows = ref [] in
+    Array.iter
+      (fun order ->
+        let okey = order.(0) in
+        let odate = match order.(4) with Value.Date d -> d | _ -> date_lo in
+        let nlines = Prng.int_in g 1 7 in
+        for ln = 1 to nlines do
+          let ship = odate + Prng.int_in g 1 121 in
+          let commit = odate + Prng.int_in g 30 90 in
+          let receipt = ship + Prng.int_in g 1 30 in
+          rows :=
+            [| okey;
+               Value.Int (1 + Prng.int g n_part);
+               Value.Int (1 + Prng.int g n_supplier);
+               Value.Int ln;
+               Value.Int (Prng.int_in g 1 50);
+               money g 900 100000;
+               Value.Float (float_of_int (Prng.int g 11) /. 100.0);
+               Value.Float (float_of_int (Prng.int g 9) /. 100.0);
+               Value.Str (Prng.pick g [ "R"; "A"; "N" ]);
+               Value.Str (Prng.pick g [ "O"; "F" ]);
+               Value.Date ship;
+               Value.Date commit;
+               Value.Date receipt;
+               Value.Str (Prng.pick_arr g ship_instructs);
+               Value.Str (Prng.pick_arr g ship_modes);
+               comment g |]
+            :: !rows
+        done)
+      orders;
+    Array.of_list (List.rev !rows)
+  in
+  Catalog.of_tables
+    [ Table.create region_schema region;
+      Table.create nation_schema nation;
+      Table.create supplier_schema supplier;
+      Table.create part_schema part;
+      Table.create partsupp_schema partsupp;
+      Table.create customer_schema customer;
+      Table.create orders_schema orders;
+      Table.create lineitem_schema lineitem ]
+
+let micro ?(seed = 7) () =
+  let g = Prng.create seed in
+  let t1 =
+    Schema.make "t1" ~primary_key:[ "a" ]
+      [ col "a" TInt; col ~nullable:true "b" TInt; col "c" TString ]
+  in
+  let t2 =
+    Schema.make "t2" ~primary_key:[ "d" ]
+      [ col "d" TInt; col ~nullable:true "e" TInt ]
+  in
+  let t3 = Schema.make "t3" [ col ~nullable:true "f" TInt; col "g" TString ] in
+  let words = [| "x"; "y"; "z"; "w" |] in
+  let opt_int g bound = if Prng.chance g 0.15 then Value.Null else Value.Int (Prng.int g bound) in
+  let rows1 =
+    Array.init 30 (fun i ->
+        [| Value.Int i; opt_int g 10; Value.Str (Prng.pick_arr g words) |])
+  in
+  let rows2 = Array.init 20 (fun i -> [| Value.Int i; opt_int g 10 |]) in
+  let rows3 =
+    Array.init 25 (fun _ -> [| opt_int g 10; Value.Str (Prng.pick_arr g words) |])
+  in
+  Catalog.of_tables
+    [ Table.create t1 rows1; Table.create t2 rows2; Table.create t3 rows3 ]

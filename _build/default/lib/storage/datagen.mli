@@ -1,0 +1,22 @@
+(** Deterministic TPC-H-schema data generator.
+
+    The paper's evaluation (§6.1) runs against the TPC-H database. We
+    regenerate a synthetic, deterministically seeded database with the same
+    schema (8 tables, primary keys, foreign keys) so that every experiment
+    is reproducible offline. Comment-like columns are nullable and carry
+    occasional NULLs so outer-join and 3VL behaviour is exercised — a
+    deliberate deviation from stock TPC-H, which is NULL-free. *)
+
+val tpch_schemas : Schema.t list
+(** The eight TPC-H table schemas. *)
+
+val tpch : ?seed:int -> scale:float -> unit -> Catalog.t
+(** [tpch ~scale ()] generates the full database. [scale] is the TPC-H
+    scale factor: at [1.0], orders has 1500 * 1000 rows; the framework's
+    tests use small scales (e.g. [0.001]). Minimum table sizes are clamped
+    so every table is non-empty at any positive scale. *)
+
+val micro : ?seed:int -> unit -> Catalog.t
+(** A three-table toy catalog [t1(a,b,c)], [t2(d,e)], [t3(f,g)] with small
+    integer domains — convenient for unit tests where hand-checking results
+    matters more than realism. *)

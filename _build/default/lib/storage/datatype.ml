@@ -1,0 +1,24 @@
+type t = TInt | TFloat | TString | TBool | TDate
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let to_string = function
+  | TInt -> "INTEGER"
+  | TFloat -> "DOUBLE"
+  | TString -> "VARCHAR"
+  | TBool -> "BOOLEAN"
+  | TDate -> "DATE"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "INTEGER" | "INT" -> Some TInt
+  | "DOUBLE" | "FLOAT" | "REAL" -> Some TFloat
+  | "VARCHAR" | "TEXT" | "STRING" | "CHAR" -> Some TString
+  | "BOOLEAN" | "BOOL" -> Some TBool
+  | "DATE" -> Some TDate
+  | _ -> None
+
+let is_numeric = function TInt | TFloat -> true | TString | TBool | TDate -> false
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

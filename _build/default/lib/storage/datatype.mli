@@ -1,0 +1,22 @@
+(** Column data types of the relational substrate. *)
+
+type t =
+  | TInt
+  | TFloat
+  | TString
+  | TBool
+  | TDate  (** stored as days since 1970-01-01 *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val to_string : t -> string
+(** SQL-ish spelling: INTEGER, DOUBLE, VARCHAR, BOOLEAN, DATE. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string} (case-insensitive). *)
+
+val is_numeric : t -> bool
+(** [true] for [TInt] and [TFloat]. *)
+
+val pp : Format.formatter -> t -> unit

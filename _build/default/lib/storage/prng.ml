@@ -1,0 +1,64 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+(* SplitMix64 finalizer: advance by the golden gamma, then mix. *)
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split g =
+  let s = bits64 g in
+  { state = s }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 g) 2) in
+  r mod bound
+
+let int_in g lo hi =
+  if lo > hi then invalid_arg "Prng.int_in: lo > hi";
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  bound *. (r /. 9007199254740992.0)
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let chance g p = float g 1.0 < p
+
+let pick g = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | xs -> List.nth xs (int g (List.length xs))
+
+let pick_arr g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick_arr: empty array";
+  a.(int g (Array.length a))
+
+let shuffle g xs =
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let sample g n xs =
+  let shuffled = shuffle g xs in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | y :: ys -> y :: take (k - 1) ys
+  in
+  take (max 0 n) shuffled

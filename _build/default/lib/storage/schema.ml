@@ -1,0 +1,73 @@
+type column = { col_name : string; col_type : Datatype.t; nullable : bool }
+
+type foreign_key = {
+  fk_columns : string list;
+  fk_table : string;
+  fk_ref_columns : string list;
+}
+
+type t = {
+  name : string;
+  columns : column list;
+  primary_key : string list;
+  unique_keys : string list list;
+  foreign_keys : foreign_key list;
+}
+
+let column ?(nullable = false) col_name col_type = { col_name; col_type; nullable }
+
+let find_column t name =
+  List.find_opt (fun c -> String.equal c.col_name name) t.columns
+
+let column_index t name =
+  let rec go i = function
+    | [] -> None
+    | c :: _ when String.equal c.col_name name -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 t.columns
+
+let column_names t = List.map (fun c -> c.col_name) t.columns
+let arity t = List.length t.columns
+let keys t = (if t.primary_key = [] then [] else [ t.primary_key ]) @ t.unique_keys
+
+let make ?(primary_key = []) ?(unique_keys = []) ?(foreign_keys = []) name columns =
+  if columns = [] then invalid_arg "Schema.make: no columns";
+  let names = List.map (fun c -> c.col_name) columns in
+  let sorted = List.sort_uniq String.compare names in
+  if List.length sorted <> List.length names then
+    invalid_arg ("Schema.make: duplicate column names in " ^ name);
+  let check_cols what cols =
+    List.iter
+      (fun c ->
+        if not (List.mem c names) then
+          invalid_arg
+            (Printf.sprintf "Schema.make: %s column %s not in table %s" what c name))
+      cols
+  in
+  check_cols "primary key" primary_key;
+  List.iter (check_cols "unique key") unique_keys;
+  List.iter (fun fk -> check_cols "foreign key" fk.fk_columns) foreign_keys;
+  { name; columns; primary_key; unique_keys; foreign_keys }
+
+let pp fmt t =
+  let pp_col fmt c =
+    Format.fprintf fmt "%s %a%s" c.col_name Datatype.pp c.col_type
+      (if c.nullable then "" else " NOT NULL")
+  in
+  Format.fprintf fmt "@[<v 2>CREATE TABLE %s (@,%a" t.name
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ",@,") pp_col)
+    t.columns;
+  if t.primary_key <> [] then
+    Format.fprintf fmt ",@,PRIMARY KEY (%s)" (String.concat ", " t.primary_key);
+  List.iter
+    (fun k -> Format.fprintf fmt ",@,UNIQUE (%s)" (String.concat ", " k))
+    t.unique_keys;
+  List.iter
+    (fun fk ->
+      Format.fprintf fmt ",@,FOREIGN KEY (%s) REFERENCES %s (%s)"
+        (String.concat ", " fk.fk_columns)
+        fk.fk_table
+        (String.concat ", " fk.fk_ref_columns))
+    t.foreign_keys;
+  Format.fprintf fmt ")@]"

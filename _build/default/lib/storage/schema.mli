@@ -1,0 +1,46 @@
+(** Table schemas: columns, primary/unique keys, foreign keys. *)
+
+type column = {
+  col_name : string;
+  col_type : Datatype.t;
+  nullable : bool;
+}
+
+type foreign_key = {
+  fk_columns : string list;  (** referencing columns, in this table *)
+  fk_table : string;  (** referenced table name *)
+  fk_ref_columns : string list;  (** referenced columns (its key) *)
+}
+
+type t = {
+  name : string;
+  columns : column list;
+  primary_key : string list;  (** empty when the table has no PK *)
+  unique_keys : string list list;  (** additional unique keys *)
+  foreign_keys : foreign_key list;
+}
+
+val make :
+  ?primary_key:string list ->
+  ?unique_keys:string list list ->
+  ?foreign_keys:foreign_key list ->
+  string ->
+  column list ->
+  t
+(** [make name columns] builds a schema, validating that key and FK columns
+    exist and that column names are distinct. Raises [Invalid_argument]
+    otherwise. *)
+
+val column : ?nullable:bool -> string -> Datatype.t -> column
+(** Column constructor; [nullable] defaults to [false]. *)
+
+val find_column : t -> string -> column option
+val column_index : t -> string -> int option
+val column_names : t -> string list
+val arity : t -> int
+
+val keys : t -> string list list
+(** Primary key (if any) followed by unique keys. *)
+
+val pp : Format.formatter -> t -> unit
+(** CREATE TABLE-style rendering. *)

@@ -1,0 +1,57 @@
+type col_stats = {
+  ndv : int;
+  null_count : int;
+  min_value : Value.t;
+  max_value : Value.t;
+}
+
+type t = { row_count : int; by_column : (string * col_stats) list }
+
+module VSet = Set.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare_total
+end)
+
+let compute (schema : Schema.t) rows =
+  let n = Array.length rows in
+  let per_col i name =
+    let distinct = ref VSet.empty in
+    let nulls = ref 0 in
+    let mn = ref Value.Null and mx = ref Value.Null in
+    Array.iter
+      (fun row ->
+        let v = row.(i) in
+        if Value.is_null v then incr nulls
+        else begin
+          distinct := VSet.add v !distinct;
+          (if Value.is_null !mn || Value.compare_total v !mn < 0 then mn := v);
+          if Value.is_null !mx || Value.compare_total v !mx > 0 then mx := v
+        end)
+      rows;
+    ( name,
+      { ndv = VSet.cardinal !distinct;
+        null_count = !nulls;
+        min_value = !mn;
+        max_value = !mx } )
+  in
+  { row_count = n;
+    by_column = List.mapi (fun i c -> per_col i c.Schema.col_name) schema.columns }
+
+let col t name = List.assoc_opt name t.by_column
+
+let empty (schema : Schema.t) =
+  let zero =
+    { ndv = 0; null_count = 0; min_value = Value.Null; max_value = Value.Null }
+  in
+  { row_count = 0;
+    by_column = List.map (fun c -> (c.Schema.col_name, zero)) schema.columns }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>rows=%d" t.row_count;
+  List.iter
+    (fun (name, cs) ->
+      Format.fprintf fmt "@,%s: ndv=%d nulls=%d min=%a max=%a" name cs.ndv
+        cs.null_count Value.pp cs.min_value Value.pp cs.max_value)
+    t.by_column;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,23 @@
+(** Per-table statistics used by the optimizer's cardinality estimator. *)
+
+type col_stats = {
+  ndv : int;  (** number of distinct non-NULL values *)
+  null_count : int;
+  min_value : Value.t;  (** [Null] when the column is all-NULL or empty *)
+  max_value : Value.t;
+}
+
+type t = {
+  row_count : int;
+  by_column : (string * col_stats) list;
+}
+
+val compute : Schema.t -> Value.t array array -> t
+(** Exact single-pass statistics over the rows. *)
+
+val col : t -> string -> col_stats option
+
+val empty : Schema.t -> t
+(** Stats for an empty table (row_count 0). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+type t = { schema : Schema.t; rows : Value.t array array; stats : Stats.t }
+
+let create (schema : Schema.t) rows =
+  let arity = Schema.arity schema in
+  let cols = Array.of_list schema.columns in
+  Array.iteri
+    (fun ri row ->
+      if Array.length row <> arity then
+        invalid_arg
+          (Printf.sprintf "Table.create(%s): row %d has arity %d, expected %d"
+             schema.name ri (Array.length row) arity);
+      Array.iteri
+        (fun ci v ->
+          let c = cols.(ci) in
+          match Value.type_of v with
+          | None ->
+            if not c.Schema.nullable then
+              invalid_arg
+                (Printf.sprintf "Table.create(%s): NULL in NOT NULL column %s"
+                   schema.name c.Schema.col_name)
+          | Some ty ->
+            if not (Datatype.equal ty c.Schema.col_type) then
+              invalid_arg
+                (Printf.sprintf
+                   "Table.create(%s): type mismatch in column %s: %s vs %s"
+                   schema.name c.Schema.col_name (Datatype.to_string ty)
+                   (Datatype.to_string c.Schema.col_type)))
+        row)
+    rows;
+  { schema; rows; stats = Stats.compute schema rows }
+
+let row_count t = Array.length t.rows
+
+let column_values t name =
+  match Schema.column_index t.schema name with
+  | None -> raise Not_found
+  | Some i -> Array.map (fun row -> row.(i)) t.rows
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%s(%s): %d rows" t.schema.name
+    (String.concat ", " (Schema.column_names t.schema))
+    (row_count t);
+  let limit = min 20 (row_count t) in
+  for i = 0 to limit - 1 do
+    Format.fprintf fmt "@,(%s)"
+      (String.concat ", " (Array.to_list (Array.map Value.to_sql t.rows.(i))))
+  done;
+  if row_count t > limit then Format.fprintf fmt "@,...";
+  Format.fprintf fmt "@]"

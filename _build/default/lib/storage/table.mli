@@ -1,0 +1,21 @@
+(** In-memory tables: a schema, its rows, and cached statistics. *)
+
+type t = private {
+  schema : Schema.t;
+  rows : Value.t array array;
+  stats : Stats.t;
+}
+
+val create : Schema.t -> Value.t array array -> t
+(** Validates row arity and (non-strictly) column types: every non-NULL
+    value must match its column's type, and NULLs are only allowed in
+    nullable columns. Raises [Invalid_argument] on violation. Statistics
+    are computed eagerly. *)
+
+val row_count : t -> int
+val column_values : t -> string -> Value.t array
+(** All values of a named column (in row order). Raises [Not_found] for an
+    unknown column. *)
+
+val pp : Format.formatter -> t -> unit
+(** Header plus at most 20 rows. *)

@@ -1,0 +1,135 @@
+type t = Null | Int of int | Float of float | Str of string | Bool of bool | Date of int
+
+let type_of = function
+  | Null -> None
+  | Int _ -> Some Datatype.TInt
+  | Float _ -> Some Datatype.TFloat
+  | Str _ -> Some Datatype.TString
+  | Bool _ -> Some Datatype.TBool
+  | Date _ -> Some Datatype.TDate
+
+let is_null = function Null -> true | Int _ | Float _ | Str _ | Bool _ | Date _ -> false
+
+let equal (a : t) (b : t) =
+  match a, b with
+  | Float x, Float y -> x = y || (Float.is_nan x && Float.is_nan y)
+  | _ -> a = b
+
+(* Rank used to order values of different types in the total order. *)
+let type_rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | Str _ -> 3
+  | Date _ -> 4
+
+let compare_total a b =
+  match a, b with
+  | Null, Null -> 0
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Int x, Float y -> Stdlib.compare (float_of_int x) y
+  | Float x, Int y -> Stdlib.compare x (float_of_int y)
+  | Str x, Str y -> Stdlib.compare x y
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Date x, Date y -> Stdlib.compare x y
+  | _ -> Stdlib.compare (type_rank a) (type_rank b)
+
+let hash = function
+  | Null -> 17
+  | Int x -> Hashtbl.hash x
+  | Float x -> if Float.is_integer x then Hashtbl.hash (int_of_float x) else Hashtbl.hash x
+  | Str s -> Hashtbl.hash s
+  | Bool b -> Hashtbl.hash b
+  | Date d -> Hashtbl.hash (d + 997)
+
+let cmp_sql a b =
+  match a, b with
+  | Null, _ | _, Null -> None
+  | Int x, Int y -> Some (Stdlib.compare x y)
+  | Float x, Float y -> Some (Stdlib.compare x y)
+  | Int x, Float y -> Some (Stdlib.compare (float_of_int x) y)
+  | Float x, Int y -> Some (Stdlib.compare x (float_of_int y))
+  | Str x, Str y -> Some (Stdlib.compare x y)
+  | Bool x, Bool y -> Some (Stdlib.compare x y)
+  | Date x, Date y -> Some (Stdlib.compare x y)
+  | (Int _ | Float _ | Str _ | Bool _ | Date _), _ ->
+    invalid_arg "Value.cmp_sql: incomparable types"
+
+let eq_sql a b = Option.map (fun c -> c = 0) (cmp_sql a b)
+let lt_sql a b = Option.map (fun c -> c < 0) (cmp_sql a b)
+let le_sql a b = Option.map (fun c -> c <= 0) (cmp_sql a b)
+
+let arith name fi ff a b =
+  match a, b with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> fi x y
+  | Float x, Float y -> ff x y
+  | Int x, Float y -> ff (float_of_int x) y
+  | Float x, Int y -> ff x (float_of_int y)
+  | _ -> invalid_arg ("Value." ^ name ^ ": non-numeric operand")
+
+let add = arith "add" (fun x y -> Int (x + y)) (fun x y -> Float (x +. y))
+let sub = arith "sub" (fun x y -> Int (x - y)) (fun x y -> Float (x -. y))
+let mul = arith "mul" (fun x y -> Int (x * y)) (fun x y -> Float (x *. y))
+
+let div =
+  arith "div"
+    (fun x y -> if y = 0 then Null else Int (x / y))
+    (fun x y -> if y = 0.0 then Null else Float (x /. y))
+
+let neg = function
+  | Null -> Null
+  | Int x -> Int (-x)
+  | Float x -> Float (-.x)
+  | Str _ | Bool _ | Date _ -> invalid_arg "Value.neg: non-numeric operand"
+
+(* Civil-calendar conversions (proleptic Gregorian), after Hinnant. *)
+let date_of_ymd y m d =
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - era * 400 in
+  let mp = (m + 9) mod 12 in
+  let doy = (153 * mp + 2) / 5 + d - 1 in
+  let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy in
+  era * 146097 + doe - 719468
+
+let ymd_of_date z =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - era * 146097 in
+  let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365 in
+  let y = yoe + era * 400 in
+  let doy = doe - (365 * yoe + yoe / 4 - yoe / 100) in
+  let mp = (5 * doy + 2) / 153 in
+  let d = doy - (153 * mp + 2) / 5 + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  ((if m <= 2 then y + 1 else y), m, d)
+
+let date_to_string z =
+  let y, m, d = ymd_of_date z in
+  Printf.sprintf "%04d-%02d-%02d" y m d
+
+let escape_sql_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_sql = function
+  | Null -> "NULL"
+  | Int x -> string_of_int x
+  | Float x ->
+    (* Keep a decimal point so the parser re-reads it as a float. *)
+    let s = Printf.sprintf "%.6g" x in
+    if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
+    then s
+    else s ^ ".0"
+  | Str s -> "'" ^ escape_sql_string s ^ "'"
+  | Bool true -> "TRUE"
+  | Bool false -> "FALSE"
+  | Date d -> "DATE '" ^ date_to_string d ^ "'"
+
+let pp fmt v = Format.pp_print_string fmt (to_sql v)

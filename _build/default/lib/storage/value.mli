@@ -1,0 +1,63 @@
+(** Runtime values with SQL semantics.
+
+    [Null] is a first-class value; SQL comparisons on values return
+    ['a option] where [None] encodes the SQL three-valued-logic UNKNOWN.
+    A separate {e total} order ([compare_total], NULL sorts first) is used
+    for sorting and result comparison. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Date of int  (** days since 1970-01-01 *)
+
+val type_of : t -> Datatype.t option
+(** [None] for [Null]. *)
+
+val is_null : t -> bool
+
+val equal : t -> t -> bool
+(** Structural equality ([Null] equals [Null]); used for plan/test
+    bookkeeping, not for SQL predicate evaluation. *)
+
+val compare_total : t -> t -> int
+(** Total order for ORDER BY and result normalization: NULL first, then by
+    type, then by value. [Int] and [Float] compare numerically. *)
+
+val hash : t -> int
+
+val cmp_sql : t -> t -> int option
+(** SQL comparison: [None] if either side is NULL, otherwise
+    [Some (-1|0|1)]. Numeric types are promoted. Raises [Invalid_argument]
+    on incomparable types (e.g. string vs int) — the binder prevents this. *)
+
+val eq_sql : t -> t -> bool option
+val lt_sql : t -> t -> bool option
+val le_sql : t -> t -> bool option
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** Arithmetic with NULL propagation and int/float promotion. Integer
+    division by zero and float division by zero yield [Null] (the substrate
+    never aborts query execution on data). *)
+
+val neg : t -> t
+
+val to_sql : t -> string
+(** SQL literal spelling (strings quoted and escaped, dates as
+    [DATE 'YYYY-MM-DD'], NULL as [NULL]). *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Calendar helpers for [Date]. *)
+
+val date_of_ymd : int -> int -> int -> int
+(** [date_of_ymd y m d] is days since epoch (proleptic Gregorian). *)
+
+val ymd_of_date : int -> int * int * int
+val date_to_string : int -> string
+(** ISO "YYYY-MM-DD". *)

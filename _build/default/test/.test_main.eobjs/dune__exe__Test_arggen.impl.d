@@ -1,0 +1,1 @@
+test/test_arggen.ml: Alcotest Catalog Core Datagen Executor Ident List Logical Printf Prng Props Relalg Result Scalar Storage

@@ -1,0 +1,1 @@
+test/test_compress.ml: Aggregate Alcotest Array Core Ident List Logical Optimizer Printf Relalg Result Scalar Storage String

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Ident List Logical Optimizer Relalg Result Scalar Storage

@@ -1,0 +1,1 @@
+test/test_executor.ml: Alcotest Array Catalog Datatype Executor List Optimizer Relalg Result Schema Storage Table Value

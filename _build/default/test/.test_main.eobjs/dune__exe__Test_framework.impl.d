@@ -1,0 +1,1 @@
+test/test_framework.ml: Alcotest Core Executor List Optimizer Printf Relalg Result Storage

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Datagen List Optimizer Relalg Result Storage String Value

@@ -1,0 +1,1 @@
+test/test_patterns.ml: Alcotest Core Ident List Logical Optimizer Relalg Result Scalar String

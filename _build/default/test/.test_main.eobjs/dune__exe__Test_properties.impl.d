@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Core Datagen Executor List Optimizer Prng QCheck QCheck_alcotest Relalg Result Storage String

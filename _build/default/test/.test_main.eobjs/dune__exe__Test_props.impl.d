@@ -1,0 +1,1 @@
+test/test_props.ml: Aggregate Alcotest Ident List Logical Props Relalg Result Scalar Storage

@@ -1,0 +1,1 @@
+test/test_relalg.ml: Aggregate Alcotest Ident List Logical Relalg Result Scalar Storage String

@@ -1,0 +1,1 @@
+test/test_rules.ml: Aggregate Alcotest Core Executor Hashtbl Ident List Logical Optimizer Props Relalg Scalar Storage

@@ -1,0 +1,1 @@
+test/test_sql.ml: Aggregate Alcotest Core Executor Ident List Logical QCheck QCheck_alcotest Relalg Result Scalar Sql_parser Sql_print Storage

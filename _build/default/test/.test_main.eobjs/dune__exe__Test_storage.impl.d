@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Catalog Datagen Datatype Fun List Option Printf Prng Random Schema Stats Storage Table Value

@@ -1,0 +1,148 @@
+(* Argument-selection unit tests: FK-biased join predicates, set-operation
+   alignment, data-driven constants, wrapper validity. *)
+open Storage
+open Relalg
+module L = Logical
+module S = Scalar
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let tpch = Datagen.tpch ~scale:0.001 ()
+let micro = Datagen.micro ()
+let ctx_of ?(seed = 5) cat = { Core.Arggen.g = Prng.create seed; cat }
+
+let test_fresh_get () =
+  let ctx = ctx_of tpch in
+  let g1 = Core.Arggen.fresh_get ctx and g2 = Core.Arggen.fresh_get ctx in
+  match (g1, g2) with
+  | L.Get a, L.Get b ->
+    check bool_t "aliases distinct" true (a.alias <> b.alias);
+    check bool_t "tables exist" true
+      (Catalog.mem tpch a.table && Catalog.mem tpch b.table)
+  | _ -> Alcotest.fail "fresh_get must return scans"
+
+let test_join_pred_uses_fk () =
+  (* Over many seeds, nation-region joins must predominantly use the FK
+     columns: that bias keeps key-dependent rule preconditions reachable. *)
+  let fk_hits = ref 0 and total = 30 in
+  for seed = 1 to total do
+    let ctx = ctx_of ~seed tpch in
+    let nation = L.Get { table = "nation"; alias = "n" } in
+    let region = L.Get { table = "region"; alias = "r" } in
+    match Core.Arggen.join_pred ctx ~left:nation ~right:region with
+    | None -> ()
+    | Some pred ->
+      let cols = S.columns pred in
+      if
+        Ident.Set.mem (Ident.make "n" "n_regionkey") cols
+        && Ident.Set.mem (Ident.make "r" "r_regionkey") cols
+      then incr fk_hits
+  done;
+  check bool_t
+    (Printf.sprintf "FK pair dominates (%d/%d)" !fk_hits total)
+    true
+    (!fk_hits > total / 2)
+
+let test_join_pred_respects_projection () =
+  (* FK columns dropped by a projection must not be referenced. *)
+  let ctx = ctx_of tpch in
+  let nation = L.Get { table = "nation"; alias = "n" } in
+  let name_only =
+    L.Project
+      { cols = [ (Ident.make "n" "n_name", S.Col (Ident.make "n" "n_name")) ];
+        child = nation }
+  in
+  let region = L.Get { table = "region"; alias = "r" } in
+  for _ = 1 to 20 do
+    match Core.Arggen.join_pred ctx ~left:name_only ~right:region with
+    | None -> ()
+    | Some pred ->
+      check bool_t "no dropped columns" false
+        (Ident.Set.mem (Ident.make "n" "n_regionkey") (S.columns pred))
+  done
+
+let test_add_setop_alignment () =
+  let ctx = ctx_of micro in
+  let t1 = L.Get { table = "t1"; alias = "x" } in
+  let t2 = L.Get { table = "t2"; alias = "y" } in
+  (* t1(int,int,string) vs t2(int,int): alignment must project one side. *)
+  match Core.Arggen.add_setop ctx L.KUnionAll t1 t2 with
+  | None -> Alcotest.fail "alignment should succeed"
+  | Some tree ->
+    check bool_t "valid" true (Result.is_ok (Props.validate micro tree));
+    (match Props.schema micro tree with
+    | Ok cols -> check int_t "aligned to common arity" 2 (List.length cols)
+    | Error e -> Alcotest.fail e)
+
+let test_add_setop_identical_children_unwrapped () =
+  let ctx = ctx_of micro in
+  let t1 = L.Get { table = "t1"; alias = "x" } in
+  let t1' = Core.Arggen.refresh_labels t1 in
+  match Core.Arggen.add_setop ctx L.KUnionAll t1 t1' with
+  | Some (L.UnionAll (L.Get _, L.Get _)) -> ()
+  | Some other ->
+    Alcotest.failf "expected bare scans under the union, got:\n%s"
+      (L.to_string other)
+  | None -> Alcotest.fail "alignment failed"
+
+let test_wrappers_valid () =
+  let ctx = ctx_of tpch in
+  for _ = 1 to 40 do
+    let base = Core.Arggen.fresh_get ctx in
+    List.iter
+      (fun wrap ->
+        match wrap ctx base with
+        | None -> ()
+        | Some t ->
+          (match Props.validate tpch t with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "invalid wrapper output: %s\n%s" e (L.to_string t)))
+      [ Core.Arggen.add_filter; Core.Arggen.add_project; Core.Arggen.add_groupby; Core.Arggen.add_sort ]
+  done
+
+let test_join_kinds_valid () =
+  let ctx = ctx_of tpch in
+  List.iter
+    (fun kind ->
+      let l = Core.Arggen.fresh_get ctx and r = Core.Arggen.fresh_get ctx in
+      match Core.Arggen.add_join ctx kind l r with
+      | None -> ()
+      | Some t ->
+        check bool_t (L.kind_name (L.KJoin kind) ^ " valid") true
+          (Result.is_ok (Props.validate tpch t)))
+    [ L.Inner; L.Cross; L.LeftOuter; L.RightOuter; L.FullOuter; L.Semi; L.AntiSemi ]
+
+let test_constants_from_data () =
+  (* Sampled predicate constants should usually select non-empty results:
+     check that a filter over a base table is non-vacuous reasonably often. *)
+  let non_empty = ref 0 and total = 20 in
+  for seed = 1 to total do
+    let ctx = ctx_of ~seed micro in
+    let t1 = L.Get { table = "t1"; alias = "x" } in
+    match Core.Arggen.add_filter ctx t1 with
+    | None -> ()
+    | Some t -> (
+      match Executor.Exec.run_logical micro t with
+      | Ok res -> if Executor.Resultset.row_count res > 0 then incr non_empty
+      | Error _ -> ())
+  done;
+  check bool_t
+    (Printf.sprintf "mostly non-vacuous filters (%d/%d)" !non_empty total)
+    true
+    (!non_empty >= total / 2)
+
+let suite =
+  [ ( "core.arggen",
+      [ Alcotest.test_case "fresh scans" `Quick test_fresh_get;
+        Alcotest.test_case "FK-biased join predicates" `Quick test_join_pred_uses_fk;
+        Alcotest.test_case "projection-aware join predicates" `Quick
+          test_join_pred_respects_projection;
+        Alcotest.test_case "set-op alignment" `Quick test_add_setop_alignment;
+        Alcotest.test_case "identity alignment unwrapped" `Quick
+          test_add_setop_identical_children_unwrapped;
+        Alcotest.test_case "wrappers produce valid trees" `Quick test_wrappers_valid;
+        Alcotest.test_case "all join kinds" `Quick test_join_kinds_valid;
+        Alcotest.test_case "constants sampled from data" `Slow
+          test_constants_from_data ] ) ]

@@ -1,0 +1,135 @@
+(* Engine tests: RuleSet tracking, rule disabling, cost monotonicity,
+   determinism, budgets, implementation-rule behaviour. *)
+open Relalg
+module S = Scalar
+module L = Logical
+module E = Optimizer.Engine
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let cat = Storage.Datagen.micro ()
+let id = Ident.make
+let get1 = L.Get { table = "t1"; alias = "x" }
+let get2 = L.Get { table = "t2"; alias = "y" }
+let a = id "x" "a"
+let d = id "y" "d"
+
+let join =
+  L.Join { kind = L.Inner; pred = S.eq (S.col a) (S.col d); left = get1; right = get2 }
+
+let filtered =
+  L.Filter { pred = S.Cmp (S.Gt, S.col a, S.int 3); child = join }
+
+let disabled_options names =
+  { E.default_options with
+    disabled = List.fold_left (fun s n -> E.SSet.add n s) E.SSet.empty names }
+
+let test_ruleset_tracking () =
+  let rs = Result.get_ok (E.ruleset cat filtered) in
+  check bool_t "join commute exercised" true (E.SSet.mem "JoinCommute" rs);
+  check bool_t "select pushdown exercised" true (E.SSet.mem "PushSelectBelowJoin" rs);
+  check bool_t "merge select into join" true (E.SSet.mem "MergeSelectIntoJoin" rs);
+  check bool_t "group-by rules not exercised" false (E.SSet.mem "GbAggPullAboveJoin" rs)
+
+let test_ruleset_deterministic () =
+  let rs1 = Result.get_ok (E.ruleset cat filtered) in
+  let rs2 = Result.get_ok (E.ruleset cat filtered) in
+  check bool_t "same set" true (E.SSet.equal rs1 rs2)
+
+let test_disabled_not_exercised () =
+  let options = disabled_options [ "JoinCommute" ] in
+  let rs = Result.get_ok (E.ruleset ~options cat filtered) in
+  check bool_t "disabled rule absent" false (E.SSet.mem "JoinCommute" rs)
+
+let test_optimize_result () =
+  let r = Result.get_ok (E.optimize cat filtered) in
+  check bool_t "cost positive" true (r.cost > 0.0);
+  check bool_t "explored several trees" true (r.trees_explored > 1);
+  check bool_t "plan uses a scan" true
+    (let rec has_scan p =
+       match p with
+       | Optimizer.Physical.TableScan _ -> true
+       | _ -> List.exists has_scan (Optimizer.Physical.children p)
+     in
+     has_scan r.plan);
+  check bool_t "impl rules tracked" true
+    (E.SSet.mem "GetToTableScan" r.impl_exercised)
+
+let test_cost_monotone_under_disable () =
+  let base = Result.get_ok (E.optimize cat filtered) in
+  E.SSet.iter
+    (fun rule ->
+      let r = Result.get_ok (E.optimize ~options:(disabled_options [ rule ]) cat filtered) in
+      check bool_t ("cost(off " ^ rule ^ ") >= cost") true (r.cost >= base.cost -. 1e-9))
+    base.exercised
+
+let test_invalid_tree_rejected () =
+  let bad = L.Filter { pred = S.col a; child = get1 } in
+  check bool_t "rejects non-boolean" true (Result.is_error (E.optimize cat bad));
+  let unknown = L.Get { table = "zzz"; alias = "q" } in
+  check bool_t "rejects unknown table" true (Result.is_error (E.optimize cat unknown))
+
+let test_no_plan_when_impl_disabled () =
+  let r = E.optimize ~options:(disabled_options [ "GetToTableScan" ]) cat filtered in
+  check bool_t "no plan without scans" true (Result.is_error r)
+
+let test_join_impl_alternatives () =
+  (* Disabling hash join must leave a working (more expensive or equal)
+     nested-loops plan. *)
+  let base = Result.get_ok (E.optimize cat join) in
+  let no_hash =
+    Result.get_ok (E.optimize ~options:(disabled_options [ "JoinToHashJoin" ]) cat join)
+  in
+  check bool_t "still plans" true (no_hash.cost >= base.cost);
+  let rec uses_hash p =
+    match p with
+    | Optimizer.Physical.HashJoin _ -> true
+    | _ -> List.exists uses_hash (Optimizer.Physical.children p)
+  in
+  check bool_t "no hash join in plan" false (uses_hash no_hash.plan)
+
+let test_budget_respected () =
+  let options = { E.default_options with max_trees = 10 } in
+  let r = Result.get_ok (E.optimize ~options cat filtered) in
+  check bool_t "at most 10 trees" true (r.trees_explored <= 10)
+
+let test_growth_cap () =
+  let options = { E.default_options with max_growth = 0 } in
+  let r = Result.get_ok (E.optimize ~options cat filtered) in
+  (* With zero growth the engine still works; it just explores less. *)
+  check bool_t "still optimizes" true (r.cost > 0.0)
+
+let test_exploration_finds_cheaper_plan () =
+  (* Pushing the selective filter below the join should beat the naive
+     plan of filtering after the join. *)
+  let all_off = disabled_options Optimizer.Rules.names in
+  let naive = Result.get_ok (E.optimize ~options:all_off cat filtered) in
+  let smart = Result.get_ok (E.optimize cat filtered) in
+  check bool_t "exploration helps" true (smart.cost <= naive.cost)
+
+let test_custom_rules_param () =
+  (* With an empty exploration registry, only the input tree is planned. *)
+  let r = Result.get_ok (E.optimize ~rules:[] cat filtered) in
+  check int_t "single tree" 1 r.trees_explored;
+  check bool_t "nothing exercised" true (E.SSet.is_empty r.exercised)
+
+let suite =
+  [ ( "optimizer.engine",
+      [ Alcotest.test_case "ruleset tracking" `Quick test_ruleset_tracking;
+        Alcotest.test_case "ruleset deterministic" `Quick test_ruleset_deterministic;
+        Alcotest.test_case "disabled rules" `Quick test_disabled_not_exercised;
+        Alcotest.test_case "optimize result" `Quick test_optimize_result;
+        Alcotest.test_case "cost monotone under disabling" `Quick
+          test_cost_monotone_under_disable;
+        Alcotest.test_case "invalid trees rejected" `Quick test_invalid_tree_rejected;
+        Alcotest.test_case "no plan when scans disabled" `Quick
+          test_no_plan_when_impl_disabled;
+        Alcotest.test_case "join implementation alternatives" `Quick
+          test_join_impl_alternatives;
+        Alcotest.test_case "tree budget" `Quick test_budget_respected;
+        Alcotest.test_case "growth cap" `Quick test_growth_cap;
+        Alcotest.test_case "exploration finds cheaper plans" `Quick
+          test_exploration_finds_cheaper_plan;
+        Alcotest.test_case "custom rule registry" `Quick test_custom_rules_param ] ) ]

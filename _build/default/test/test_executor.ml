@@ -1,0 +1,245 @@
+(* Executor tests: handcrafted physical plans over a tiny catalog with
+   known contents, covering NULL semantics of every join and set
+   operation, aggregates, sorting, and the equivalence of the three join
+   implementations. *)
+open Storage
+module P = Optimizer.Physical
+module L = Relalg.Logical
+module S = Relalg.Scalar
+module A = Relalg.Aggregate
+module RS = Executor.Resultset
+module Ident = Relalg.Ident
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* l(k int nullable, v string): (1,a) (2,b) (NULL,c) (2,d)
+   r(k int nullable, w string): (2,x) (3,y) (NULL,z) *)
+let cat =
+  let open Schema in
+  let lt =
+    make "l" [ column ~nullable:true "k" Datatype.TInt; column "v" Datatype.TString ]
+  in
+  let rt =
+    make "r" [ column ~nullable:true "k" Datatype.TInt; column "w" Datatype.TString ]
+  in
+  Catalog.of_tables
+    [ Table.create lt
+        [| [| Value.Int 1; Value.Str "a" |];
+           [| Value.Int 2; Value.Str "b" |];
+           [| Value.Null; Value.Str "c" |];
+           [| Value.Int 2; Value.Str "d" |] |];
+      Table.create rt
+        [| [| Value.Int 2; Value.Str "x" |];
+           [| Value.Int 3; Value.Str "y" |];
+           [| Value.Null; Value.Str "z" |] |] ]
+
+let scan_l = P.TableScan { table = "l"; alias = "l" }
+let scan_r = P.TableScan { table = "r"; alias = "r" }
+let lk = Ident.make "l" "k"
+let lv = Ident.make "l" "v"
+let rk = Ident.make "r" "k"
+let run plan = Result.get_ok (Executor.Exec.run cat plan)
+let rows plan = RS.row_count (run plan)
+let join_pred = S.eq (S.col lk) (S.col rk)
+
+let nlj kind = P.NestedLoopsJoin { kind; pred = join_pred; left = scan_l; right = scan_r }
+
+let hj kind =
+  P.HashJoin
+    { kind; left_keys = [ lk ]; right_keys = [ rk ]; residual = S.true_;
+      left = scan_l; right = scan_r }
+
+(* Expected with SQL NULL semantics (NULL keys never match):
+   inner: l(2,b),(2,d) x r(2,x) -> 2 rows
+   left outer: 2 matches + unmatched (1,a),(NULL,c) -> 4
+   right outer: 2 + unmatched (3,y),(NULL,z) -> 4
+   full outer: 2 + 2 + 2 -> 6
+   semi: (2,b),(2,d) -> 2 ; anti: (1,a),(NULL,c) -> 2 *)
+let expected = [ (L.Inner, 2); (L.LeftOuter, 4); (L.RightOuter, 4); (L.FullOuter, 6); (L.Semi, 2); (L.AntiSemi, 2) ]
+
+let test_nlj_kinds () =
+  List.iter
+    (fun (kind, n) ->
+      check int_t (L.kind_name (L.KJoin kind) ^ " rows") n (rows (nlj kind)))
+    expected
+
+let test_hash_kinds () =
+  List.iter
+    (fun (kind, n) ->
+      check int_t ("hash " ^ L.kind_name (L.KJoin kind)) n (rows (hj kind)))
+    expected
+
+let test_hash_equals_nlj () =
+  List.iter
+    (fun (kind, _) ->
+      check bool_t ("hash = nlj for " ^ L.kind_name (L.KJoin kind)) true
+        (RS.equal_bag (run (nlj kind)) (run (hj kind))))
+    expected
+
+let test_merge_join () =
+  let sorted keys child = P.SortOp { keys = List.map (fun k -> (k, L.Asc)) keys; child } in
+  let mj =
+    P.MergeJoin
+      { left_keys = [ lk ]; right_keys = [ rk ]; residual = S.true_;
+        left = sorted [ lk ] scan_l; right = sorted [ rk ] scan_r }
+  in
+  check bool_t "merge = nlj inner" true (RS.equal_bag (run mj) (run (nlj L.Inner)))
+
+let test_cross_join () =
+  let cross = P.NestedLoopsJoin { kind = L.Cross; pred = S.true_; left = scan_l; right = scan_r } in
+  check int_t "cross product" 12 (rows cross)
+
+let test_outer_join_padding () =
+  let res = run (nlj L.LeftOuter) in
+  let padded =
+    List.filter (fun row -> Value.is_null row.(2) && Value.is_null row.(3)) res.rows
+  in
+  check int_t "two padded rows" 2 (List.length padded)
+
+let test_residual () =
+  let hjr =
+    P.HashJoin
+      { kind = L.Inner; left_keys = [ lk ]; right_keys = [ rk ];
+        residual = S.eq (S.col lv) (S.Const (Value.Str "b"));
+        left = scan_l; right = scan_r }
+  in
+  check int_t "residual filters matches" 1 (rows hjr)
+
+let test_filter_3vl () =
+  (* k > 1 keeps (2,b),(2,d); NULL row is UNKNOWN, not kept. *)
+  let plan = P.FilterOp { pred = S.Cmp (S.Gt, S.col lk, S.int 1); child = scan_l } in
+  check int_t "unknown rows dropped" 2 (rows plan);
+  let nn = P.FilterOp { pred = S.IsNull (S.col lk); child = scan_l } in
+  check int_t "is null" 1 (rows nn);
+  let nn2 = P.FilterOp { pred = S.Not (S.Cmp (S.Gt, S.col lk, S.int 1)); child = scan_l } in
+  check int_t "NOT of unknown stays unknown" 1 (rows nn2)
+
+let test_compute () =
+  let out = Ident.make "p" "twice" in
+  let plan =
+    P.ComputeScalar { cols = [ (out, S.Arith (S.Mul, S.col lk, S.int 2)) ]; child = scan_l }
+  in
+  let res = run plan in
+  check int_t "rows preserved" 4 (RS.row_count res);
+  check bool_t "null propagates" true
+    (List.exists (fun row -> Value.is_null row.(0)) res.rows);
+  check bool_t "doubled" true
+    (List.exists (fun row -> Value.equal row.(0) (Value.Int 4)) res.rows)
+
+let gid = Ident.make "g" "out"
+
+let test_aggregates () =
+  let agg a = P.HashAggregate { keys = []; aggs = [ (gid, a) ]; child = scan_l } in
+  let single plan = List.hd (run plan).rows in
+  check bool_t "count star" true (Value.equal (single (agg A.CountStar)).(0) (Value.Int 4));
+  check bool_t "count skips null" true
+    (Value.equal (single (agg (A.Count (S.col lk)))).(0) (Value.Int 3));
+  check bool_t "sum skips null" true
+    (Value.equal (single (agg (A.Sum (S.col lk)))).(0) (Value.Int 5));
+  check bool_t "min" true (Value.equal (single (agg (A.Min (S.col lk)))).(0) (Value.Int 1));
+  check bool_t "max" true (Value.equal (single (agg (A.Max (S.col lk)))).(0) (Value.Int 2));
+  check bool_t "avg" true
+    (Value.equal (single (agg (A.Avg (S.col lk)))).(0) (Value.Float (5.0 /. 3.0)))
+
+let test_group_by_keys () =
+  let plan = P.HashAggregate { keys = [ lk ]; aggs = [ (gid, A.CountStar) ]; child = scan_l } in
+  let res = run plan in
+  (* groups: 1, 2, NULL -> NULLs group together *)
+  check int_t "three groups" 3 (RS.row_count res);
+  check bool_t "null group counted" true
+    (List.exists
+       (fun row -> Value.is_null row.(0) && Value.equal row.(1) (Value.Int 1))
+       res.rows);
+  check bool_t "group of two" true
+    (List.exists
+       (fun row -> Value.equal row.(0) (Value.Int 2) && Value.equal row.(1) (Value.Int 2))
+       res.rows)
+
+let test_global_agg_on_empty () =
+  let empty = P.FilterOp { pred = S.Const (Value.Bool false); child = scan_l } in
+  let plan =
+    P.HashAggregate
+      { keys = []; aggs = [ (gid, A.CountStar); (Ident.make "g" "s", A.Sum (S.col lk)) ];
+        child = empty }
+  in
+  let res = run plan in
+  check int_t "one fabricated row" 1 (RS.row_count res);
+  let row = List.hd res.rows in
+  check bool_t "count 0" true (Value.equal row.(0) (Value.Int 0));
+  check bool_t "sum NULL" true (Value.is_null row.(1));
+  (* ...but grouped aggregation over empty input is empty. *)
+  let grouped = P.HashAggregate { keys = [ lk ]; aggs = [ (gid, A.CountStar) ]; child = empty } in
+  check int_t "no groups" 0 (rows grouped)
+
+let test_stream_equals_hash_agg () =
+  let keys = [ lk ] in
+  let hash = P.HashAggregate { keys; aggs = [ (gid, A.CountStar) ]; child = scan_l } in
+  let stream =
+    P.StreamAggregate
+      { keys; aggs = [ (gid, A.CountStar) ];
+        child = P.SortOp { keys = [ (lk, L.Asc) ]; child = scan_l } }
+  in
+  check bool_t "stream = hash" true (RS.equal_bag (run hash) (run stream))
+
+let test_sort_and_limit () =
+  let sorted = P.SortOp { keys = [ (lk, L.Asc) ]; child = scan_l } in
+  let res = run sorted in
+  check bool_t "nulls first ascending" true (Value.is_null (List.hd res.rows).(0));
+  let desc = P.SortOp { keys = [ (lk, L.Desc) ]; child = scan_l } in
+  check bool_t "desc starts at 2" true
+    (Value.equal (List.hd (run desc).rows).(0) (Value.Int 2));
+  check int_t "limit" 2 (rows (P.LimitOp { count = 2; child = sorted }));
+  check int_t "limit beyond size" 4 (rows (P.LimitOp { count = 99; child = scan_l }))
+
+(* Set operations: project both sides to the nullable int column. *)
+let proj_k scan col = P.ComputeScalar { cols = [ (Ident.make "s" "k", S.col col) ]; child = scan }
+let left_k = proj_k scan_l lk
+let right_k = proj_k scan_r rk
+
+let test_set_operations () =
+  (* l.k = {1,2,NULL,2}; r.k = {2,3,NULL} *)
+  check int_t "concat" 7 (rows (P.Concat (left_k, right_k)));
+  check int_t "union distinct null-safe" 4 (rows (P.HashUnion (left_k, right_k)));
+  check int_t "intersect {2, NULL}" 2 (rows (P.HashIntersect (left_k, right_k)));
+  check int_t "except {1}" 1 (rows (P.HashExcept (left_k, right_k)));
+  check int_t "distinct" 3 (rows (P.HashDistinct left_k))
+
+let test_exec_errors () =
+  check bool_t "unknown table" true
+    (Result.is_error (Executor.Exec.run cat (P.TableScan { table = "zzz"; alias = "q" })));
+  check bool_t "unknown column" true
+    (Result.is_error
+       (Executor.Exec.run cat
+          (P.FilterOp { pred = S.IsNull (S.col (Ident.make "q" "zzz")); child = scan_l })))
+
+let test_resultset_diff () =
+  let r1 = run scan_l and r2 = run (P.LimitOp { count = 3; child = scan_l }) in
+  check bool_t "bag equality reflexive" true (RS.equal_bag r1 r1);
+  check bool_t "different sizes differ" false (RS.equal_bag r1 r2);
+  check bool_t "first difference found" true (RS.first_difference r1 r2 <> None);
+  check bool_t "no diff for equal" true (RS.first_difference r1 r1 = None)
+
+let suite =
+  [ ( "executor.joins",
+      [ Alcotest.test_case "nested loops kinds" `Quick test_nlj_kinds;
+        Alcotest.test_case "hash join kinds" `Quick test_hash_kinds;
+        Alcotest.test_case "hash = nested loops" `Quick test_hash_equals_nlj;
+        Alcotest.test_case "merge join" `Quick test_merge_join;
+        Alcotest.test_case "cross join" `Quick test_cross_join;
+        Alcotest.test_case "outer padding" `Quick test_outer_join_padding;
+        Alcotest.test_case "residual predicate" `Quick test_residual ] );
+    ( "executor.scalar",
+      [ Alcotest.test_case "three-valued filters" `Quick test_filter_3vl;
+        Alcotest.test_case "compute scalar" `Quick test_compute ] );
+    ( "executor.aggregate",
+      [ Alcotest.test_case "aggregate functions" `Quick test_aggregates;
+        Alcotest.test_case "group by keys" `Quick test_group_by_keys;
+        Alcotest.test_case "global aggregate over empty" `Quick test_global_agg_on_empty;
+        Alcotest.test_case "stream = hash" `Quick test_stream_equals_hash_agg ] );
+    ( "executor.misc",
+      [ Alcotest.test_case "sort and limit" `Quick test_sort_and_limit;
+        Alcotest.test_case "set operations" `Quick test_set_operations;
+        Alcotest.test_case "errors" `Quick test_exec_errors;
+        Alcotest.test_case "result comparison" `Quick test_resultset_diff ] ) ]

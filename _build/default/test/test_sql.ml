@@ -1,0 +1,181 @@
+(* SQL printer/parser: exact round trips for every operator, plus
+   property-based semantic round trips on random generated queries. *)
+open Relalg
+module S = Scalar
+module L = Logical
+module V = Storage.Value
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+
+let cat = Storage.Datagen.micro ()
+let id = Ident.make
+let get1 = L.Get { table = "t1"; alias = "x" }
+let get2 = L.Get { table = "t2"; alias = "y" }
+let a = id "x" "a"
+let b = id "x" "b"
+let cc = id "x" "c"
+let d = id "y" "d"
+let e = id "y" "e"
+
+let roundtrip name tree =
+  let sql = Sql_print.to_sql cat tree in
+  match Sql_parser.parse cat sql with
+  | Error msg -> Alcotest.failf "%s: parse failed: %s\nSQL: %s" name msg sql
+  | Ok tree' ->
+    if not (L.equal tree tree') then
+      Alcotest.failf "%s: round trip mismatch\nSQL: %s\ngot:\n%s\nwant:\n%s" name sql
+        (L.to_string tree') (L.to_string tree)
+
+let test_get () = roundtrip "get" get1
+
+let test_filter () =
+  roundtrip "filter"
+    (L.Filter { pred = S.And (S.eq (S.col a) (S.int 3), S.IsNull (S.col b)); child = get1 });
+  roundtrip "filter with or/not"
+    (L.Filter
+       { pred = S.Or (S.Not (S.eq (S.col cc) (S.Const (V.Str "it's"))), S.IsNotNull (S.col b));
+         child = get1 });
+  roundtrip "filter comparisons"
+    (L.Filter
+       { pred =
+           S.And
+             ( S.Cmp (S.Lt, S.col a, S.int 5),
+               S.And
+                 ( S.Cmp (S.Ge, S.col b, S.Neg (S.int 2)),
+                   S.Cmp (S.Ne, S.col a, S.Arith (S.Mul, S.col b, S.int 2)) ) );
+         child = get1 })
+
+let test_project () =
+  roundtrip "project"
+    (L.Project
+       { cols = [ (id "p" "k", S.col a); (id "p" "s", S.Arith (S.Add, S.col b, S.int 1)) ];
+         child = get1 })
+
+let test_joins () =
+  let pred = S.eq (S.col a) (S.col d) in
+  List.iter
+    (fun kind ->
+      roundtrip
+        (L.kind_name (L.KJoin kind))
+        (L.Join { kind; pred; left = get1; right = get2 }))
+    [ L.Inner; L.LeftOuter; L.RightOuter; L.FullOuter; L.Semi; L.AntiSemi ];
+  roundtrip "cross" (L.Join { kind = L.Cross; pred = S.true_; left = get1; right = get2 })
+
+let test_groupby () =
+  roundtrip "groupby"
+    (L.GroupBy
+       { keys = [ cc ];
+         aggs =
+           [ (id "g" "n", Aggregate.CountStar);
+             (id "g" "s", Aggregate.Sum (S.col a));
+             (id "g" "m", Aggregate.Min (S.col b)) ];
+         child = get1 });
+  roundtrip "global agg"
+    (L.GroupBy
+       { keys = []; aggs = [ (id "g" "avg", Aggregate.Avg (S.col a)) ]; child = get1 });
+  roundtrip "count expr"
+    (L.GroupBy
+       { keys = [ a ]; aggs = [ (id "g" "c", Aggregate.Count (S.col b)) ]; child = get1 })
+
+let test_setops () =
+  let other = L.Get { table = "t1"; alias = "w" } in
+  roundtrip "union all" (L.UnionAll (get1, other));
+  roundtrip "union" (L.Union (get1, other));
+  roundtrip "intersect" (L.Intersect (get1, other));
+  roundtrip "except" (L.Except (get1, other));
+  roundtrip "nested setop" (L.UnionAll (L.UnionAll (get1, other), L.Get { table = "t1"; alias = "v" }))
+
+let test_distinct_sort_limit () =
+  roundtrip "distinct" (L.Distinct get1);
+  roundtrip "sort" (L.Sort { keys = [ (a, L.Desc); (cc, L.Asc) ]; child = get1 });
+  roundtrip "limit" (L.Limit { count = 7; child = get1 });
+  roundtrip "stack"
+    (L.Limit
+       { count = 3;
+         child = L.Sort { keys = [ (a, L.Asc) ]; child = L.Distinct get1 } })
+
+let test_nested () =
+  let pred = S.eq (S.col a) (S.col d) in
+  let projected = L.Project { cols = [ (a, S.col a); (cc, S.col cc) ]; child = get1 } in
+  let filtered = L.Filter { pred = S.IsNotNull (S.col cc); child = projected } in
+  let joined = L.Join { kind = L.Inner; pred; left = filtered; right = get2 } in
+  let grouped =
+    L.GroupBy { keys = [ cc ]; aggs = [ (id "g" "n", Aggregate.CountStar) ]; child = joined }
+  in
+  roundtrip "filter over join over groupby"
+    (L.Filter { pred = S.Cmp (S.Gt, S.col (id "g" "n"), S.int 1); child = grouped })
+
+let test_semi_in_subtree () =
+  let semi =
+    L.Join { kind = L.Semi; pred = S.eq (S.col a) (S.col d); left = get1; right = get2 }
+  in
+  roundtrip "filter over semi"
+    (L.Filter { pred = S.Cmp (S.Gt, S.col a, S.int 0); child = semi });
+  roundtrip "anti under sort"
+    (L.Sort
+       { keys = [ (a, L.Asc) ];
+         child =
+           L.Join
+             { kind = L.AntiSemi; pred = S.eq (S.col b) (S.col e); left = get1; right = get2 } })
+
+let test_parse_errors () =
+  let bad sql =
+    check bool_t ("rejects: " ^ sql) true (Result.is_error (Sql_parser.parse cat sql))
+  in
+  bad "";
+  bad "SELECT";
+  bad "SELECT * FROM nosuchtable AS x";
+  bad "SELECT * FROM t1 AS x WHERE";
+  bad "SELECT * FROM t1 AS x WHERE x.a = ";
+  bad "SELECT * FROM (SELECT * FROM t1 AS x) AS d0 LIMIT banana";
+  bad "SELECT * FROM t1 AS x trailing garbage"
+
+let test_date_literals () =
+  roundtrip "date filter"
+    (L.Filter
+       { pred = S.Cmp (S.Le, S.Const (V.Date (V.date_of_ymd 1997 3 14)), S.Const (V.Date 0));
+         child = get1 })
+
+let test_pretty_tokens_equal () =
+  let tree = L.Filter { pred = S.eq (S.col a) (S.int 1); child = get1 } in
+  match Sql_parser.parse cat (Sql_print.to_sql_pretty cat tree) with
+  | Ok tree' -> check bool_t "pretty parses to same tree" true (L.equal tree tree')
+  | Error e -> Alcotest.failf "pretty parse failed: %s" e
+
+(* Property: every randomly generated query prints to SQL that parses, and
+   the parsed tree produces identical results. *)
+let qcheck_semantic_roundtrip =
+  QCheck.Test.make ~name:"sql print/parse preserves semantics" ~count:25
+    (QCheck.make (QCheck.Gen.int_bound 100000))
+    (fun seed ->
+      let g = Storage.Prng.create seed in
+      let ctx = { Core.Arggen.g; cat } in
+      let tree = Core.Random_gen.generate ~max_ops:6 ctx in
+      let sql = Sql_print.to_sql cat tree in
+      match Sql_parser.parse cat sql with
+      | Error msg -> QCheck.Test.fail_reportf "parse failed: %s\n%s" msg sql
+      | Ok tree' -> (
+        match
+          (Executor.Exec.run_logical cat tree, Executor.Exec.run_logical cat tree')
+        with
+        | Ok r1, Ok r2 ->
+          if Executor.Resultset.equal_bag r1 r2 then true
+          else QCheck.Test.fail_reportf "results differ for:\n%s" sql
+        | Error e, _ | _, Error e -> QCheck.Test.fail_reportf "execution failed: %s" e))
+
+let suite =
+  [ ( "relalg.sql",
+      [ Alcotest.test_case "get" `Quick test_get;
+        Alcotest.test_case "filter" `Quick test_filter;
+        Alcotest.test_case "project" `Quick test_project;
+        Alcotest.test_case "joins" `Quick test_joins;
+        Alcotest.test_case "groupby" `Quick test_groupby;
+        Alcotest.test_case "set operations" `Quick test_setops;
+        Alcotest.test_case "distinct/sort/limit" `Quick test_distinct_sort_limit;
+        Alcotest.test_case "nested operators" `Quick test_nested;
+        Alcotest.test_case "semi joins in subtrees" `Quick test_semi_in_subtree;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "date literals" `Quick test_date_literals;
+        Alcotest.test_case "pretty form" `Quick test_pretty_tokens_equal;
+        QCheck_alcotest.to_alcotest qcheck_semantic_roundtrip ] ) ]

@@ -1,0 +1,290 @@
+(* Unit tests for the storage substrate: PRNG, values, schemas, stats,
+   tables, catalog, and the TPC-H data generator. *)
+open Storage
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    check int_t "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let xs = List.init 20 (fun _ -> Prng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Prng.int b 1_000_000) in
+  check bool_t "different seeds differ" true (xs <> ys)
+
+let test_prng_ranges () =
+  let g = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int g 10 in
+    check bool_t "int in range" true (x >= 0 && x < 10);
+    let y = Prng.int_in g 5 8 in
+    check bool_t "int_in in range" true (y >= 5 && y <= 8);
+    let f = Prng.float g 2.0 in
+    check bool_t "float in range" true (f >= 0.0 && f < 2.0)
+  done
+
+let test_prng_invalid () =
+  let g = Prng.create 3 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0));
+  Alcotest.check_raises "pick []" (Invalid_argument "Prng.pick: empty list")
+    (fun () -> ignore (Prng.pick g ([] : int list)))
+
+let test_prng_shuffle_permutes () =
+  let g = Prng.create 9 in
+  let xs = List.init 30 Fun.id in
+  let ys = Prng.shuffle g xs in
+  check (Alcotest.list int_t) "same elements" xs (List.sort compare ys)
+
+let test_prng_sample () =
+  let g = Prng.create 11 in
+  let xs = List.init 10 Fun.id in
+  let s = Prng.sample g 4 xs in
+  check int_t "sample size" 4 (List.length s);
+  check int_t "distinct" 4 (List.length (List.sort_uniq compare s));
+  check int_t "oversample clamps" 10 (List.length (Prng.sample g 50 xs))
+
+let test_prng_split_independent () =
+  let g = Prng.create 5 in
+  let h = Prng.split g in
+  let a = List.init 10 (fun _ -> Prng.int g 1000) in
+  let b = List.init 10 (fun _ -> Prng.int h 1000) in
+  check bool_t "split streams differ" true (a <> b)
+
+(* ------------------------------------------------------------------ *)
+(* Values                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_sql_comparisons () =
+  check bool_t "null cmp is unknown" true (Value.eq_sql Value.Null (Value.Int 1) = None);
+  check bool_t "int/float promote" true
+    (Value.eq_sql (Value.Int 2) (Value.Float 2.0) = Some true);
+  check bool_t "lt" true (Value.lt_sql (Value.Int 1) (Value.Int 2) = Some true);
+  check bool_t "le eq" true (Value.le_sql (Value.Str "a") (Value.Str "a") = Some true);
+  Alcotest.check_raises "incomparable"
+    (Invalid_argument "Value.cmp_sql: incomparable types") (fun () ->
+      ignore (Value.cmp_sql (Value.Int 1) (Value.Str "x")))
+
+let test_value_total_order () =
+  check bool_t "null first" true (Value.compare_total Value.Null (Value.Int 0) < 0);
+  check int_t "int=float" 0 (Value.compare_total (Value.Int 3) (Value.Float 3.0));
+  check bool_t "strings ordered" true
+    (Value.compare_total (Value.Str "a") (Value.Str "b") < 0)
+
+let test_value_arith () =
+  check bool_t "add ints" true (Value.equal (Value.add (Value.Int 2) (Value.Int 3)) (Value.Int 5));
+  check bool_t "promote" true
+    (Value.equal (Value.mul (Value.Int 2) (Value.Float 1.5)) (Value.Float 3.0));
+  check bool_t "null propagates" true (Value.is_null (Value.add Value.Null (Value.Int 1)));
+  check bool_t "div by zero is null" true
+    (Value.is_null (Value.div (Value.Int 1) (Value.Int 0)));
+  check bool_t "neg" true (Value.equal (Value.neg (Value.Int 4)) (Value.Int (-4)))
+
+let test_value_dates () =
+  check int_t "epoch" 0 (Value.date_of_ymd 1970 1 1);
+  check string_t "iso" "1992-01-01" (Value.date_to_string (Value.date_of_ymd 1992 1 1));
+  for _ = 1 to 50 do
+    let d = Random.int 30000 - 5000 in
+    let y, m, dd = Value.ymd_of_date d in
+    check int_t "round trip" d (Value.date_of_ymd y m dd)
+  done
+
+let test_value_to_sql () =
+  check string_t "string escaping" "'it''s'" (Value.to_sql (Value.Str "it's"));
+  check string_t "null" "NULL" (Value.to_sql Value.Null);
+  check string_t "date literal" "DATE '1995-06-01'"
+    (Value.to_sql (Value.Date (Value.date_of_ymd 1995 6 1)));
+  check string_t "float keeps point" "2.0" (Value.to_sql (Value.Float 2.0))
+
+let test_value_hash_consistent () =
+  (* Grouping relies on hash-compatibility of Int n and Float n. *)
+  check int_t "int/float hash" (Value.hash (Value.Int 7)) (Value.hash (Value.Float 7.0))
+
+(* ------------------------------------------------------------------ *)
+(* Schema / Table / Stats / Catalog                                    *)
+(* ------------------------------------------------------------------ *)
+
+let sample_schema =
+  Schema.make "t" ~primary_key:[ "a" ]
+    [ Schema.column "a" Datatype.TInt;
+      Schema.column ~nullable:true "b" Datatype.TInt;
+      Schema.column "c" Datatype.TString ]
+
+let test_schema_accessors () =
+  check int_t "arity" 3 (Schema.arity sample_schema);
+  check (Alcotest.list string_t) "names" [ "a"; "b"; "c" ] (Schema.column_names sample_schema);
+  check bool_t "find" true (Schema.find_column sample_schema "b" <> None);
+  check bool_t "find missing" true (Schema.find_column sample_schema "z" = None);
+  check bool_t "index" true (Schema.column_index sample_schema "c" = Some 2);
+  check int_t "keys" 1 (List.length (Schema.keys sample_schema))
+
+let test_schema_validation () =
+  let col = Schema.column in
+  let dup () = ignore (Schema.make "x" [ col "a" Datatype.TInt; col "a" Datatype.TInt ]) in
+  (try
+     dup ();
+     Alcotest.fail "expected duplicate column failure"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Schema.make "x" ~primary_key:[ "nope" ] [ col "a" Datatype.TInt ]);
+     Alcotest.fail "expected bad key failure"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Schema.make "x" []);
+    Alcotest.fail "expected empty-columns failure"
+  with Invalid_argument _ -> ()
+
+let test_table_type_checking () =
+  let ok = Table.create sample_schema [| [| Value.Int 1; Value.Null; Value.Str "x" |] |] in
+  check int_t "row count" 1 (Table.row_count ok);
+  (try
+     ignore (Table.create sample_schema [| [| Value.Int 1; Value.Int 2 |] |]);
+     Alcotest.fail "expected arity failure"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Table.create sample_schema [| [| Value.Null; Value.Null; Value.Str "x" |] |]);
+     Alcotest.fail "expected NOT NULL failure"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Table.create sample_schema [| [| Value.Str "no"; Value.Null; Value.Str "x" |] |]);
+    Alcotest.fail "expected type failure"
+  with Invalid_argument _ -> ()
+
+let test_stats () =
+  let tb =
+    Table.create sample_schema
+      [| [| Value.Int 1; Value.Int 5; Value.Str "x" |];
+         [| Value.Int 2; Value.Null; Value.Str "x" |];
+         [| Value.Int 3; Value.Int 5; Value.Str "y" |] |]
+  in
+  let st = tb.stats in
+  check int_t "rows" 3 st.row_count;
+  let a = Option.get (Stats.col st "a") in
+  check int_t "ndv a" 3 a.ndv;
+  check bool_t "min a" true (Value.equal a.min_value (Value.Int 1));
+  check bool_t "max a" true (Value.equal a.max_value (Value.Int 3));
+  let b = Option.get (Stats.col st "b") in
+  check int_t "ndv b" 1 b.ndv;
+  check int_t "nulls b" 1 b.null_count;
+  let c = Option.get (Stats.col st "c") in
+  check int_t "ndv c" 2 c.ndv
+
+let test_catalog () =
+  let tb = Table.create sample_schema [||] in
+  let cat = Catalog.of_tables [ tb ] in
+  check bool_t "mem" true (Catalog.mem cat "t");
+  check bool_t "find" true (Catalog.find cat "t" <> None);
+  check bool_t "missing" true (Catalog.find cat "nope" = None);
+  check (Alcotest.list string_t) "names" [ "t" ] (Catalog.table_names cat);
+  let replaced = Catalog.add cat (Table.create sample_schema [||]) in
+  check int_t "replace keeps one" 1 (List.length (Catalog.tables replaced))
+
+(* ------------------------------------------------------------------ *)
+(* Datagen                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let tpch = Datagen.tpch ~scale:0.001 ()
+
+let test_tpch_shape () =
+  check int_t "eight tables" 8 (List.length (Catalog.table_names tpch));
+  check int_t "regions" 5 (Table.row_count (Catalog.find_exn tpch "region"));
+  check int_t "nations" 25 (Table.row_count (Catalog.find_exn tpch "nation"));
+  List.iter
+    (fun name ->
+      check bool_t (name ^ " non-empty") true
+        (Table.row_count (Catalog.find_exn tpch name) > 0))
+    (Catalog.table_names tpch)
+
+let test_tpch_determinism () =
+  let a = Datagen.tpch ~scale:0.001 () and b = Datagen.tpch ~scale:0.001 () in
+  let rows c = (Catalog.find_exn c "orders").Table.rows in
+  check bool_t "same data for same seed" true (rows a = rows b);
+  let c = Datagen.tpch ~seed:1 ~scale:0.001 () in
+  check bool_t "different seed differs" true (rows a <> rows c)
+
+let test_tpch_pk_unique () =
+  List.iter
+    (fun name ->
+      let tb = Catalog.find_exn tpch name in
+      match tb.schema.primary_key with
+      | [] -> ()
+      | pk ->
+        let idx = List.map (fun c -> Option.get (Schema.column_index tb.schema c)) pk in
+        let keys =
+          Array.to_list (Array.map (fun row -> List.map (fun i -> row.(i)) idx) tb.rows)
+        in
+        check int_t (name ^ " pk unique") (List.length keys)
+          (List.length (List.sort_uniq compare keys)))
+    (Catalog.table_names tpch)
+
+let test_tpch_fk_integrity () =
+  List.iter
+    (fun name ->
+      let tb = Catalog.find_exn tpch name in
+      List.iter
+        (fun (fk : Schema.foreign_key) ->
+          let target = Catalog.find_exn tpch fk.fk_table in
+          let tgt_idx =
+            List.map (fun c -> Option.get (Schema.column_index target.schema c)) fk.fk_ref_columns
+          in
+          let valid =
+            Array.to_list (Array.map (fun row -> List.map (fun i -> row.(i)) tgt_idx) target.rows)
+          in
+          let src_idx =
+            List.map (fun c -> Option.get (Schema.column_index tb.schema c)) fk.fk_columns
+          in
+          Array.iter
+            (fun row ->
+              let key = List.map (fun i -> row.(i)) src_idx in
+              if not (List.exists (fun v -> Value.is_null v) key) then
+                check bool_t
+                  (Printf.sprintf "%s fk to %s" name fk.fk_table)
+                  true (List.mem key valid))
+            tb.rows)
+        tb.schema.foreign_keys)
+    (Catalog.table_names tpch)
+
+let test_micro () =
+  let cat = Datagen.micro () in
+  check int_t "three tables" 3 (List.length (Catalog.table_names cat));
+  check bool_t "t1 has rows" true (Table.row_count (Catalog.find_exn cat "t1") > 0)
+
+let suite =
+  [ ( "storage.prng",
+      [ Alcotest.test_case "determinism" `Quick test_prng_determinism;
+        Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+        Alcotest.test_case "ranges" `Quick test_prng_ranges;
+        Alcotest.test_case "invalid arguments" `Quick test_prng_invalid;
+        Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;
+        Alcotest.test_case "sample" `Quick test_prng_sample;
+        Alcotest.test_case "split independence" `Quick test_prng_split_independent ] );
+    ( "storage.value",
+      [ Alcotest.test_case "sql comparisons" `Quick test_value_sql_comparisons;
+        Alcotest.test_case "total order" `Quick test_value_total_order;
+        Alcotest.test_case "arithmetic" `Quick test_value_arith;
+        Alcotest.test_case "dates" `Quick test_value_dates;
+        Alcotest.test_case "sql literals" `Quick test_value_to_sql;
+        Alcotest.test_case "hash int/float" `Quick test_value_hash_consistent ] );
+    ( "storage.schema",
+      [ Alcotest.test_case "accessors" `Quick test_schema_accessors;
+        Alcotest.test_case "validation" `Quick test_schema_validation;
+        Alcotest.test_case "table type checks" `Quick test_table_type_checking;
+        Alcotest.test_case "stats" `Quick test_stats;
+        Alcotest.test_case "catalog" `Quick test_catalog ] );
+    ( "storage.datagen",
+      [ Alcotest.test_case "tpch shape" `Quick test_tpch_shape;
+        Alcotest.test_case "determinism" `Quick test_tpch_determinism;
+        Alcotest.test_case "primary keys unique" `Quick test_tpch_pk_unique;
+        Alcotest.test_case "foreign keys valid" `Quick test_tpch_fk_integrity;
+        Alcotest.test_case "micro catalog" `Quick test_micro ] ) ]
