@@ -23,7 +23,9 @@ let scale = 0.002
 let bench_options = { Optimizer.Engine.default_options with max_trees = 400 }
 let catalog = lazy (Datagen.tpch ~scale ())
 let fw () = F.create ~options:bench_options (Lazy.force catalog)
-let now () = Unix.gettimeofday ()
+
+(* Monotonic, so figure timings can't be skewed by wall-clock jumps. *)
+let now () = Obs.Clock.now_s ()
 let header title = Printf.printf "\n=== %s ===\n%!" title
 let hr () = print_endline (String.make 72 '-')
 

@@ -7,7 +7,13 @@
      qtr coverage --rules 30           Figure-8-style coverage table
      qtr compress --rules 10 --k 5     compare BASELINE/SMC/TOPK
      qtr validate --rules 10 --k 3     run correctness testing
-     qtr validate --inject SelectMerge ... with a buggy rule injected *)
+     qtr validate --inject SelectMerge ... with a buggy rule injected
+     qtr stats                         per-rule optimizer metrics table
+
+   Every subcommand accepts --trace FILE to record a Chrome trace-event
+   JSONL trace (which also turns metrics collection on); optimize,
+   coverage, compress and stats accept --json for machine-readable
+   output. *)
 
 open Cmdliner
 open Storage
@@ -27,6 +33,32 @@ let budget_arg =
     value
     & opt int 400
     & info [ "budget" ] ~docv:"TREES" ~doc:"Optimizer exploration budget (trees).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a Chrome trace-event JSONL trace of the whole run to $(docv) and \
+           enable metrics collection. Load it in chrome://tracing or Perfetto after \
+           wrapping in a JSON array: jq -s . $(docv).")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON on stdout.")
+
+(* Telemetry is off unless asked for: tracing implies metrics, so the
+   per-rule tables under `--json`/`qtr stats` line up with the spans. *)
+let with_telemetry trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    Obs.Metrics.set_enabled true;
+    (try Obs.Trace.start path
+     with Sys_error e ->
+       Printf.eprintf "cannot open trace file: %s\n" e;
+       exit 1);
+    Fun.protect ~finally:Obs.Trace.stop f
 
 let make_fw ?rules scale budget =
   let cat = Datagen.tpch ~scale () in
@@ -74,7 +106,9 @@ let optimize_cmd =
       & opt_all string []
       & info [ "disable" ] ~docv:"RULE" ~doc:"Disable a rule (repeatable).")
   in
-  let run scale budget sql disabled =
+  let run scale budget sql disabled trace json =
+    with_telemetry trace @@ fun () ->
+    if json then Obs.Metrics.set_enabled true;
     let fw = make_fw scale budget in
     let cat = Core.Framework.catalog fw in
     match Relalg.Sql_parser.parse cat sql with
@@ -82,23 +116,59 @@ let optimize_cmd =
       Printf.eprintf "%s\n" e;
       exit 1
     | Ok tree -> (
-      Format.printf "Logical tree:@.%a@.@." Relalg.Logical.pp tree;
+      if not json then Format.printf "Logical tree:@.%a@.@." Relalg.Logical.pp tree;
       match Core.Framework.optimize fw ~disabled tree with
       | Error e ->
         Printf.eprintf "optimize: %s\n" e;
         exit 1
-      | Ok r -> (
-        Format.printf "Plan (cost %.1f, %d trees explored):@.%a@.@." r.cost
-          r.trees_explored Optimizer.Physical.pp r.plan;
-        Format.printf "RuleSet: %s@."
-          (String.concat ", " (Core.Framework.SSet.elements r.exercised));
-        match Executor.Exec.run cat r.plan with
-        | Ok res -> Format.printf "@.%a@." Executor.Resultset.pp res
-        | Error e -> Printf.eprintf "execution: %s\n" e))
+      | Ok r ->
+        let execution = Executor.Exec.run cat r.plan in
+        if json then begin
+          let string_set s =
+            Obs.Json.List
+              (List.map (fun n -> Obs.Json.String n) (Core.Framework.SSet.elements s))
+          in
+          let doc =
+            Obs.Json.Obj
+              [ ("sql", Obs.Json.String sql);
+                ("cost", Obs.Json.Float r.cost);
+                ("trees_explored", Obs.Json.Int r.trees_explored);
+                ("budget_exhausted", Obs.Json.Bool r.budget_exhausted);
+                ("ruleset", string_set r.exercised);
+                ("impl_ruleset", string_set r.impl_exercised);
+                ( "plan",
+                  Obs.Json.String
+                    (Format.asprintf "%a" Optimizer.Physical.pp r.plan) );
+                ( "rows",
+                  match execution with
+                  | Ok res -> Obs.Json.Int (List.length res.rows)
+                  | Error _ -> Obs.Json.Null );
+                ( "execution_error",
+                  match execution with
+                  | Ok _ -> Obs.Json.Null
+                  | Error e -> Obs.Json.String e );
+                ("metrics", Obs.Report.metrics_json ()) ]
+          in
+          print_endline (Obs.Json.to_string doc)
+        end
+        else begin
+          Format.printf "Plan (cost %.1f, %d trees explored):@.%a@.@." r.cost
+            r.trees_explored Optimizer.Physical.pp r.plan;
+          if r.budget_exhausted then
+            Format.printf
+              "warning: exploration budget exhausted at %d trees — RuleSet and plan \
+               may be incomplete; raise --budget@."
+              r.trees_explored;
+          Format.printf "RuleSet: %s@."
+            (String.concat ", " (Core.Framework.SSet.elements r.exercised));
+          match execution with
+          | Ok res -> Format.printf "@.%a@." Executor.Resultset.pp res
+          | Error e -> Printf.eprintf "execution: %s\n" e
+        end)
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Parse, optimize and execute a SQL query")
-    Term.(const run $ scale_arg $ budget_arg $ sql $ disabled)
+    Term.(const run $ scale_arg $ budget_arg $ sql $ disabled $ trace_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* qtr generate                                                        *)
@@ -127,7 +197,8 @@ let generate_cmd =
             "Require the rule to be relevant (disabling it changes the chosen plan) — \
              the paper's §7 variant. Only with --rule.")
   in
-  let run scale budget seed rule pair extra relevant =
+  let run scale budget seed rule pair extra relevant trace =
+    with_telemetry trace @@ fun () ->
     let fw = make_fw scale budget in
     let g = Prng.create seed in
     let result =
@@ -155,7 +226,9 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a SQL test case exercising a rule or rule pair")
-    Term.(const run $ scale_arg $ budget_arg $ seed_arg $ rule $ pair $ extra $ relevant)
+    Term.(
+      const run $ scale_arg $ budget_arg $ seed_arg $ rule $ pair $ extra $ relevant
+      $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* qtr coverage                                                        *)
@@ -167,29 +240,51 @@ let n_rules_arg =
     & info [ "rules" ] ~docv:"N" ~doc:"Number of rules (prefix of the registry).")
 
 let coverage_cmd =
-  let run scale budget seed n =
+  let run scale budget seed n trace json =
+    with_telemetry trace @@ fun () ->
     let fw = make_fw scale budget in
     let rules = List.filteri (fun i _ -> i < n) Optimizer.Rules.names in
-    Printf.printf "%-34s %8s %9s\n" "rule" "RANDOM" "PATTERN";
-    List.iteri
-      (fun i name ->
-        let g = Prng.create (seed + i) in
-        let r =
-          match Core.Query_gen.random_for_rules ~max_trials:100 fw g [ name ] with
-          | Some x -> string_of_int x.trials
-          | None -> ">100"
-        in
-        let p =
-          match Core.Query_gen.for_rule ~max_trials:100 fw g name with
-          | Some x -> string_of_int x.trials
-          | None -> "FAIL"
-        in
-        Printf.printf "%-34s %8s %9s\n%!" name r p)
-      rules
+    if not json then Printf.printf "%-34s %8s %9s\n" "rule" "RANDOM" "PATTERN";
+    let rows =
+      List.mapi
+        (fun i name ->
+          let g = Prng.create (seed + i) in
+          let r = Core.Query_gen.random_for_rules ~max_trials:100 fw g [ name ] in
+          let p = Core.Query_gen.for_rule ~max_trials:100 fw g name in
+          if not json then begin
+            let show cap = function
+              | Some (x : Core.Query_gen.generated) -> string_of_int x.trials
+              | None -> cap
+            in
+            Printf.printf "%-34s %8s %9s\n%!" name (show ">100" r) (show "FAIL" p)
+          end;
+          (name, r, p))
+        rules
+    in
+    if json then begin
+      let trials = function
+        | Some (x : Core.Query_gen.generated) -> Obs.Json.Int x.trials
+        | None -> Obs.Json.Null
+      in
+      let doc =
+        Obs.Json.Obj
+          [ ( "rules",
+              Obs.Json.List
+                (List.map
+                   (fun (name, r, p) ->
+                     Obs.Json.Obj
+                       [ ("rule", Obs.Json.String name);
+                         ("random_trials", trials r);
+                         ("pattern_trials", trials p) ])
+                   rows) );
+            ("cap", Obs.Json.Int 100) ]
+      in
+      print_endline (Obs.Json.to_string doc)
+    end
   in
   Cmd.v
     (Cmd.info "coverage" ~doc:"Rule-coverage trials, RANDOM vs PATTERN (Figure 8)")
-    Term.(const run $ scale_arg $ budget_arg $ seed_arg $ n_rules_arg)
+    Term.(const run $ scale_arg $ budget_arg $ seed_arg $ n_rules_arg $ trace_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* qtr compress                                                        *)
@@ -201,7 +296,8 @@ let pairs_flag =
   Arg.(value & flag & info [ "pairs" ] ~doc:"Target rule pairs instead of singletons.")
 
 let compress_cmd =
-  let run scale budget seed n k pairs =
+  let run scale budget seed n k pairs trace json =
+    with_telemetry trace @@ fun () ->
     let fw = make_fw scale budget in
     let g = Prng.create seed in
     let rules = List.filteri (fun i _ -> i < n) Optimizer.Rules.names in
@@ -209,23 +305,50 @@ let compress_cmd =
       if pairs then Core.Suite.all_pairs rules
       else List.map (fun r -> Core.Suite.Single r) rules
     in
-    Printf.printf "generating suite: %d targets x k=%d...\n%!" (List.length targets) k;
+    if not json then
+      Printf.printf "generating suite: %d targets x k=%d...\n%!" (List.length targets) k;
     let suite = Core.Suite.generate ~extra_ops:2 fw g ~targets ~k in
-    Printf.printf "%d distinct queries (shortfalls %d)\n%!"
-      (Array.length suite.entries)
-      (List.length (Core.Suite.shortfall suite));
-    let report name (sol : Core.Compress.solution) =
-      Printf.printf "  %-10s cost %14.1f  invocations %5d\n%!" name sol.total_cost
-        sol.invocations
+    if not json then
+      Printf.printf "%d distinct queries (shortfalls %d)\n%!"
+        (Array.length suite.entries)
+        (List.length (Core.Suite.shortfall suite));
+    let algos =
+      [ ("BASELINE", Core.Compress.baseline fw suite);
+        ("SMC", Core.Compress.smc fw suite);
+        ("TOPK", Core.Compress.topk fw suite);
+        ("TOPK+mono", Core.Compress.topk ~exploit_monotonicity:true fw suite) ]
     in
-    report "BASELINE" (Core.Compress.baseline fw suite);
-    report "SMC" (Core.Compress.smc fw suite);
-    report "TOPK" (Core.Compress.topk fw suite);
-    report "TOPK+mono" (Core.Compress.topk ~exploit_monotonicity:true fw suite)
+    if json then begin
+      let doc =
+        Obs.Json.Obj
+          [ ("targets", Obs.Json.Int (List.length targets));
+            ("k", Obs.Json.Int k);
+            ("distinct_queries", Obs.Json.Int (Array.length suite.entries));
+            ("shortfalls", Obs.Json.Int (List.length (Core.Suite.shortfall suite)));
+            ( "algorithms",
+              Obs.Json.List
+                (List.map
+                   (fun (name, (sol : Core.Compress.solution)) ->
+                     Obs.Json.Obj
+                       [ ("name", Obs.Json.String name);
+                         ("total_cost", Obs.Json.Float sol.total_cost);
+                         ("invocations", Obs.Json.Int sol.invocations) ])
+                   algos) ) ]
+      in
+      print_endline (Obs.Json.to_string doc)
+    end
+    else
+      List.iter
+        (fun (name, (sol : Core.Compress.solution)) ->
+          Printf.printf "  %-10s cost %14.1f  invocations %5d\n%!" name sol.total_cost
+            sol.invocations)
+        algos
   in
   Cmd.v
     (Cmd.info "compress" ~doc:"Test-suite compression: BASELINE vs SMC vs TOPK")
-    Term.(const run $ scale_arg $ budget_arg $ seed_arg $ n_rules_arg $ k_arg $ pairs_flag)
+    Term.(
+      const run $ scale_arg $ budget_arg $ seed_arg $ n_rules_arg $ k_arg $ pairs_flag
+      $ trace_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* qtr validate                                                        *)
@@ -241,7 +364,8 @@ let validate_cmd =
             "Inject the buggy variant of RULE (one of the Faults registry) before \
              validating.")
   in
-  let run scale budget seed n k inject =
+  let run scale budget seed n k inject trace =
+    with_telemetry trace @@ fun () ->
     let rules_override = Option.map Core.Faults.inject inject in
     let fw = make_fw ?rules:rules_override scale budget in
     let g = Prng.create seed in
@@ -261,7 +385,118 @@ let validate_cmd =
   Cmd.v
     (Cmd.info "validate"
        ~doc:"Execute a compressed correctness suite (optionally with a fault injected)")
-    Term.(const run $ scale_arg $ budget_arg $ seed_arg $ n_rules_arg $ k_arg $ inject)
+    Term.(
+      const run $ scale_arg $ budget_arg $ seed_arg $ n_rules_arg $ k_arg $ inject
+      $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* qtr stats                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let queries_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "queries" ] ~docv:"N"
+          ~doc:"Number of stochastic TPC-H queries to optimize for the sample.")
+  in
+  let sort_arg =
+    let options =
+      [ ("attempts", `Attempts); ("rewrites", `Rewrites); ("rate", `Rate);
+        ("mean", `Mean); ("total", `Total) ]
+    in
+    Arg.(
+      value
+      & opt (enum options) `Attempts
+      & info [ "sort" ] ~docv:"COLUMN"
+          ~doc:"Sort column: $(b,attempts), $(b,rewrites), $(b,rate), $(b,mean) \
+                (latency) or $(b,total) (time).")
+  in
+  let run scale budget seed queries sort trace json =
+    with_telemetry trace @@ fun () ->
+    Obs.Metrics.set_enabled true;
+    let fw = make_fw scale budget in
+    let cat = Core.Framework.catalog fw in
+    let ctx = { Core.Arggen.g = Prng.create seed; cat } in
+    let exhausted = ref 0 in
+    for _ = 1 to queries do
+      let q = Core.Random_gen.generate ~min_ops:3 ~max_ops:8 ctx in
+      match Core.Framework.optimize fw q with
+      | Ok r -> if r.budget_exhausted then incr exhausted
+      | Error _ -> ()
+    done;
+    if json then print_endline (Obs.Json.to_string (Obs.Report.metrics_json ()))
+    else begin
+      let counter_of = function Some (Obs.Metrics.Counter c) -> c | _ -> 0 in
+      let hist_of rule = Obs.Metrics.histogram ~label:rule "optimizer.rule.match_ns" in
+      let rows =
+        List.map
+          (fun (rule, values) ->
+            match values with
+            | [ a; r ] ->
+              let attempts = counter_of a and rewrites = counter_of r in
+              let h = hist_of rule in
+              let snap = Obs.Metrics.hist_snapshot h in
+              let rate =
+                if attempts = 0 then 0.0
+                else 100.0 *. float_of_int rewrites /. float_of_int attempts
+              in
+              ( rule, attempts, rewrites, rate,
+                Obs.Clock.ns_to_us (Obs.Metrics.hist_mean h),
+                Obs.Clock.ns_to_us (Obs.Metrics.hist_quantile h 0.95),
+                Obs.Clock.ns_to_ms snap.sum )
+            | _ -> (rule, 0, 0, 0.0, 0.0, 0.0, 0.0))
+          (Obs.Report.label_table
+             [ "optimizer.rule.attempts"; "optimizer.rule.rewrites" ])
+      in
+      let key (_, a, r, rate, mean, _, total) =
+        match sort with
+        | `Attempts -> float_of_int a
+        | `Rewrites -> float_of_int r
+        | `Rate -> rate
+        | `Mean -> mean
+        | `Total -> total
+      in
+      let rows = List.sort (fun x y -> compare (key y) (key x)) rows in
+      Printf.printf "%d stochastic TPC-H queries optimized (scale %g, budget %d)\n\n"
+        queries scale budget;
+      Printf.printf "%-34s %9s %9s %6s %9s %9s %9s\n" "rule" "attempts" "rewrites"
+        "hit%" "mean_us" "p95_us" "total_ms";
+      print_endline (String.make 90 '-');
+      List.iter
+        (fun (rule, a, r, rate, mean, p95, total) ->
+          Printf.printf "%-34s %9d %9d %5.1f%% %9.2f %9.2f %9.2f\n" rule a r rate mean
+            p95 total)
+        rows;
+      print_endline (String.make 90 '-');
+      let cval name =
+        match
+          List.find_map
+            (fun (n, l, v) -> if n = name && l = None then Some v else None)
+            (Obs.Metrics.snapshot ())
+        with
+        | Some (Obs.Metrics.Counter c) -> c
+        | _ -> 0
+      in
+      let hits = cval "optimizer.memo.hits" and misses = cval "optimizer.memo.misses" in
+      Printf.printf
+        "trees explored %d | memo hit rate %.1f%% (%d/%d) | budget exhausted on \
+         %d/%d queries | optimizer invocations %d\n"
+        (cval "optimizer.explore.trees")
+        (if hits + misses = 0 then 0.0
+         else 100.0 *. float_of_int hits /. float_of_int (hits + misses))
+        hits (hits + misses) !exhausted queries
+        (Core.Framework.invocations fw)
+    end
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Optimize a stochastic TPC-H workload with metrics on and print a sorted \
+          per-rule attempt/success/latency table")
+    Term.(
+      const run $ scale_arg $ budget_arg $ seed_arg $ queries_arg $ sort_arg $ trace_arg
+      $ json_arg)
 
 let () =
   let doc = "testing framework for query transformation rules (SIGMOD'09 reproduction)" in
@@ -270,4 +505,4 @@ let () =
        (Cmd.group
           (Cmd.info "qtr" ~version:"1.0.0" ~doc)
           [ rules_cmd; optimize_cmd; generate_cmd; coverage_cmd; compress_cmd;
-            validate_cmd ]))
+            validate_cmd; stats_cmd ]))

@@ -4,6 +4,8 @@ type edge_costs = {
   targets : Suite.target array;
   memo : (int * int, float) Hashtbl.t;
   mutable calls : int;
+  computed_c : Obs.Metrics.counter;
+  memo_hit_c : Obs.Metrics.counter;
 }
 
 let edge_costs fw (suite : Suite.t) =
@@ -11,13 +13,18 @@ let edge_costs fw (suite : Suite.t) =
     suite;
     targets = Array.of_list suite.targets;
     memo = Hashtbl.create 256;
-    calls = 0 }
+    calls = 0;
+    computed_c = Obs.Metrics.counter "compress.edge_cost.computed";
+    memo_hit_c = Obs.Metrics.counter "compress.edge_cost.memo_hits" }
 
 let edge_cost ec ~target_idx ~query_idx =
   match Hashtbl.find_opt ec.memo (target_idx, query_idx) with
-  | Some c -> c
+  | Some c ->
+    Obs.Metrics.incr ec.memo_hit_c;
+    c
   | None ->
     ec.calls <- ec.calls + 1;
+    Obs.Metrics.incr ec.computed_c;
     let disabled = Suite.rules_of ec.targets.(target_idx) in
     let query = ec.suite.entries.(query_idx).query in
     let c =
@@ -37,6 +44,25 @@ type solution = {
 }
 
 let node_cost (suite : Suite.t) i = suite.entries.(i).cost
+
+(* Every algorithm runs under a span and publishes its outcome as
+   gauges, so a compression run's cost/invocation trade-off (Figures
+   11-14) is readable straight off a trace or metrics snapshot. *)
+let algo_span name (suite : Suite.t) f =
+  Obs.Trace.with_span ("compress." ^ name)
+    ~args:
+      [ ("targets", Obs.Json.Int (List.length suite.targets));
+        ("queries", Obs.Json.Int (Array.length suite.entries));
+        ("k", Obs.Json.Int suite.k) ]
+    (fun () ->
+      let sol = f () in
+      Obs.Metrics.gauge_set
+        (Obs.Metrics.gauge ~label:name "compress.total_cost")
+        sol.total_cost;
+      Obs.Metrics.gauge_set
+        (Obs.Metrics.gauge ~label:name "compress.invocations")
+        (float_of_int sol.invocations);
+      sol)
 
 (* Shared-execution objective: distinct node costs once + all edge costs. *)
 let solution_cost (suite : Suite.t) sol =
@@ -62,6 +88,7 @@ let solution_cost (suite : Suite.t) sol =
 (* ------------------------------------------------------------------ *)
 
 let baseline fw (suite : Suite.t) =
+  algo_span "baseline" suite @@ fun () ->
   let ec = edge_costs fw suite in
   let tindex =
     List.mapi (fun i (t, _) -> (t, i)) suite.per_target
@@ -90,6 +117,8 @@ let baseline fw (suite : Suite.t) =
 (* ------------------------------------------------------------------ *)
 
 let smc fw (suite : Suite.t) =
+  algo_span "smc" suite @@ fun () ->
+  let iterations_c = Obs.Metrics.counter "compress.smc.iterations" in
   let targets = Array.of_list suite.targets in
   let nt = Array.length targets in
   let nq = Array.length suite.entries in
@@ -126,6 +155,7 @@ let smc fw (suite : Suite.t) =
     match !best with
     | None -> continue_ := false
     | Some (q, _) ->
+      Obs.Metrics.incr iterations_c;
       picked.(q) <- true;
       List.iter
         (fun ti ->
@@ -176,6 +206,8 @@ module Kqueue = struct
 end
 
 let topk ?(exploit_monotonicity = false) fw (suite : Suite.t) =
+  algo_span (if exploit_monotonicity then "topk_mono" else "topk") suite @@ fun () ->
+  let pruned_c = Obs.Metrics.counter "compress.topk.pruned_edges" in
   let ec = edge_costs fw suite in
   let targets = Array.of_list suite.targets in
   let assignment =
@@ -199,7 +231,12 @@ let topk ?(exploit_monotonicity = false) fw (suite : Suite.t) =
                  if
                    Kqueue.size queue >= suite.k
                    && node_cost suite q >= Kqueue.max_cost queue
-                 then ()
+                 then begin
+                   (* Monotonicity pruned this edge and everything after
+                      it — the saving Figure 14 measures. *)
+                   if Obs.Metrics.enabled () then
+                     Obs.Metrics.add pruned_c (1 + List.length rest)
+                 end
                  else begin
                    Kqueue.push queue (edge_cost ec ~target_idx:ti ~query_idx:q) q;
                    scan rest

@@ -22,15 +22,29 @@ let with_disabled options disabled =
       List.fold_left (fun s r -> SSet.add r s) options.Optimizer.Engine.disabled
         disabled }
 
-let ruleset t q =
+(* One span per optimizer invocation, tagged with the disabled-rule set —
+   the unit of measurement of the paper's Figure 14, now visible on a
+   timeline. *)
+let invoked t ~kind ~disabled f =
   t.invocations <- t.invocations + 1;
-  Optimizer.Engine.ruleset ~options:t.options ~rules:t.rule_list t.cat q
+  Obs.Metrics.incr (Obs.Metrics.counter "framework.invocations");
+  if Obs.Trace.enabled () then
+    Obs.Trace.with_span ("framework." ^ kind)
+      ~args:
+        [ ("invocation", Obs.Json.Int t.invocations);
+          ("disabled", Obs.Json.List (List.map (fun r -> Obs.Json.String r) disabled)) ]
+      f
+  else f ()
+
+let ruleset t q =
+  invoked t ~kind:"ruleset" ~disabled:[] (fun () ->
+      Optimizer.Engine.ruleset ~options:t.options ~rules:t.rule_list t.cat q)
 
 let optimize t ?(disabled = []) q =
-  t.invocations <- t.invocations + 1;
-  Optimizer.Engine.optimize
-    ~options:(with_disabled t.options disabled)
-    ~rules:t.rule_list t.cat q
+  invoked t ~kind:"optimize" ~disabled (fun () ->
+      Optimizer.Engine.optimize
+        ~options:(with_disabled t.options disabled)
+        ~rules:t.rule_list t.cat q)
 
 let cost t ?disabled q =
   Result.map (fun (r : Optimizer.Engine.result) -> r.cost) (optimize t ?disabled q)

@@ -32,6 +32,10 @@ type gen_method = Pattern_based | Random_based
 
 let generate ?(gen = Pattern_based) ?(extra_ops = 3) ?(max_trials = 60) fw g
     ~targets ~k =
+  Obs.Trace.with_span "suite.generate"
+    ~args:[ ("targets", Obs.Json.Int (List.length targets)); ("k", Obs.Json.Int k) ]
+  @@ fun () ->
+  let dedup_c = Obs.Metrics.counter "suite.dedup_hits" in
   let entries : entry list ref = ref [] in
   let count = ref 0 in
   let index_of query =
@@ -45,7 +49,9 @@ let generate ?(gen = Pattern_based) ?(extra_ops = 3) ?(max_trials = 60) fw g
   in
   let add query =
     match index_of query with
-    | Some i -> Some i
+    | Some i ->
+      Obs.Metrics.incr dedup_c;
+      Some i
     | None -> (
       match (Framework.ruleset fw query, Framework.cost fw query) with
       | Ok ruleset, Ok cost ->

@@ -267,7 +267,35 @@ let distinct_rows rows =
       end)
     rows
 
+let op_name : P.t -> string = function
+  | P.TableScan _ -> "TableScan"
+  | P.FilterOp _ -> "Filter"
+  | P.ComputeScalar _ -> "ComputeScalar"
+  | P.NestedLoopsJoin _ -> "NestedLoopsJoin"
+  | P.HashJoin _ -> "HashJoin"
+  | P.MergeJoin _ -> "MergeJoin"
+  | P.HashAggregate _ -> "HashAggregate"
+  | P.StreamAggregate _ -> "StreamAggregate"
+  | P.SortOp _ -> "Sort"
+  | P.Concat _ -> "Concat"
+  | P.HashUnion _ -> "HashUnion"
+  | P.HashIntersect _ -> "HashIntersect"
+  | P.HashExcept _ -> "HashExcept"
+  | P.HashDistinct _ -> "HashDistinct"
+  | P.LimitOp _ -> "Limit"
+
 let rec exec catalog (plan : P.t) : Resultset.t =
+  let rs = exec_node catalog plan in
+  (* Rows flowing out of every physical operator, by operator kind. *)
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.add
+      (Obs.Metrics.counter ~label:(op_name plan) "exec.rows")
+      (List.length rs.rows);
+    Obs.Metrics.incr (Obs.Metrics.counter ~label:(op_name plan) "exec.operators")
+  end;
+  rs
+
+and exec_node catalog (plan : P.t) : Resultset.t =
   match plan with
   | P.TableScan { table; alias } -> (
     match Catalog.find catalog table with
@@ -407,6 +435,7 @@ and check_arity (a : Resultset.t) (b : Resultset.t) =
       (Array.length b.cols)
 
 let run catalog plan =
+  Obs.Trace.with_span "exec.run" @@ fun () ->
   try Ok (exec catalog plan) with
   | Exec_error msg -> Error msg
   | Invalid_argument msg -> Error ("execution type error: " ^ msg)

@@ -1,0 +1,5 @@
+let now_ns () = Monotonic_clock.now ()
+let now_s () = Int64.to_float (now_ns ()) *. 1e-9
+let ns_between t0 t1 = Float.max 0.0 (Int64.to_float (Int64.sub t1 t0))
+let ns_to_ms ns = ns *. 1e-6
+let ns_to_us ns = ns *. 1e-3

@@ -1,0 +1,17 @@
+(** Monotonic time. Wraps the CLOCK_MONOTONIC stub shipped with bechamel,
+    so intervals are immune to wall-clock adjustments (NTP slew, DST) —
+    the property bench timings and span durations rely on. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock. Only differences are meaningful. *)
+
+val now_s : unit -> float
+(** The same instant in seconds. Drop-in replacement for the
+    [Unix.gettimeofday]-based interval timing in benchmarks. *)
+
+val ns_between : int64 -> int64 -> float
+(** [ns_between t0 t1] is [t1 - t0] in nanoseconds as a float, clamped
+    at zero. *)
+
+val ns_to_ms : float -> float
+val ns_to_us : float -> float

@@ -1,0 +1,27 @@
+(** A minimal JSON tree: enough to emit trace events and machine-readable
+    reports, and to parse them back in tests. No external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+(** Compact (single-line) rendering. Non-finite floats become [null],
+    keeping every emitted document strictly RFC 8259. *)
+
+val of_string : string -> (t, string) result
+(** Strict parser for complete documents; trailing garbage is an error.
+    Numbers with a fraction or exponent parse as [Float], others as
+    [Int]. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] elsewhere. *)
+
+val to_float : t -> float option
+(** Numeric projection ([Int] widens). *)

@@ -1,0 +1,155 @@
+let on = ref false
+let set_enabled b = on := b
+let enabled () = !on
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+(* Power-of-two buckets: bucket [i] counts samples in [2^(i-1), 2^i).
+   64 buckets cover anything from sub-nanosecond to ~9e18, so latencies
+   in nanoseconds never clip in practice. *)
+let n_buckets = 64
+
+type histogram = {
+  mutable count : int;
+  mutable sum : float;
+  mutable lo : float;
+  mutable hi : float;
+  buckets : int array;
+}
+
+type instrument =
+  | C of counter
+  | G of gauge
+  | H of histogram
+
+let registry : (string * string option, instrument) Hashtbl.t = Hashtbl.create 64
+
+let register key mk extract =
+  match Hashtbl.find_opt registry key with
+  | Some i -> extract i
+  | None ->
+    let v = mk () in
+    Hashtbl.replace registry key v;
+    extract v
+
+let wrong_kind (name, _) = invalid_arg ("metric registered with another kind: " ^ name)
+
+let counter ?label name =
+  let key = (name, label) in
+  register key
+    (fun () -> C { c = 0 })
+    (function C c -> c | _ -> wrong_kind key)
+
+let gauge ?label name =
+  let key = (name, label) in
+  register key
+    (fun () -> G { g = 0.0 })
+    (function G g -> g | _ -> wrong_kind key)
+
+let fresh_hist () =
+  { count = 0;
+    sum = 0.0;
+    lo = Float.infinity;
+    hi = Float.neg_infinity;
+    buckets = Array.make n_buckets 0 }
+
+let histogram ?label name =
+  let key = (name, label) in
+  register key
+    (fun () -> H (fresh_hist ()))
+    (function H h -> h | _ -> wrong_kind key)
+
+(* ------------------------------------------------------------------ *)
+(* Hot path                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let incr c = if !on then c.c <- c.c + 1
+let add c n = if !on then c.c <- c.c + n
+let gauge_set g v = if !on then g.g <- v
+let gauge_max g v = if !on && v > g.g then g.g <- v
+
+let bucket_of v =
+  if v < 1.0 then 0
+  else
+    let b = 1 + int_of_float (Float.log2 v) in
+    if b >= n_buckets then n_buckets - 1 else b
+
+let observe h v =
+  if !on then begin
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.lo then h.lo <- v;
+    if v > h.hi then h.hi <- v;
+    let b = bucket_of v in
+    h.buckets.(b) <- h.buckets.(b) + 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let counter_value c = c.c
+let gauge_value g = g.g
+
+type hist_snapshot = { count : int; sum : float; min : float; max : float }
+
+let hist_snapshot (h : histogram) =
+  { count = h.count; sum = h.sum; min = h.lo; max = h.hi }
+
+let hist_mean (h : histogram) =
+  if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
+
+let hist_quantile (h : histogram) q =
+  if h.count = 0 then 0.0
+  else begin
+    let rank = q *. float_of_int h.count in
+    let cum = ref 0 in
+    let result = ref h.hi in
+    (try
+       for b = 0 to n_buckets - 1 do
+         cum := !cum + h.buckets.(b);
+         if float_of_int !cum >= rank then begin
+           (* Geometric midpoint of [2^(b-1), 2^b), clamped to samples. *)
+           let mid = if b = 0 then 0.5 else Float.pow 2.0 (float_of_int b -. 0.5) in
+           result := Float.min h.hi (Float.max h.lo mid);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of hist_snapshot
+
+let snapshot () =
+  Hashtbl.fold
+    (fun (name, label) i acc ->
+      let v =
+        match i with
+        | C c -> Counter c.c
+        | G g -> Gauge g.g
+        | H h -> Histogram (hist_snapshot h)
+      in
+      (name, label, v) :: acc)
+    registry []
+  |> List.sort (fun (n1, l1, _) (n2, l2, _) -> compare (n1, l1) (n2, l2))
+
+let reset () =
+  Hashtbl.iter
+    (fun _ i ->
+      match i with
+      | C c -> c.c <- 0
+      | G g -> g.g <- 0.0
+      | H h ->
+        h.count <- 0;
+        h.sum <- 0.0;
+        h.lo <- Float.infinity;
+        h.hi <- Float.neg_infinity;
+        Array.fill h.buckets 0 n_buckets 0)
+    registry
+
+let clear () = Hashtbl.reset registry

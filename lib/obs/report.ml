@@ -1,0 +1,64 @@
+let hist_json (h : Metrics.hist_snapshot) ~quantile =
+  Json.Obj
+    [ ("count", Json.Int h.count);
+      ("sum", Json.Float h.sum);
+      ("min", Json.Float (if h.count = 0 then 0.0 else h.min));
+      ("max", Json.Float (if h.count = 0 then 0.0 else h.max));
+      ("mean", Json.Float (if h.count = 0 then 0.0 else h.sum /. float_of_int h.count));
+      ("p50", Json.Float (quantile 0.5));
+      ("p95", Json.Float (quantile 0.95)) ]
+
+let value_json (v : Metrics.value) ~quantile =
+  match v with
+  | Metrics.Counter c -> Json.Int c
+  | Metrics.Gauge g -> Json.Float g
+  | Metrics.Histogram h -> hist_json h ~quantile
+
+(* Quantiles need the live histogram (snapshots drop the buckets);
+   re-resolve it by name, which returns the registered instance. *)
+let quantile_of name label = function
+  | Metrics.Histogram _ ->
+    let h = Metrics.histogram ?label name in
+    fun q -> Metrics.hist_quantile h q
+  | _ -> fun _ -> 0.0
+
+let metrics_json () =
+  let items =
+    List.map
+      (fun (name, label, v) ->
+        let base =
+          [ ("name", Json.String name) ]
+          @ (match label with Some l -> [ ("label", Json.String l) ] | None -> [])
+        in
+        Json.Obj (base @ [ ("value", value_json v ~quantile:(quantile_of name label v)) ]))
+      (Metrics.snapshot ())
+  in
+  Json.Obj [ ("metrics", Json.List items) ]
+
+let pp_metrics fmt () =
+  List.iter
+    (fun (name, label, v) ->
+      let full = match label with Some l -> name ^ "{" ^ l ^ "}" | None -> name in
+      match v with
+      | Metrics.Counter c -> Format.fprintf fmt "%-54s %12d@." full c
+      | Metrics.Gauge g -> Format.fprintf fmt "%-54s %12.1f@." full g
+      | Metrics.Histogram h ->
+        Format.fprintf fmt "%-54s %12d  sum %.0f  mean %.0f@." full h.count h.sum
+          (if h.count = 0 then 0.0 else h.sum /. float_of_int h.count))
+    (Metrics.snapshot ())
+
+let label_table names =
+  let snap = Metrics.snapshot () in
+  let labels =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (name, label, _) ->
+           match label with Some l when List.mem name names -> Some l | _ -> None)
+         snap)
+  in
+  let find name label =
+    List.find_map
+      (fun (n, l, v) -> if n = name && l = Some label then Some v else None)
+      snap
+  in
+  List.map (fun l -> (l, List.map (fun n -> find n l) names)) labels

@@ -1,0 +1,21 @@
+(** Machine-readable rendering of the metrics registry.
+
+    The JSON shape is stable so bench trajectories stay diffable:
+    counters are integers, gauges floats, histograms objects with
+    [count]/[sum]/[min]/[max]/[mean]/[p50]/[p95]. *)
+
+val value_json : Metrics.value -> quantile:(float -> float) -> Json.t
+
+val metrics_json : unit -> Json.t
+(** The whole registry:
+    [{"metrics": [{"name": ..., "label": ..., ...value...}, ...]}]. *)
+
+val pp_metrics : Format.formatter -> unit -> unit
+(** Human-readable dump of every instrument, one per line, sorted. *)
+
+val label_table : string list -> (string * Metrics.value option list) list
+(** [label_table names] regroups the registry by label: one row per
+    distinct label carrying, in order, the value of each metric in
+    [names] for that label (None where unregistered). Unlabelled
+    instruments are skipped. The per-rule tables of [qtr stats] are
+    built from this. *)

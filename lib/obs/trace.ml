@@ -1,0 +1,67 @@
+type sink = { write : string -> unit; close : unit -> unit }
+
+let sink : sink option ref = ref None
+let t0 : int64 ref = ref 0L
+let open_spans = ref 0
+
+let enabled () = !sink <> None
+let depth () = !open_spans
+
+let stop () =
+  match !sink with
+  | None -> ()
+  | Some s ->
+    sink := None;
+    open_spans := 0;
+    s.close ()
+
+let () = at_exit stop
+
+let install s =
+  stop ();
+  t0 := Clock.now_ns ();
+  sink := Some s
+
+let start path =
+  let oc = open_out path in
+  install { write = (fun line -> output_string oc line); close = (fun () -> close_out oc) }
+
+let start_buffer buf =
+  install { write = Buffer.add_string buf; close = ignore }
+
+let ts_us () = Clock.ns_to_us (Clock.ns_between !t0 (Clock.now_ns ()))
+
+let emit s ~ph ~name ~cat ~args =
+  let fields =
+    [ ("name", Json.String name);
+      ("cat", Json.String (Option.value cat ~default:"qtr"));
+      ("ph", Json.String ph);
+      ("ts", Json.Float (ts_us ()));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1) ]
+  in
+  let fields = match args with [] -> fields | _ -> fields @ [ ("args", Json.Obj args) ] in
+  let buf = Buffer.create 128 in
+  Json.to_buffer buf (Json.Obj fields);
+  Buffer.add_char buf '\n';
+  s.write (Buffer.contents buf)
+
+let with_span ?cat ?(args = []) name f =
+  match !sink with
+  | None -> f ()
+  | Some s ->
+    emit s ~ph:"B" ~name ~cat ~args;
+    incr open_spans;
+    Fun.protect
+      ~finally:(fun () ->
+        decr open_spans;
+        (* The sink may have been stopped while the span was open. *)
+        match !sink with
+        | Some s -> emit s ~ph:"E" ~name ~cat ~args:[]
+        | None -> ())
+      f
+
+let instant ?cat ?(args = []) name =
+  match !sink with
+  | None -> ()
+  | Some s -> emit s ~ph:"i" ~name ~cat ~args

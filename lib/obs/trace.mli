@@ -1,0 +1,37 @@
+(** Span-based tracing in the Chrome trace-event format, one JSON object
+    per line (JSONL).
+
+    Each span becomes a ["B"]/["E"] duration-event pair; one-off
+    occurrences become ["i"] instant events. Timestamps are microseconds
+    on the monotonic clock, relative to {!start}. The stream loads in
+    [chrome://tracing] / Perfetto after wrapping the lines in a JSON
+    array (['jq -s . t.jsonl']), and every individual line is a complete
+    JSON document, so the file doubles as a machine-readable log.
+
+    With no sink installed (the default) every entry point is one branch
+    and returns immediately. The sink is global, like the metrics
+    registry. *)
+
+val start : string -> unit
+(** Open [path] (truncating) and start emitting. Replaces any previous
+    sink. *)
+
+val start_buffer : Buffer.t -> unit
+(** Emit into a buffer instead of a file — used by tests. *)
+
+val stop : unit -> unit
+(** Flush and close the sink; subsequent events are dropped. Safe to
+    call twice. Also registered via [at_exit], so a trace is not lost
+    when the process exits mid-stream. *)
+
+val enabled : unit -> bool
+
+val with_span : ?cat:string -> ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a [name] span. The end event is
+    emitted even when [f] raises. [args] lands on the begin event. *)
+
+val instant : ?cat:string -> ?args:(string * Json.t) list -> string -> unit
+
+val depth : unit -> int
+(** Number of currently open spans (0 at top level) — exposed so tests
+    can assert balanced nesting. *)

@@ -14,6 +14,7 @@ type result = {
   exercised : SSet.t;
   impl_exercised : SSet.t;
   trees_explored : int;
+  budget_exhausted : bool;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -22,12 +23,40 @@ type result = {
 
 let replace_nth lst i x = List.mapi (fun j y -> if j = i then x else y) lst
 
+(* Per-rule instruments, resolved once per [explore] so the hot loop
+   never touches the metrics registry. When collection is disabled every
+   event reduces to the single branch inside [Obs.Metrics]/the [enabled]
+   guard here. *)
+type instrumented_rule = {
+  rule : Rule.t;
+  attempts : Obs.Metrics.counter;  (** application attempts, per node *)
+  rewritten : Obs.Metrics.counter;  (** rewrites produced *)
+  match_ns : Obs.Metrics.histogram;  (** latency of one application *)
+}
+
+let instrument_rule (r : Rule.t) =
+  { rule = r;
+    attempts = Obs.Metrics.counter ~label:r.name "optimizer.rule.attempts";
+    rewritten = Obs.Metrics.counter ~label:r.name "optimizer.rule.rewrites";
+    match_ns = Obs.Metrics.histogram ~label:r.name "optimizer.rule.match_ns" }
+
+let apply_rule catalog (ir : instrumented_rule) t =
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr ir.attempts;
+    let t0 = Obs.Clock.now_ns () in
+    let out = ir.rule.apply catalog t in
+    Obs.Metrics.observe ir.match_ns (Obs.Clock.ns_between t0 (Obs.Clock.now_ns ()));
+    (match out with [] -> () | l -> Obs.Metrics.add ir.rewritten (List.length l));
+    out
+  end
+  else ir.rule.apply catalog t
+
 (* All (rule name, rewritten whole tree) pairs obtained by applying a rule
    at any node of [t]. *)
 let rec rewrites catalog rules (t : L.t) : (string * L.t) list =
   let at_root =
     List.concat_map
-      (fun (r : Rule.t) -> List.map (fun t' -> (r.name, t')) (r.apply catalog t))
+      (fun ir -> List.map (fun t' -> (ir.rule.name, t')) (apply_rule catalog ir t))
       rules
   in
   let kids = L.children t in
@@ -46,12 +75,20 @@ type exploration = {
   trees : L.t list;  (** insertion order; head is the input tree *)
   logical_exercised : SSet.t;
   count : int;
+  truncated : bool;  (** the tree budget cut the closure short *)
 }
 
 let explore ~options ~rules catalog t0 : exploration =
+  (* Resolved once per call, not per rewrite: registry lookups stay out
+     of the closure loop, and a [Metrics.clear] between calls cannot
+     leave us holding instruments the registry no longer knows about. *)
+  let queue_depth_gauge = Obs.Metrics.gauge "optimizer.explore.queue_depth" in
+  let explored_counter = Obs.Metrics.counter "optimizer.explore.trees" in
+  let exhausted_counter = Obs.Metrics.counter "optimizer.explore.budget_exhausted" in
   let rules =
     List.filter (fun (r : Rule.t) -> not (SSet.mem r.name options.disabled)) rules
   in
+  let rules = List.map instrument_rule rules in
   let max_size = L.size t0 + options.max_growth in
   let seen : (L.t, unit) Hashtbl.t = Hashtbl.create 256 in
   let order = ref [ t0 ] in
@@ -60,24 +97,36 @@ let explore ~options ~rules catalog t0 : exploration =
   Queue.add t0 queue;
   let count = ref 1 in
   let exercised = ref SSet.empty in
+  let truncated = ref false in
   while (not (Queue.is_empty queue)) && !count < options.max_trees do
     let t = Queue.pop queue in
     List.iter
       (fun (name, t') ->
         exercised := SSet.add name !exercised;
-        if
-          !count < options.max_trees
-          && L.size t' <= max_size
-          && not (Hashtbl.mem seen t')
-        then begin
-          Hashtbl.replace seen t' ();
-          order := t' :: !order;
-          Queue.add t' queue;
-          incr count
+        if L.size t' <= max_size && not (Hashtbl.mem seen t') then begin
+          if !count < options.max_trees then begin
+            Hashtbl.replace seen t' ();
+            order := t' :: !order;
+            Queue.add t' queue;
+            Obs.Metrics.gauge_max queue_depth_gauge
+              (float_of_int (Queue.length queue));
+            incr count
+          end
+          else
+            (* A novel tree was dropped on the floor: the closure is
+               truncated, whatever the queue looks like afterwards. *)
+            truncated := true
         end)
       (rewrites catalog rules t)
   done;
-  { trees = List.rev !order; logical_exercised = !exercised; count = !count }
+  let truncated = !truncated || not (Queue.is_empty queue) in
+  Obs.Metrics.add explored_counter !count;
+  if truncated then begin
+    Obs.Metrics.incr exhausted_counter;
+    Obs.Trace.instant "explore.budget_exhausted"
+      ~args:[ ("max_trees", Obs.Json.Int options.max_trees) ]
+  end;
+  { trees = List.rev !order; logical_exercised = !exercised; count = !count; truncated }
 
 (* ------------------------------------------------------------------ *)
 (* Implementation (costing)                                            *)
@@ -96,6 +145,8 @@ type planner = {
   cache : (L.t, (Physical.t * float) option) Hashtbl.t;
   impl_disabled : SSet.t;
   mutable impl_exercised : SSet.t;
+  memo_hits : Obs.Metrics.counter;
+  memo_misses : Obs.Metrics.counter;
 }
 
 let log2 x = Float.max 1.0 (Float.log (x +. 2.0) /. Float.log 2.0)
@@ -121,8 +172,11 @@ let equi_keys catalog pred left right =
 
 let rec plan p (t : L.t) : (Physical.t * float) option =
   match Hashtbl.find_opt p.cache t with
-  | Some r -> r
+  | Some r ->
+    Obs.Metrics.incr p.memo_hits;
+    r
   | None ->
+    Obs.Metrics.incr p.memo_misses;
     (* Seed the cache to guard against cycles (none expected). *)
     Hashtbl.replace p.cache t None;
     let r = plan_uncached p t in
@@ -296,28 +350,38 @@ and plan_uncached p (t : L.t) : (Physical.t * float) option =
 (* Public entry points                                                 *)
 (* ------------------------------------------------------------------ *)
 
+let make_planner catalog options =
+  { catalog;
+    est = Card.create catalog;
+    cache = Hashtbl.create 1024;
+    impl_disabled = options.disabled;
+    impl_exercised = SSet.empty;
+    memo_hits = Obs.Metrics.counter "optimizer.memo.hits";
+    memo_misses = Obs.Metrics.counter "optimizer.memo.misses" }
+
 let optimize ?(options = default_options) ?(rules = Rules.all) catalog t0 =
   match Props.validate catalog t0 with
   | Error e -> Error ("invalid input tree: " ^ e)
   | Ok () ->
-    let exploration = explore ~options ~rules catalog t0 in
-    let planner =
-      { catalog;
-        est = Card.create catalog;
-        cache = Hashtbl.create 1024;
-        impl_disabled = options.disabled;
-        impl_exercised = SSet.empty }
+    let exploration =
+      Obs.Trace.with_span "engine.explore"
+        ~args:[ ("max_trees", Obs.Json.Int options.max_trees) ]
+        (fun () -> explore ~options ~rules catalog t0)
     in
+    let planner = make_planner catalog options in
     let best =
-      List.fold_left
-        (fun best tree ->
-          match plan planner tree with
-          | None -> best
-          | Some (phys, cost) -> (
-            match best with
-            | Some (_, _, best_cost) when best_cost <= cost -> best
-            | _ -> Some (tree, phys, cost)))
-        None exploration.trees
+      Obs.Trace.with_span "engine.cost"
+        ~args:[ ("trees", Obs.Json.Int exploration.count) ]
+        (fun () ->
+          List.fold_left
+            (fun best tree ->
+              match plan planner tree with
+              | None -> best
+              | Some (phys, cost) -> (
+                match best with
+                | Some (_, _, best_cost) when best_cost <= cost -> best
+                | _ -> Some (tree, phys, cost)))
+            None exploration.trees)
     in
     (match best with
     | None -> Error "no physical plan (are implementation rules disabled?)"
@@ -328,11 +392,16 @@ let optimize ?(options = default_options) ?(rules = Rules.all) catalog t0 =
           cost;
           exercised = exploration.logical_exercised;
           impl_exercised = planner.impl_exercised;
-          trees_explored = exploration.count })
+          trees_explored = exploration.count;
+          budget_exhausted = exploration.truncated })
 
 let ruleset ?(options = default_options) ?(rules = Rules.all) catalog t0 =
   match Props.validate catalog t0 with
   | Error e -> Error ("invalid input tree: " ^ e)
   | Ok () ->
-    let exploration = explore ~options ~rules catalog t0 in
+    let exploration =
+      Obs.Trace.with_span "engine.explore"
+        ~args:[ ("max_trees", Obs.Json.Int options.max_trees) ]
+        (fun () -> explore ~options ~rules catalog t0)
+    in
     Ok exploration.logical_exercised

@@ -34,6 +34,11 @@ type result = {
   exercised : SSet.t;  (** logical (exploration) rules exercised *)
   impl_exercised : SSet.t;  (** implementation rules exercised *)
   trees_explored : int;
+  budget_exhausted : bool;
+      (** the [max_trees] budget truncated the closure: some rewrites
+          were discovered but never explored, so [exercised] (and the
+          chosen plan) may under-report what an unbounded search would
+          find. Callers doing coverage analysis should surface this. *)
 }
 
 val optimize :
@@ -60,3 +65,22 @@ val ruleset :
 
 val implementation_rule_names : string list
 (** Names of the implementation rules (disjoint from {!Rules.names}). *)
+
+(** {2 Telemetry}
+
+    When [Obs.Metrics] collection is enabled the engine feeds:
+
+    - ["optimizer.rule.attempts"{rule}] — rule application attempts
+      (one per rule per node of every explored tree);
+    - ["optimizer.rule.rewrites"{rule}] — rewrites those attempts
+      produced (so [rewrites/attempts] is the rule's match rate);
+    - ["optimizer.rule.match_ns"{rule}] — latency histogram of one
+      application attempt, in nanoseconds;
+    - ["optimizer.explore.trees"], ["optimizer.explore.queue_depth"],
+      ["optimizer.explore.budget_exhausted"] — closure statistics;
+    - ["optimizer.memo.hits"/"optimizer.memo.misses"] — the planner's
+      per-subtree memo table.
+
+    With a trace sink installed, [optimize] wraps exploration and
+    costing in ["engine.explore"]/["engine.cost"] spans and emits an
+    ["explore.budget_exhausted"] instant event on truncation. *)

@@ -1,0 +1,247 @@
+(* Obs tests: counter/gauge/histogram semantics, JSON round-trips, span
+   nesting and JSONL well-formedness, and the engine/framework
+   instrumentation contract (optimize emits the expected spans and
+   counters). *)
+open Relalg
+module S = Scalar
+module L = Logical
+module M = Obs.Metrics
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* Telemetry state is global; leave it as we found it. *)
+let with_metrics f =
+  M.clear ();
+  M.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      M.set_enabled false;
+      M.clear ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_semantics () =
+  with_metrics @@ fun () ->
+  let c = M.counter "t.counter" in
+  M.incr c;
+  M.add c 4;
+  check int_t "accumulates" 5 (M.counter_value c);
+  check bool_t "same name, same instrument" true (M.counter "t.counter" == c);
+  let lbl = M.counter ~label:"a" "t.counter2" in
+  check bool_t "labels distinguish" true (M.counter ~label:"b" "t.counter2" != lbl);
+  M.reset ();
+  check int_t "reset zeroes" 0 (M.counter_value c)
+
+let test_disabled_is_inert () =
+  M.clear ();
+  M.set_enabled false;
+  let c = M.counter "t.off" in
+  let h = M.histogram "t.off_h" in
+  M.incr c;
+  M.observe h 42.0;
+  check int_t "counter untouched" 0 (M.counter_value c);
+  check int_t "histogram untouched" 0 (M.hist_snapshot h).count;
+  M.clear ()
+
+let test_gauge_semantics () =
+  with_metrics @@ fun () ->
+  let g = M.gauge "t.gauge" in
+  M.gauge_set g 3.0;
+  M.gauge_max g 1.0;
+  check bool_t "max keeps high-water" true (M.gauge_value g = 3.0);
+  M.gauge_max g 7.0;
+  check bool_t "max raises" true (M.gauge_value g = 7.0)
+
+let test_histogram_semantics () =
+  with_metrics @@ fun () ->
+  let h = M.histogram "t.hist" in
+  List.iter (M.observe h) [ 10.0; 20.0; 30.0; 1000.0 ];
+  let s = M.hist_snapshot h in
+  check int_t "count" 4 s.count;
+  check bool_t "sum" true (s.sum = 1060.0);
+  check bool_t "min" true (s.min = 10.0);
+  check bool_t "max" true (s.max = 1000.0);
+  check bool_t "mean" true (M.hist_mean h = 265.0);
+  let p50 = M.hist_quantile h 0.5 in
+  check bool_t "p50 within sample range" true (p50 >= 10.0 && p50 <= 1000.0);
+  check bool_t "p100 is max bucket" true (M.hist_quantile h 1.0 <= 1000.0)
+
+let test_snapshot_sorted () =
+  with_metrics @@ fun () ->
+  ignore (M.counter "t.b");
+  ignore (M.counter "t.a");
+  ignore (M.counter ~label:"x" "t.a");
+  let names = List.map (fun (n, l, _) -> (n, l)) (M.snapshot ()) in
+  check bool_t "sorted by name then label" true
+    (names = List.sort compare names)
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let j =
+    Obs.Json.Obj
+      [ ("s", Obs.Json.String "a \"quoted\"\n\ttab");
+        ("i", Obs.Json.Int (-42));
+        ("f", Obs.Json.Float 1.5);
+        ("b", Obs.Json.Bool true);
+        ("n", Obs.Json.Null);
+        ("l", Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Obj [] ]) ]
+  in
+  match Obs.Json.of_string (Obs.Json.to_string j) with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok j' -> check bool_t "round-trips" true (j = j')
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s -> check bool_t s true (Result.is_error (Obs.Json.of_string s)))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "{} trailing"; "\"unterminated" ]
+
+let test_json_nonfinite_floats () =
+  check bool_t "nan is null" true (Obs.Json.to_string (Obs.Json.Float Float.nan) = "null");
+  check bool_t "inf is null" true
+    (Obs.Json.to_string (Obs.Json.Float Float.infinity) = "null")
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let parse_lines buf =
+  Buffer.contents buf |> String.split_on_char '\n'
+  |> List.filter (fun l -> l <> "")
+  |> List.map (fun l ->
+         match Obs.Json.of_string l with
+         | Ok j -> j
+         | Error e -> Alcotest.failf "unparseable trace line %S: %s" l e)
+
+let str_member key j =
+  match Obs.Json.member key j with Some (Obs.Json.String s) -> s | _ -> ""
+
+(* Replay B/E events against a stack: every E must match the innermost
+   open B, and nothing may stay open. *)
+let check_nesting events =
+  let stack =
+    List.fold_left
+      (fun stack ev ->
+        match str_member "ph" ev with
+        | "B" -> str_member "name" ev :: stack
+        | "E" -> (
+          match stack with
+          | top :: rest ->
+            check bool_t "E matches innermost B" true (top = str_member "name" ev);
+            rest
+          | [] -> Alcotest.fail "E without matching B")
+        | _ -> stack)
+      [] events
+  in
+  check int_t "all spans closed" 0 (List.length stack)
+
+let test_span_nesting () =
+  let buf = Buffer.create 256 in
+  Obs.Trace.start_buffer buf;
+  Fun.protect ~finally:Obs.Trace.stop (fun () ->
+      Obs.Trace.with_span "outer" (fun () ->
+          check int_t "depth inside" 1 (Obs.Trace.depth ());
+          Obs.Trace.with_span "inner" (fun () -> Obs.Trace.instant "tick"));
+      (try Obs.Trace.with_span "raises" (fun () -> failwith "boom") with _ -> ());
+      check int_t "depth restored" 0 (Obs.Trace.depth ()));
+  let events = parse_lines buf in
+  check int_t "6 span events + 1 instant" 7 (List.length events);
+  check_nesting events;
+  (* Timestamps must be monotone non-decreasing. *)
+  let ts =
+    List.filter_map (fun e -> Option.bind (Obs.Json.member "ts" e) Obs.Json.to_float)
+      events
+  in
+  check bool_t "monotone timestamps" true (List.sort compare ts = ts)
+
+let test_disabled_trace_is_inert () =
+  Obs.Trace.stop ();
+  check bool_t "no sink" false (Obs.Trace.enabled ());
+  (* Must be no-ops, not crashes. *)
+  Obs.Trace.with_span "x" (fun () -> Obs.Trace.instant "y")
+
+(* ------------------------------------------------------------------ *)
+(* Framework-level contract                                            *)
+(* ------------------------------------------------------------------ *)
+
+let cat = Storage.Datagen.micro ()
+
+let filtered_join =
+  let id = Ident.make in
+  L.Filter
+    { pred = S.Cmp (S.Gt, S.col (id "x" "a"), S.int 3);
+      child =
+        L.Join
+          { kind = L.Inner;
+            pred = S.eq (S.col (id "x" "a")) (S.col (id "y" "d"));
+            left = L.Get { table = "t1"; alias = "x" };
+            right = L.Get { table = "t2"; alias = "y" } } }
+
+let counter_value name label =
+  M.counter_value (M.counter ?label name)
+
+let test_optimize_emits_telemetry () =
+  with_metrics @@ fun () ->
+  let buf = Buffer.create 1024 in
+  Obs.Trace.start_buffer buf;
+  let fw = Core.Framework.create cat in
+  let r =
+    Fun.protect ~finally:Obs.Trace.stop (fun () ->
+        Result.get_ok (Core.Framework.optimize fw filtered_join))
+  in
+  (* Counters: every explored tree offered JoinCommute at least one
+     join node, and the commute must actually have rewritten some. *)
+  let attempts = counter_value "optimizer.rule.attempts" (Some "JoinCommute") in
+  let rewrites = counter_value "optimizer.rule.rewrites" (Some "JoinCommute") in
+  check bool_t "join commute attempted" true (attempts > 0);
+  check bool_t "join commute rewrote" true (rewrites > 0);
+  check bool_t "attempts >= rewrites" true (attempts >= rewrites);
+  check int_t "trees counter matches result" r.trees_explored
+    (counter_value "optimizer.explore.trees" None);
+  check bool_t "memo misses counted" true
+    (counter_value "optimizer.memo.misses" None >= r.trees_explored);
+  check int_t "one framework invocation" 1 (counter_value "framework.invocations" None);
+  let h = M.histogram ~label:"JoinCommute" "optimizer.rule.match_ns" in
+  check int_t "latency sampled per attempt" attempts (M.hist_snapshot h).count;
+  (* Spans: well-formed JSONL, balanced, and the expected hierarchy. *)
+  let events = parse_lines buf in
+  check_nesting events;
+  let begins ph name =
+    List.exists (fun e -> str_member "ph" e = ph && str_member "name" e = name) events
+  in
+  check bool_t "framework.optimize span" true (begins "B" "framework.optimize");
+  check bool_t "engine.explore span" true (begins "B" "engine.explore");
+  check bool_t "engine.cost span" true (begins "B" "engine.cost")
+
+let test_budget_exhaustion_reported () =
+  let options = { Optimizer.Engine.default_options with max_trees = 5 } in
+  let truncated =
+    Result.get_ok (Optimizer.Engine.optimize ~options cat filtered_join)
+  in
+  check bool_t "tiny budget exhausts" true truncated.budget_exhausted;
+  let unbounded = Result.get_ok (Optimizer.Engine.optimize cat filtered_join) in
+  check bool_t "default budget suffices" false unbounded.budget_exhausted
+
+let suite =
+  [ ( "obs",
+      [ Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+        Alcotest.test_case "disabled collector is inert" `Quick test_disabled_is_inert;
+        Alcotest.test_case "gauge semantics" `Quick test_gauge_semantics;
+        Alcotest.test_case "histogram semantics" `Quick test_histogram_semantics;
+        Alcotest.test_case "snapshot sorted" `Quick test_snapshot_sorted;
+        Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
+        Alcotest.test_case "json non-finite floats" `Quick test_json_nonfinite_floats;
+        Alcotest.test_case "span nesting + JSONL" `Quick test_span_nesting;
+        Alcotest.test_case "disabled trace is inert" `Quick test_disabled_trace_is_inert;
+        Alcotest.test_case "optimize emits spans and counters" `Quick
+          test_optimize_emits_telemetry;
+        Alcotest.test_case "budget exhaustion reported" `Quick
+          test_budget_exhaustion_reported ] ) ]
