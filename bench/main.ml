@@ -29,6 +29,30 @@ let now () = Obs.Clock.now_s ()
 let header title = Printf.printf "\n=== %s ===\n%!" title
 let hr () = print_endline (String.make 72 '-')
 
+(* Results accumulated for --json: per-experiment wall time, plus the
+   detail objects some experiments publish (speedups, optimizer-call
+   counts). Written to BENCH_results.json at exit. *)
+let timings : (string * float) list ref = ref []
+let details : (string * Obs.Json.t) list ref = ref []
+let detail name obj = details := (name, obj) :: !details
+
+let write_json ~full path =
+  let json =
+    Obs.Json.Obj
+      [ ("scale", Obs.Json.Float scale);
+        ("max_trees", Obs.Json.Int bench_options.max_trees);
+        ("full", Obs.Json.Bool full);
+        ( "experiment_seconds",
+          Obs.Json.Obj
+            (List.rev_map (fun (n, s) -> (n, Obs.Json.Float s)) !timings) );
+        ("details", Obs.Json.Obj (List.rev !details)) ]
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n%!" path
+
 (* ------------------------------------------------------------------ *)
 (* Figure 8: trials per singleton rule, RANDOM vs PATTERN               *)
 (* ------------------------------------------------------------------ *)
@@ -322,6 +346,92 @@ let ext_correctness () =
     (List.length rep2.bugs)
 
 (* ------------------------------------------------------------------ *)
+(* Engine speedup experiments (hash-consing / memoized exploration)     *)
+(* ------------------------------------------------------------------ *)
+
+let explore_bench () =
+  header "Explore: memoized rewrites vs per-tree recomputation (budget 1200)";
+  let cat = Lazy.force catalog in
+  let ctx = { Core.Arggen.g = Prng.create 2024; cat } in
+  let n_queries = 5 in
+  let queries = ref [] in
+  for _ = 1 to n_queries do
+    queries := Core.Random_gen.generate ~min_ops:5 ~max_ops:8 ctx :: !queries
+  done;
+  let queries = List.rev !queries in
+  let options memoize =
+    { Optimizer.Engine.default_options with max_trees = 1200; memoize }
+  in
+  let time memoize =
+    let t0 = now () in
+    let trees =
+      List.fold_left
+        (fun acc q ->
+          match Optimizer.Engine.optimize ~options:(options memoize) cat q with
+          | Ok r -> acc + r.trees_explored
+          | Error _ -> acc)
+        0 queries
+    in
+    (now () -. t0, trees)
+  in
+  let plain_s, plain_trees = time false in
+  let memo_s, memo_trees = time true in
+  assert (plain_trees = memo_trees);
+  let speedup = plain_s /. Float.max 1e-9 memo_s in
+  Printf.printf
+    "  %d queries, %d trees total\n  per-tree recomputation  %7.3fs\n  memoized rewrites       %7.3fs\n  speedup                 %6.1fx\n"
+    n_queries memo_trees plain_s memo_s speedup;
+  detail "explore"
+    (Obs.Json.Obj
+       [ ("queries", Obs.Json.Int n_queries);
+         ("max_trees", Obs.Json.Int 1200);
+         ("trees_explored", Obs.Json.Int memo_trees);
+         ("unmemoized_seconds", Obs.Json.Float plain_s);
+         ("memoized_seconds", Obs.Json.Float memo_s);
+         ("speedup", Obs.Json.Float speedup) ])
+
+let matrix_bench ~full =
+  header "Edge-cost matrix: shared exploration vs one optimization per edge";
+  let framework = fw () in
+  let suite, _, _ = get_pair_suite ~full framework in
+  let nt = List.length suite.targets in
+  let nq = Array.length suite.entries in
+  let run share =
+    F.reset_invocations framework;
+    let ec = C.edge_costs ~share_exploration:share framework suite in
+    let t0 = now () in
+    let total = ref 0.0 in
+    for ti = 0 to nt - 1 do
+      for q = 0 to nq - 1 do
+        let c = C.edge_cost ec ~target_idx:ti ~query_idx:q in
+        if Float.is_finite c then total := !total +. c
+      done
+    done;
+    (now () -. t0, !total, C.invocations_used ec, F.invocations framework)
+  in
+  let per_s, per_total, per_edges, per_inv = run false in
+  let sh_s, sh_total, sh_edges, sh_inv = run true in
+  let speedup = per_s /. Float.max 1e-9 sh_s in
+  Printf.printf
+    "  %d targets x %d queries = %d edges\n  per-edge optimization   %7.3fs  (%d optimizer runs)\n  shared exploration      %7.3fs  (%d optimizer runs)\n  speedup                 %6.1fx   edge-cost sum delta %+.3f%%\n"
+    nt nq per_edges per_s per_inv sh_s sh_inv speedup
+    (if per_total = 0.0 then 0.0
+     else 100.0 *. (sh_total -. per_total) /. per_total);
+  ignore sh_edges;
+  detail "matrix"
+    (Obs.Json.Obj
+       [ ("targets", Obs.Json.Int nt);
+         ("queries", Obs.Json.Int nq);
+         ("edges", Obs.Json.Int per_edges);
+         ("per_edge_seconds", Obs.Json.Float per_s);
+         ("per_edge_optimizer_runs", Obs.Json.Int per_inv);
+         ("shared_seconds", Obs.Json.Float sh_s);
+         ("shared_optimizer_runs", Obs.Json.Int sh_inv);
+         ("speedup", Obs.Json.Float speedup);
+         ("edge_cost_sum_per_edge", Obs.Json.Float per_total);
+         ("edge_cost_sum_shared", Obs.Json.Float sh_total) ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the substrate                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -381,9 +491,10 @@ let micro () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
-  let args = List.filter (fun a -> a <> "--full") args in
+  let json = List.mem "--json" args in
+  let args = List.filter (fun a -> a <> "--full" && a <> "--json") args in
   let which = match args with [] -> [ "all" ] | l -> l in
-  let run name =
+  let rec run name =
     match name with
     | "fig8" -> fig8 ~full
     | "fig9" | "fig10" -> fig9_10 ~full
@@ -393,26 +504,28 @@ let () =
     | "fig14" -> fig14 ~full
     | "matching" -> ext_matching ()
     | "correctness" -> ext_correctness ()
+    | "explore" -> explore_bench ()
+    | "matrix" -> matrix_bench ~full
     | "micro" -> micro ()
     | "all" ->
-      fig8 ~full;
-      fig9_10 ~full;
-      fig11 ~full;
-      fig12 ~full;
-      fig13 ~full;
-      fig14 ~full;
-      ext_matching ();
-      ext_correctness ();
-      micro ()
+      List.iter timed
+        [ "fig8"; "fig9"; "fig11"; "fig12"; "fig13"; "fig14"; "matching";
+          "correctness"; "explore"; "matrix"; "micro" ]
     | other ->
       Printf.eprintf
-        "unknown experiment %s (expected fig8..fig14, matching, correctness, micro, all)\n"
+        "unknown experiment %s (expected fig8..fig14, matching, correctness, \
+         explore, matrix, micro, all)\n"
         other;
       exit 2
+  and timed name =
+    let t0 = now () in
+    run name;
+    if name <> "all" then timings := (name, now () -. t0) :: !timings
   in
   Printf.printf
     "Reproduction of 'A Framework for Testing Query Transformation Rules' (SIGMOD'09)\n";
   Printf.printf "TPC-H scale %.3f; optimizer budget %d trees; %s parameters\n" scale
     bench_options.max_trees
     (if full then "paper-scale (--full)" else "quick (use --full for paper-scale)");
-  List.iter run which
+  List.iter timed which;
+  if json then write_json ~full "BENCH_results.json"

@@ -479,14 +479,24 @@ let stats_cmd =
         | _ -> 0
       in
       let hits = cval "optimizer.memo.hits" and misses = cval "optimizer.memo.misses" in
+      let rate h m =
+        if h + m = 0 then 0.0 else 100.0 *. float_of_int h /. float_of_int (h + m)
+      in
+      let rw_hits = cval "optimizer.rewrite_memo.hits" in
+      let rw_misses = cval "optimizer.rewrite_memo.misses" in
       Printf.printf
-        "trees explored %d | memo hit rate %.1f%% (%d/%d) | budget exhausted on \
-         %d/%d queries | optimizer invocations %d\n"
+        "trees explored %d | plan memo hit rate %.1f%% (%d/%d) | budget exhausted \
+         on %d/%d queries | optimizer invocations %d\n"
         (cval "optimizer.explore.trees")
-        (if hits + misses = 0 then 0.0
-         else 100.0 *. float_of_int hits /. float_of_int (hits + misses))
-        hits (hits + misses) !exhausted queries
-        (Core.Framework.invocations fw)
+        (rate hits misses) hits (hits + misses) !exhausted queries
+        (Core.Framework.invocations fw);
+      Printf.printf
+        "hashcons: %d live nodes (%d interned, %d reused) | rewrite memo hit rate \
+         %.1f%% (%d/%d)\n"
+        (Relalg.Hashcons.live_nodes ())
+        (Relalg.Hashcons.misses ())
+        (Relalg.Hashcons.hits ())
+        (rate rw_hits rw_misses) rw_hits (rw_hits + rw_misses)
     end
   in
   Cmd.v

@@ -3,19 +3,37 @@ type edge_costs = {
   suite : Suite.t;
   targets : Suite.target array;
   memo : (int * int, float) Hashtbl.t;
+  share : bool;
+  shared : Framework.shared option option array;
+      (* per query index: None = not explored yet; Some None = shared
+         exploration failed, use the per-call path for this query *)
   mutable calls : int;
   computed_c : Obs.Metrics.counter;
   memo_hit_c : Obs.Metrics.counter;
 }
 
-let edge_costs fw (suite : Suite.t) =
+let edge_costs ?(share_exploration = true) fw (suite : Suite.t) =
   { fw;
     suite;
     targets = Array.of_list suite.targets;
     memo = Hashtbl.create 256;
+    share = share_exploration;
+    shared = Array.make (Array.length suite.entries) None;
     calls = 0;
     computed_c = Obs.Metrics.counter "compress.edge_cost.computed";
     memo_hit_c = Obs.Metrics.counter "compress.edge_cost.memo_hits" }
+
+let shared_for ec query_idx =
+  match ec.shared.(query_idx) with
+  | Some r -> r
+  | None ->
+    let r =
+      match Framework.explore_shared ec.fw ec.suite.entries.(query_idx).query with
+      | Ok sh -> Some sh
+      | Error _ -> None
+    in
+    ec.shared.(query_idx) <- Some r;
+    r
 
 let edge_cost ec ~target_idx ~query_idx =
   match Hashtbl.find_opt ec.memo (target_idx, query_idx) with
@@ -23,14 +41,29 @@ let edge_cost ec ~target_idx ~query_idx =
     Obs.Metrics.incr ec.memo_hit_c;
     c
   | None ->
+    (* [calls] counts computed edges — the paper's abstract unit of
+       optimizer work (Figure 14) — regardless of how an edge is served:
+       a full [Cost(q, negated R)] optimization, or a filtered re-costing
+       pass over the query's one shared exploration. The concrete
+       invocation count is [Framework.invocations]. *)
     ec.calls <- ec.calls + 1;
     Obs.Metrics.incr ec.computed_c;
     let disabled = Suite.rules_of ec.targets.(target_idx) in
     let query = ec.suite.entries.(query_idx).query in
-    let c =
+    let per_call () =
       match Framework.cost ec.fw ~disabled query with
       | Ok c -> c
       | Error _ -> Float.infinity
+    in
+    let c =
+      if ec.share then
+        match shared_for ec query_idx with
+        | Some sh -> (
+          match Framework.shared_cost ec.fw ~disabled sh with
+          | Ok c -> c
+          | Error _ -> Float.infinity)
+        | None -> per_call ()
+      else per_call ()
     in
     Hashtbl.replace ec.memo (target_idx, query_idx) c;
     c
@@ -87,9 +120,9 @@ let solution_cost (suite : Suite.t) sol =
 (* without sharing Plan(q) runs across targets.                         *)
 (* ------------------------------------------------------------------ *)
 
-let baseline fw (suite : Suite.t) =
+let baseline ?share_exploration fw (suite : Suite.t) =
   algo_span "baseline" suite @@ fun () ->
-  let ec = edge_costs fw suite in
+  let ec = edge_costs ?share_exploration fw suite in
   let tindex =
     List.mapi (fun i (t, _) -> (t, i)) suite.per_target
   in
@@ -116,7 +149,7 @@ let baseline fw (suite : Suite.t) =
 (* Greedy Constrained Set-Multicover (Figure 5)                         *)
 (* ------------------------------------------------------------------ *)
 
-let smc fw (suite : Suite.t) =
+let smc ?share_exploration fw (suite : Suite.t) =
   algo_span "smc" suite @@ fun () ->
   let iterations_c = Obs.Metrics.counter "compress.smc.iterations" in
   let targets = Array.of_list suite.targets in
@@ -167,7 +200,7 @@ let smc fw (suite : Suite.t) =
   done;
   (* SMC never looks at edge costs while choosing; they are computed once
      afterwards to evaluate the solution, as when executing it. *)
-  let ec = edge_costs fw suite in
+  let ec = edge_costs ?share_exploration fw suite in
   let assignment =
     Array.to_list
       (Array.mapi
@@ -205,10 +238,10 @@ module Kqueue = struct
   let contents q = List.rev_map (fun (c, i) -> (i, c)) q.items
 end
 
-let topk ?(exploit_monotonicity = false) fw (suite : Suite.t) =
+let topk ?(exploit_monotonicity = false) ?share_exploration fw (suite : Suite.t) =
   algo_span (if exploit_monotonicity then "topk_mono" else "topk") suite @@ fun () ->
   let pruned_c = Obs.Metrics.counter "compress.topk.pruned_edges" in
-  let ec = edge_costs fw suite in
+  let ec = edge_costs ?share_exploration fw suite in
   let targets = Array.of_list suite.targets in
   let assignment =
     Array.to_list

@@ -18,14 +18,24 @@
     the service so Figure 14 can be reproduced. *)
 
 type edge_costs
-(** Memoized [Cost(q, ¬R)] service over a suite. *)
+(** Memoized [Cost(q, ¬R)] service over a suite. With the default
+    [share_exploration:true], the service explores each query once with
+    all rules enabled ({!Framework.explore_shared}) and serves every
+    disabled-set edge for that query as a cheap filtered re-costing pass
+    — turning the R×Q cost matrix from R×Q full optimizations into Q
+    explorations plus R×Q costing passes. [share_exploration:false]
+    restores one full [Cost(q, ¬R)] optimization per edge (the reference
+    path, kept for equivalence tests and benchmarks). *)
 
-val edge_costs : Framework.t -> Suite.t -> edge_costs
+val edge_costs : ?share_exploration:bool -> Framework.t -> Suite.t -> edge_costs
 val edge_cost : edge_costs -> target_idx:int -> query_idx:int -> float
 (** Infinity when no plan exists with the rules disabled. *)
 
 val invocations_used : edge_costs -> int
-(** Distinct edge computations so far (each = one optimizer call). *)
+(** Distinct edge computations so far. Each is one unit of the paper's
+    abstract optimizer work (Figure 14's x-axis), however it was served;
+    the concrete count of full optimizer runs is
+    {!Framework.invocations}. *)
 
 type solution = {
   assignment : (Suite.target * (int * float) list) list;
@@ -35,11 +45,15 @@ type solution = {
       (** optimizer invocations consumed building the solution *)
 }
 
-val baseline : Framework.t -> Suite.t -> solution
-val smc : Framework.t -> Suite.t -> solution
+val baseline : ?share_exploration:bool -> Framework.t -> Suite.t -> solution
+val smc : ?share_exploration:bool -> Framework.t -> Suite.t -> solution
 
 val topk :
-  ?exploit_monotonicity:bool -> Framework.t -> Suite.t -> solution
+  ?exploit_monotonicity:bool ->
+  ?share_exploration:bool ->
+  Framework.t ->
+  Suite.t ->
+  solution
 (** Default [exploit_monotonicity] is [false] (the naive variant that
     computes every edge cost). *)
 

@@ -54,6 +54,21 @@ let execute t ?disabled q =
   | Error e -> Error e
   | Ok r -> Executor.Exec.run t.cat r.plan
 
+type shared = Optimizer.Engine.shared
+
+let explore_shared t q =
+  invoked t ~kind:"explore_shared" ~disabled:[] (fun () ->
+      Optimizer.Engine.explore_shared ~options:t.options ~rules:t.rule_list t.cat
+        q)
+
+let shared_cost _t ?(disabled = []) sh =
+  (* Not an optimizer invocation: this is the cheap filtered re-costing
+     pass that shared exploration buys — the whole point is that it does
+     not invoke the optimizer again. Tracked by its own counter. *)
+  Obs.Metrics.incr (Obs.Metrics.counter "framework.shared_cost_passes");
+  Optimizer.Engine.shared_cost sh
+    ~disabled:(List.fold_left (fun s r -> SSet.add r s) SSet.empty disabled)
+
 let pattern_of t name =
   List.find_map
     (fun (r : Optimizer.Rule.t) ->

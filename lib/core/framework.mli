@@ -35,6 +35,25 @@ val execute :
   (Executor.Resultset.t, string) result
 (** Optimize then run the chosen plan against the catalog. *)
 
+(** {2 Shared exploration}
+
+    Monotonicity-aware service for workloads that cost the same query
+    under many disabled sets (the compression cost matrix): one counted
+    exploration, then as many cheap [Cost(q, ¬R)] passes as needed. See
+    {!Optimizer.Engine.explore_shared} for exactness conditions. *)
+
+type shared = Optimizer.Engine.shared
+
+val explore_shared : t -> Relalg.Logical.t -> (shared, string) result
+(** Explore [q] once with all enabled rules, tagging derivations —
+    counted as one optimizer invocation. *)
+
+val shared_cost : t -> ?disabled:string list -> shared -> (float, string) result
+(** [Cost(q, ¬R)] served from a shared exploration — a filtered
+    re-costing pass, {e not} counted as an optimizer invocation (counter
+    ["framework.shared_cost_passes"]). [shared_cost ~disabled:[]] equals
+    {!cost}[ ~disabled:[]]. *)
+
 val invocations : t -> int
 (** Number of optimizer invocations ([ruleset]/[optimize]/[cost]/[execute])
     since creation or the last {!reset_invocations}. *)

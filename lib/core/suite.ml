@@ -38,17 +38,12 @@ let generate ?(gen = Pattern_based) ?(extra_ops = 3) ?(max_trials = 60) fw g
   let dedup_c = Obs.Metrics.counter "suite.dedup_hits" in
   let entries : entry list ref = ref [] in
   let count = ref 0 in
-  let index_of query =
-    (* Structural dedup across the whole suite. *)
-    let rec find i = function
-      | [] -> None
-      | e :: _ when L.equal e.query query -> Some (!count - 1 - i)
-      | _ :: rest -> find (i + 1) rest
-    in
-    find 0 !entries
-  in
+  (* Structural dedup across the whole suite: query -> entry index,
+     hashed with the full structural [Logical.hash] instead of a linear
+     scan of every prior entry per candidate. *)
+  let index : int L.Tbl.t = L.Tbl.create 64 in
   let add query =
-    match index_of query with
+    match L.Tbl.find_opt index query with
     | Some i ->
       Obs.Metrics.incr dedup_c;
       Some i
@@ -56,6 +51,7 @@ let generate ?(gen = Pattern_based) ?(extra_ops = 3) ?(max_trials = 60) fw g
       match (Framework.ruleset fw query, Framework.cost fw query) with
       | Ok ruleset, Ok cost ->
         entries := { query; ruleset; cost } :: !entries;
+        L.Tbl.replace index query !count;
         incr count;
         Some (!count - 1)
       | _ -> None)

@@ -1,13 +1,14 @@
 open Relalg
 module L = Logical
+module H = Hashcons
 module S = Scalar
 open Storage
 
 type t = {
   catalog : Catalog.t;
-  rows_cache : (L.t, float) Hashtbl.t;
-  alias_cache : (L.t, (string * string) list) Hashtbl.t;
-      (* subtree -> (alias, table) bindings *)
+  rows_cache : (int, float) Hashtbl.t;  (* hashcons id -> estimated rows *)
+  alias_cache : (int, (string * string) list) Hashtbl.t;
+      (* hashcons id -> (alias, table) bindings *)
 }
 
 let create catalog =
@@ -15,17 +16,17 @@ let create catalog =
 
 let clamp lo hi x = Float.max lo (Float.min hi x)
 
-let aliases_of est tree =
-  match Hashtbl.find_opt est.alias_cache tree with
+let aliases_of est (n : H.node) =
+  match Hashtbl.find_opt est.alias_cache n.H.id with
   | Some a -> a
   | None ->
     let a =
       L.fold
         (fun acc node ->
           match node with L.Get { table; alias } -> (alias, table) :: acc | _ -> acc)
-        [] tree
+        [] n.H.repr
     in
-    Hashtbl.replace est.alias_cache tree a;
+    Hashtbl.replace est.alias_cache n.H.id a;
     a
 
 let col_stats est scope (id : Ident.t) =
@@ -37,7 +38,7 @@ let col_stats est scope (id : Ident.t) =
     | None -> None
     | Some tb -> Stats.col tb.stats id.name)
 
-let ndv est scope id =
+let ndv_n est scope id =
   match col_stats est scope id with
   | Some cs when cs.ndv > 0 -> float_of_int cs.ndv
   | _ -> 100.0
@@ -84,9 +85,9 @@ let rec pred_selectivity est scope (p : S.t) : float =
   | S.IsNotNull (S.Col id) -> 1.0 -. null_fraction est scope id
   | S.IsNotNull _ -> 0.95
   | S.Cmp (S.Eq, S.Col a, S.Col b) ->
-    1.0 /. Float.max (ndv est scope a) (ndv est scope b)
+    1.0 /. Float.max (ndv_n est scope a) (ndv_n est scope b)
   | S.Cmp (S.Eq, S.Col a, S.Const _) | S.Cmp (S.Eq, S.Const _, S.Col a) ->
-    1.0 /. ndv est scope a
+    1.0 /. ndv_n est scope a
   | S.Cmp (S.Eq, _, _) -> 0.1
   | S.Cmp (S.Ne, a, b) -> 1.0 -. pred_selectivity est scope (S.Cmp (S.Eq, a, b))
   | S.Cmp (op, S.Col a, S.Const v) -> range_fraction est scope a v op
@@ -103,28 +104,32 @@ let rec pred_selectivity est scope (p : S.t) : float =
   | S.Cmp ((S.Lt | S.Le | S.Gt | S.Ge), _, _) -> 1.0 /. 3.0
   | S.Neg _ | S.Arith _ -> 0.5
 
-let selectivity est scope pred = clamp 1e-4 1.0 (pred_selectivity est scope pred)
+let selectivity_node est scope pred =
+  clamp 1e-4 1.0 (pred_selectivity est scope pred)
 
-let rec rows est (t : L.t) : float =
-  match Hashtbl.find_opt est.rows_cache t with
+let rec rows_node est (n : H.node) : float =
+  match Hashtbl.find_opt est.rows_cache n.H.id with
   | Some r -> r
   | None ->
-    let r = compute est t in
+    let r = compute est n in
     let r = Float.max 0.0 r in
-    Hashtbl.replace est.rows_cache t r;
+    Hashtbl.replace est.rows_cache n.H.id r;
     r
 
-and compute est (t : L.t) : float =
-  match t with
+and compute est (n : H.node) : float =
+  let kid i = n.H.kids.(i) in
+  match n.H.repr with
   | L.Get { table; _ } -> (
     match Catalog.find est.catalog table with
     | Some tb -> float_of_int (Table.row_count tb)
     | None -> 1000.0)
-  | L.Filter { pred; child } -> rows est child *. selectivity est [ child ] pred
-  | L.Project { child; _ } -> rows est child
-  | L.Join { kind; pred; left; right } -> (
-    let nl = rows est left and nr = rows est right in
-    let inner = nl *. nr *. selectivity est [ left; right ] pred in
+  | L.Filter { pred; _ } ->
+    rows_node est (kid 0) *. selectivity_node est [ kid 0 ] pred
+  | L.Project _ -> rows_node est (kid 0)
+  | L.Join { kind; pred; _ } -> (
+    let left = kid 0 and right = kid 1 in
+    let nl = rows_node est left and nr = rows_node est right in
+    let inner = nl *. nr *. selectivity_node est [ left; right ] pred in
     match kind with
     | L.Inner | L.Cross -> inner
     | L.LeftOuter -> Float.max inner nl
@@ -132,18 +137,28 @@ and compute est (t : L.t) : float =
     | L.FullOuter -> Float.max inner (nl +. nr)
     | L.Semi -> Float.min nl inner
     | L.AntiSemi -> Float.max 1.0 (nl -. Float.min nl inner))
-  | L.GroupBy { keys; child; _ } ->
+  | L.GroupBy { keys; _ } ->
     if keys = [] then 1.0
     else
-      let n = rows est child in
+      let n = rows_node est (kid 0) in
       let groups =
-        List.fold_left (fun acc k -> acc *. ndv est [ child ] k) 1.0 keys
+        List.fold_left (fun acc k -> acc *. ndv_n est [ kid 0 ] k) 1.0 keys
       in
       Float.min n groups
-  | L.UnionAll (a, b) -> rows est a +. rows est b
-  | L.Union (a, b) -> 0.9 *. (rows est a +. rows est b)
-  | L.Intersect (a, b) -> 0.5 *. Float.min (rows est a) (rows est b)
-  | L.Except (a, _) -> 0.5 *. rows est a
-  | L.Distinct child -> 0.9 *. rows est child
-  | L.Sort { child; _ } -> rows est child
-  | L.Limit { count; child } -> Float.min (float_of_int count) (rows est child)
+  | L.UnionAll _ -> rows_node est (kid 0) +. rows_node est (kid 1)
+  | L.Union _ -> 0.9 *. (rows_node est (kid 0) +. rows_node est (kid 1))
+  | L.Intersect _ -> 0.5 *. Float.min (rows_node est (kid 0)) (rows_node est (kid 1))
+  | L.Except _ -> 0.5 *. rows_node est (kid 0)
+  | L.Distinct _ -> 0.9 *. rows_node est (kid 0)
+  | L.Sort _ -> rows_node est (kid 0)
+  | L.Limit { count; _ } ->
+    Float.min (float_of_int count) (rows_node est (kid 0))
+
+(* Structural entry points (tests, callers outside the engine's
+   hash-consed hot path). *)
+let rows est (t : L.t) : float = rows_node est (H.intern t)
+
+let selectivity est scope pred =
+  selectivity_node est (List.map H.intern scope) pred
+
+let ndv est scope id = ndv_n est (List.map H.intern scope) id

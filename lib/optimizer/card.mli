@@ -2,18 +2,24 @@
 
     Standard textbook heuristics (1/ndv equality selectivity, range
     interpolation, independence for conjunctions). The estimator memoizes
-    per logical subtree, so repeated planning of trees that share subtrees
-    is cheap. Estimates feed the cost model; the paper's compression
-    experiments (Figures 11–13) are measured in optimizer-estimated cost,
-    exactly as here. *)
+    per hash-consed subtree id (see {!Relalg.Hashcons}) — one int-keyed
+    lookup — so repeated planning of trees that share subtrees is cheap.
+    Estimates feed the cost model; the paper's compression experiments
+    (Figures 11–13) are measured in optimizer-estimated cost, exactly as
+    here. *)
 
 type t
 
 val create : Storage.Catalog.t -> t
 
+val rows_node : t -> Relalg.Hashcons.node -> float
+(** Estimated output cardinality of a hash-consed tree, memoized by node
+    id; always >= 0. This is the engine's hot entry point. *)
+
 val rows : t -> Relalg.Logical.t -> float
-(** Estimated output cardinality; always >= 0, and 1.0 at minimum for
-    non-empty inputs of pipeline operators. *)
+(** [rows_node] after interning. Estimated output cardinality; always
+    >= 0, and 1.0 at minimum for non-empty inputs of pipeline
+    operators. *)
 
 val selectivity : t -> Relalg.Logical.t list -> Relalg.Scalar.t -> float
 (** [selectivity est children pred]: estimated fraction of rows of the

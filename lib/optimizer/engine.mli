@@ -15,7 +15,17 @@
     Because disabling a rule only removes trees from the closure (and
     plans from the implementation alternatives), the engine is
     "well-behaved" in the paper's §5.2 sense: [Cost(q) <= Cost(q, ¬R)]
-    whenever the closure completes within budget. *)
+    whenever the closure completes within budget.
+
+    Internally every tree is hash-consed ({!Relalg.Hashcons}): the
+    closure's seen set, the rewrite memo, the planner cache and the
+    cardinality memos all key on the interned node id — one int compare —
+    and the rewrites of each distinct subtree are computed once and
+    replayed for every containing tree (Cascades-memo behaviour). The
+    [memoize] option turns the replay off, restoring the original
+    recompute-per-tree engine; both paths enumerate rewrites in the same
+    order, so they admit bit-identical closures even when [max_trees]
+    truncates — the equivalence the property tests assert. *)
 
 module SSet : Set.S with type elt = string
 
@@ -23,6 +33,11 @@ type options = {
   disabled : SSet.t;  (** rule names (logical or implementation) to turn off *)
   max_trees : int;  (** exploration budget; default 1200 *)
   max_growth : int;  (** max extra operators over the input size; default 6 *)
+  memoize : bool;
+      (** replay per-subtree rewrite memos instead of recomputing rule
+          applications for every containing tree; default [true].
+          Observationally equivalent either way — [false] exists for
+          equivalence tests and before/after benchmarks. *)
 }
 
 val default_options : options
@@ -66,21 +81,81 @@ val ruleset :
 val implementation_rule_names : string list
 (** Names of the implementation rules (disjoint from {!Rules.names}). *)
 
+(** {2 Shared exploration}
+
+    The compression algorithms need [Cost(q, ¬R)] for the same query
+    under many different disabled sets (one per edge of the suite-versus-
+    target cost matrix, Figures 12–14). Re-running the full closure for
+    each is wasteful: by the engine's well-behavedness, the closure under
+    [¬R] is exactly the subset of the full closure derivable without the
+    rules in [R]. {!explore_shared} explores once with all rules enabled
+    and tags every tree with the minimal sets of rule names used along
+    its derivation paths; {!shared_cost} then serves any [¬R] by keeping
+    the trees with a tag set disjoint from [R] and re-costing — a cheap
+    filtered pass over an already-built closure, through a plan memo
+    shared across all the passes.
+
+    Exact when the closure completes within budget and the per-tree tag
+    antichain never overflows its cap; tag-cap overflow alone is
+    conservative in the direction §5.2 allows (a tree may be excluded
+    from some [¬R] closure, never wrongly included, so the reported cost
+    is >= the from-scratch one). Under budget {e truncation} the shared
+    and from-scratch costs become incomparable — both are upper bounds on
+    the untruncated [Cost(q, ¬R)], but the all-rules frontier differs
+    from the [¬R] frontier, so either may win. Two facts survive
+    truncation: [shared_cost ~disabled:SSet.empty] equals {!optimize}'s
+    cost exactly, and any [shared_cost] is >= the all-rules optimum
+    (the surviving trees are a subset of the very closure it searched). *)
+
+type shared
+
+val explore_shared :
+  ?options:options ->
+  ?rules:Rule.t list ->
+  Storage.Catalog.t ->
+  Relalg.Logical.t ->
+  (shared, string) Stdlib.result
+(** One full exploration with derivation tags, reusable for any disabled
+    set. Fails when the input tree is invalid. *)
+
+val shared_cost : shared -> disabled:SSet.t -> (float, string) Stdlib.result
+(** Best plan cost over the trees of the shared closure derivable without
+    [disabled]; implementation rules in [disabled] are honoured by the
+    costing pass. Fails when no surviving tree has a physical plan. *)
+
+val shared_truncated : shared -> bool
+(** The tree budget truncated the underlying closure (costs for non-empty
+    disabled sets are then conservative upper bounds). *)
+
+val shared_exercised : shared -> SSet.t
+(** Logical rules exercised by the underlying (all-rules) exploration. *)
+
+val shared_trees : shared -> int
+(** Number of trees in the shared closure. *)
+
 (** {2 Telemetry}
 
     When [Obs.Metrics] collection is enabled the engine feeds:
 
     - ["optimizer.rule.attempts"{rule}] — rule application attempts
-      (one per rule per node of every explored tree);
+      (one per rule per node of every *distinct* subtree; with
+      [memoize = false], of every node of every explored tree);
     - ["optimizer.rule.rewrites"{rule}] — rewrites those attempts
       produced (so [rewrites/attempts] is the rule's match rate);
     - ["optimizer.rule.match_ns"{rule}] — latency histogram of one
       application attempt, in nanoseconds;
     - ["optimizer.explore.trees"], ["optimizer.explore.queue_depth"],
       ["optimizer.explore.budget_exhausted"] — closure statistics;
+    - ["optimizer.rewrite_memo.hits"/"optimizer.rewrite_memo.misses"] —
+      the per-subtree rewrite memo (hit rate is the Cascades-style
+      sharing factor of the closure);
     - ["optimizer.memo.hits"/"optimizer.memo.misses"] — the planner's
-      per-subtree memo table.
+      per-subtree memo table;
+    - ["optimizer.hashcons.nodes"] — live interned nodes (gauge);
+    - ["optimizer.shared.explorations"/"optimizer.shared.cost_passes"] —
+      shared-exploration usage.
 
     With a trace sink installed, [optimize] wraps exploration and
-    costing in ["engine.explore"]/["engine.cost"] spans and emits an
+    costing in ["engine.explore"]/["engine.cost"] spans (shared
+    exploration uses ["engine.explore_shared"]) and emits an
     ["explore.budget_exhausted"] instant event on truncation. *)

@@ -8,6 +8,14 @@ type t =
 
 let equal (a : t) (b : t) = a = b
 
+let hash = function
+  | CountStar -> 0x5157
+  | Count e -> Scalar.hash_combine 1 (Scalar.hash e)
+  | Sum e -> Scalar.hash_combine 2 (Scalar.hash e)
+  | Min e -> Scalar.hash_combine 3 (Scalar.hash e)
+  | Max e -> Scalar.hash_combine 4 (Scalar.hash e)
+  | Avg e -> Scalar.hash_combine 5 (Scalar.hash e)
+
 let argument = function
   | CountStar -> None
   | Count e | Sum e | Min e | Max e | Avg e -> Some e

@@ -9,6 +9,10 @@ type t =
   | Avg of Scalar.t
 
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Full-depth structural hash, consistent with {!equal}. *)
+
 val argument : t -> Scalar.t option
 val columns : t -> Ident.Set.t
 val rename : (Ident.t -> Ident.t) -> t -> t

@@ -1,0 +1,103 @@
+(* Hash-consed logical trees.
+
+   Interning assigns every structurally distinct tree a unique integer
+   id; the returned node caches the full structural hash and the size,
+   and canonicalizes the tree so equal subtrees are physically shared.
+   On top of it, equality is [==], hashing is one int read, and every
+   tree-keyed table in the optimizer can key on [id] instead of deep
+   structural hashing (which, with [Hashtbl.hash]'s bounded traversal,
+   degenerated to linear collision scans on realistic query sizes).
+
+   The table is global and grows monotonically; ids stay valid for the
+   lifetime of the process ([clear] drops the table for test isolation
+   but never reuses ids, so stale id-keyed caches can miss, never lie). *)
+
+module L = Logical
+
+type node = {
+  repr : L.t;  (** canonical tree: children are canonical reprs *)
+  id : int;
+  hkey : int;  (** = [Logical.hash repr], cached *)
+  nsize : int;  (** = [Logical.size repr], cached *)
+  kids : node array;
+}
+
+(* Shallow interning key: the node's payload plus the ids of its already
+   canonical children. Two trees are structurally equal iff their
+   payloads are equal and their children intern to the same ids. *)
+type key = { payload : L.t; kid_ids : int array }
+
+module Tbl = Hashtbl.Make (struct
+  type t = key
+
+  let equal a b =
+    Array.length a.kid_ids = Array.length b.kid_ids
+    && (let n = Array.length a.kid_ids in
+        let rec same i = i >= n || (a.kid_ids.(i) = b.kid_ids.(i) && same (i + 1)) in
+        same 0)
+    && L.payload_equal a.payload b.payload
+
+  let hash k =
+    Array.fold_left Scalar.hash_combine (L.payload_hash k.payload) k.kid_ids
+end)
+
+let table : node Tbl.t = Tbl.create 4096
+let next_id = ref 0
+let hit_count = ref 0
+let miss_count = ref 0
+
+let node_of (payload : L.t) (kids : node array) : node =
+  let key = { payload; kid_ids = Array.map (fun k -> k.id) kids } in
+  match Tbl.find_opt table key with
+  | Some n ->
+    incr hit_count;
+    n
+  | None ->
+    incr miss_count;
+    let canonical_kids = Array.to_list (Array.map (fun k -> k.repr) kids) in
+    let repr =
+      (* Avoid reallocating when the payload's children are already the
+         canonical ones (always true for trees built from reprs). *)
+      if List.for_all2 ( == ) (L.children payload) canonical_kids then payload
+      else L.with_children payload canonical_kids
+    in
+    let hkey =
+      Array.fold_left
+        (fun h k -> Scalar.hash_combine h k.hkey)
+        (L.payload_hash payload) kids
+    in
+    let nsize = Array.fold_left (fun s k -> s + k.nsize) 1 kids in
+    let id = !next_id in
+    incr next_id;
+    let n = { repr; id; hkey; nsize; kids } in
+    Tbl.replace table key n;
+    n
+
+let rec intern (t : L.t) : node =
+  match L.children t with
+  | [] -> node_of t [||]
+  | kids -> node_of t (Array.of_list (List.map intern kids))
+
+let rebuild (n : node) i (kid : node) : node =
+  if i < 0 || i >= Array.length n.kids then
+    invalid_arg "Hashcons.rebuild: child index out of range";
+  if n.kids.(i) == kid then n
+  else begin
+    let kids = Array.copy n.kids in
+    kids.(i) <- kid;
+    node_of n.repr kids
+  end
+
+let repr n = n.repr
+let id n = n.id
+let hash n = n.hkey
+let size n = n.nsize
+let equal (a : node) (b : node) = a == b
+let live_nodes () = Tbl.length table
+let hits () = !hit_count
+let misses () = !miss_count
+
+let clear () =
+  Tbl.reset table;
+  hit_count := 0;
+  miss_count := 0

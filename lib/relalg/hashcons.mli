@@ -1,0 +1,49 @@
+(** Hash-consed logical trees: unique node ids, O(1) equality/hash,
+    cached size, maximal physical sharing of equal subtrees.
+
+    {!intern} walks a tree bottom-up once; every structurally distinct
+    subtree is assigned a unique id and canonicalized so equal subtrees
+    are physically shared. All the optimizer's hot tables (the closure's
+    seen set, the rewrite memo, the planner cache, cardinality and
+    property memos) key on {!id} — one int compare — instead of deep
+    structural hashing.
+
+    The interning table is global (single-threaded, like the rest of the
+    system) and ids are never reused, so id-keyed caches can go stale
+    (miss) but never alias two different trees. *)
+
+type node = private {
+  repr : Logical.t;
+      (** the canonical tree; children are themselves canonical reprs *)
+  id : int;  (** unique per structurally distinct tree, never reused *)
+  hkey : int;  (** cached [Logical.hash repr] *)
+  nsize : int;  (** cached [Logical.size repr] *)
+  kids : node array;  (** canonical children, in order *)
+}
+
+val intern : Logical.t -> node
+(** Canonicalize a tree. O(size) on first sight, O(size) table hits on a
+    re-interning; trees that share subtrees physically share the
+    interning work of those subtrees' canonical forms. *)
+
+val rebuild : node -> int -> node -> node
+(** [rebuild n i kid] is the node for [n.repr] with child [i] replaced by
+    [kid] — O(payload), not O(size); this is how the engine re-wraps
+    memoized child rewrites. Raises [Invalid_argument] on a bad index. *)
+
+val repr : node -> Logical.t
+val id : node -> int
+val hash : node -> int
+val size : node -> int
+
+val equal : node -> node -> bool
+(** Physical (= structural, by the interning invariant) equality. *)
+
+(** {2 Introspection} (wired into [Obs.Metrics] by the engine) *)
+
+val live_nodes : unit -> int
+val hits : unit -> int
+val misses : unit -> int
+
+val clear : unit -> unit
+(** Drop the table (test isolation). Ids are not reused. *)

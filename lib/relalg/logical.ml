@@ -74,7 +74,6 @@ let kind_name = function
 
 let equal (a : t) (b : t) = a = b
 let compare (a : t) (b : t) = Stdlib.compare a b
-let hash (a : t) = Hashtbl.hash a
 
 let children = function
   | Get _ -> []
@@ -101,6 +100,84 @@ let with_children node kids =
   | _ -> invalid_arg "Logical.with_children: arity mismatch"
 
 let rec size t = 1 + List.fold_left (fun acc c -> acc + size c) 0 (children t)
+
+(* ------------------------------------------------------------------ *)
+(* Structural hashing                                                  *)
+(*                                                                     *)
+(* The previous [hash = Hashtbl.hash] sampled only a bounded prefix of  *)
+(* the tree, so all realistic-size trees sharing a top shape collided   *)
+(* and every tree-keyed table degenerated to linear scans. These        *)
+(* hashes mix every node.                                              *)
+(* ------------------------------------------------------------------ *)
+
+let comb = Scalar.hash_combine
+
+(* Hash of a node's own payload — everything except the children. Used
+   both for the full structural hash and as the shallow key of the
+   hash-consing table (see {!Hashcons}). *)
+let payload_hash = function
+  | Get g -> comb (comb 1 (Hashtbl.hash g.table)) (Hashtbl.hash g.alias)
+  | Filter f -> comb 2 (Scalar.hash f.pred)
+  | Project p ->
+    List.fold_left
+      (fun h (id, e) -> comb (comb h (Ident.hash id)) (Scalar.hash e))
+      3 p.cols
+  | Join j -> comb (comb 4 (Hashtbl.hash j.kind)) (Scalar.hash j.pred)
+  | GroupBy g ->
+    let h = List.fold_left (fun h k -> comb h (Ident.hash k)) 5 g.keys in
+    List.fold_left
+      (fun h (id, a) -> comb (comb h (Ident.hash id)) (Aggregate.hash a))
+      h g.aggs
+  | UnionAll _ -> 6
+  | Union _ -> 7
+  | Intersect _ -> 8
+  | Except _ -> 9
+  | Distinct _ -> 10
+  | Sort s ->
+    List.fold_left
+      (fun h (id, dir) -> comb (comb h (Ident.hash id)) (Hashtbl.hash dir))
+      11 s.keys
+  | Limit l -> comb 12 l.count
+
+(* Payload equality — same constructor and non-child fields, children
+   ignored. *)
+let payload_equal a b =
+  match (a, b) with
+  | Get g1, Get g2 -> String.equal g1.table g2.table && String.equal g1.alias g2.alias
+  | Filter f1, Filter f2 -> Scalar.equal f1.pred f2.pred
+  | Project p1, Project p2 ->
+    List.length p1.cols = List.length p2.cols
+    && List.for_all2
+         (fun (i1, e1) (i2, e2) -> Ident.equal i1 i2 && Scalar.equal e1 e2)
+         p1.cols p2.cols
+  | Join j1, Join j2 -> j1.kind = j2.kind && Scalar.equal j1.pred j2.pred
+  | GroupBy g1, GroupBy g2 ->
+    List.length g1.keys = List.length g2.keys
+    && List.for_all2 Ident.equal g1.keys g2.keys
+    && List.length g1.aggs = List.length g2.aggs
+    && List.for_all2
+         (fun (i1, a1) (i2, a2) -> Ident.equal i1 i2 && Aggregate.equal a1 a2)
+         g1.aggs g2.aggs
+  | UnionAll _, UnionAll _ | Union _, Union _ | Intersect _, Intersect _
+  | Except _, Except _ | Distinct _, Distinct _ ->
+    true
+  | Sort s1, Sort s2 ->
+    List.length s1.keys = List.length s2.keys
+    && List.for_all2
+         (fun (i1, d1) (i2, d2) -> Ident.equal i1 i2 && d1 = d2)
+         s1.keys s2.keys
+  | Limit l1, Limit l2 -> l1.count = l2.count
+  | _ -> false
+
+let rec hash t =
+  List.fold_left (fun h c -> comb h (hash c)) (payload_hash t) (children t)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
 
 let rec fold f acc t = List.fold_left (fold f) (f acc t) (children t)
 

@@ -53,7 +53,21 @@ val kind_name : op_kind -> string
 val join_kind_to_sql : join_kind -> string
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
 val hash : t -> int
+(** Full structural hash, consistent with {!equal}: every node of the
+    tree contributes, unlike [Hashtbl.hash], whose bounded traversal
+    made all realistic-size trees with a common top shape collide. *)
+
+val payload_hash : t -> int
+(** Hash of the node's own payload only (children ignored) — the shallow
+    key used by {!Hashcons}. *)
+
+val payload_equal : t -> t -> bool
+(** Same constructor and non-child fields; children are ignored. *)
+
+module Tbl : Hashtbl.S with type key = t
+(** Hash tables keyed by whole trees, using the structural {!hash}. *)
 
 val children : t -> t list
 val with_children : t -> t list -> t

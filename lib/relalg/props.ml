@@ -5,28 +5,31 @@ type col_info = { id : Ident.t; ty : Datatype.t; nullable : bool }
 let ( let* ) = Result.bind
 
 (* Derived properties are recomputed millions of times during rule
-   exploration; memoize per subtree. Caches are keyed on the catalog's
-   physical identity and flushed when a different catalog shows up. *)
+   exploration; memoize per subtree. Tables use [Logical.Tbl] — the full
+   structural hash — so lookups cannot degenerate into linear collision
+   scans the way polymorphic [Hashtbl.hash]'s truncated traversal did on
+   realistic tree sizes. Caches are keyed on the catalog's physical
+   identity and flushed when a different catalog shows up. *)
 let cache_owner : Catalog.t option ref = ref None
-let schema_cache : (Logical.t, (col_info list, string) result) Hashtbl.t =
-  Hashtbl.create 4096
+let schema_cache : (col_info list, string) result Logical.Tbl.t =
+  Logical.Tbl.create 4096
 
-let keys_cache : (Logical.t, Ident.Set.t list) Hashtbl.t = Hashtbl.create 4096
+let keys_cache : Ident.Set.t list Logical.Tbl.t = Logical.Tbl.create 4096
 
 let with_cache cat cache compute t =
   let flush =
     match !cache_owner with Some c -> not (c == cat) | None -> true
   in
   if flush then begin
-    Hashtbl.reset schema_cache;
-    Hashtbl.reset keys_cache;
+    Logical.Tbl.reset schema_cache;
+    Logical.Tbl.reset keys_cache;
     cache_owner := Some cat
   end;
-  match Hashtbl.find_opt cache t with
+  match Logical.Tbl.find_opt cache t with
   | Some r -> r
   | None ->
     let r = compute t in
-    Hashtbl.replace cache t r;
+    Logical.Tbl.replace cache t r;
     r
 
 let env_of cols : Scalar.env =

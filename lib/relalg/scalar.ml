@@ -15,6 +15,26 @@ type t =
 
 let equal (a : t) (b : t) = a = b
 let compare (a : t) (b : t) = Stdlib.compare a b
+
+(* Full-depth structural hash. [Hashtbl.hash] samples only a bounded
+   prefix of the value, so deep expressions that differ near the leaves
+   collide; expressions are hashed millions of times as parts of logical
+   trees during exploration, so every node must contribute. *)
+let hash_combine h k = (h * 65599) + k
+
+let rec hash = function
+  | Const v -> hash_combine 1 (Hashtbl.hash v)
+  | Col id -> hash_combine 2 (Ident.hash id)
+  | Neg a -> hash_combine 3 (hash a)
+  | Arith (op, a, b) ->
+    hash_combine (hash_combine (hash_combine 4 (Hashtbl.hash op)) (hash a)) (hash b)
+  | Cmp (op, a, b) ->
+    hash_combine (hash_combine (hash_combine 5 (Hashtbl.hash op)) (hash a)) (hash b)
+  | And (a, b) -> hash_combine (hash_combine 6 (hash a)) (hash b)
+  | Or (a, b) -> hash_combine (hash_combine 7 (hash a)) (hash b)
+  | Not a -> hash_combine 8 (hash a)
+  | IsNull a -> hash_combine 9 (hash a)
+  | IsNotNull a -> hash_combine 10 (hash a)
 let true_ = Const (Storage.Value.Bool true)
 let col id = Col id
 let int n = Const (Storage.Value.Int n)

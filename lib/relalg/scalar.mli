@@ -21,6 +21,15 @@ type t =
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
+val hash : t -> int
+(** Full-depth structural hash, consistent with {!equal}. Unlike
+    [Hashtbl.hash] it never truncates, so deep expressions differing only
+    near the leaves hash differently. *)
+
+val hash_combine : int -> int -> int
+(** The hash-mixing step used by the structural hashes of this library
+    (shared so composite hashes stay consistent). *)
+
 val true_ : t
 val col : Ident.t -> t
 val int : int -> t

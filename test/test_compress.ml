@@ -124,6 +124,35 @@ let test_topk () =
       check bool_t (Su.target_name target ^ " picks cheapest") true (prefix chosen all))
     topk_sol.assignment
 
+let test_shared_vs_per_call_edges () =
+  (* Shared and per-call edges are each upper bounds on the untruncated
+     Cost(q, not R) but are incomparable to each other once the budget
+     truncates (the shared all-rules frontier differs from the not-R
+     frontier). What IS guaranteed, truncated or not: a shared edge is
+     the minimum over a subset of the very closure that produced the node
+     cost, so edge >= node always; both services stay finite on
+     logical-only targets; and the abstract edge accounting matches. *)
+  let shared = C.edge_costs fw suite6 in
+  let per_call = C.edge_costs ~share_exploration:false fw suite6 in
+  let nt = List.length suite6.targets in
+  let nq = Array.length suite6.entries in
+  for ti = 0 to nt - 1 do
+    for q = 0 to nq - 1 do
+      let cs = C.edge_cost shared ~target_idx:ti ~query_idx:q in
+      let cp = C.edge_cost per_call ~target_idx:ti ~query_idx:q in
+      check bool_t
+        (Printf.sprintf "edge (%d,%d) both finite" ti q)
+        true
+        (Float.is_finite cs && Float.is_finite cp);
+      check bool_t
+        (Printf.sprintf "edge (%d,%d) shared %.3f >= node" ti q cs)
+        true
+        (cs >= suite6.entries.(q).cost -. 1e-6)
+    done
+  done;
+  check int_t "same edge accounting" (C.invocations_used per_call)
+    (C.invocations_used shared)
+
 let test_monotonicity_sound_and_cheaper () =
   (* Figure 14's two claims: identical solution quality, fewer optimizer
      invocations. *)
@@ -274,6 +303,8 @@ let suite =
         Alcotest.test_case "covering superset" `Slow test_covering_superset ] );
     ( "core.compress",
       [ Alcotest.test_case "edge cost service" `Slow test_edge_cost_service;
+        Alcotest.test_case "shared vs per-call edges" `Slow
+          test_shared_vs_per_call_edges;
         Alcotest.test_case "baseline" `Slow test_baseline;
         Alcotest.test_case "smc" `Slow test_smc;
         Alcotest.test_case "topk picks cheapest" `Slow test_topk;

@@ -115,6 +115,134 @@ let test_custom_rules_param () =
   check int_t "single tree" 1 r.trees_explored;
   check bool_t "nothing exercised" true (E.SSet.is_empty r.exercised)
 
+(* ------------------------------------------------------------------ *)
+(* Memoized exploration vs the per-tree reference path                  *)
+(* ------------------------------------------------------------------ *)
+
+let float_t = Alcotest.float 1e-9
+
+let check_memo_equivalent name options q =
+  let on = Result.get_ok (E.optimize ~options:{ options with memoize = true } cat q) in
+  let off = Result.get_ok (E.optimize ~options:{ options with memoize = false } cat q) in
+  check float_t (name ^ ": same cost") off.cost on.cost;
+  check int_t (name ^ ": same closure size") off.trees_explored on.trees_explored;
+  check bool_t (name ^ ": same truncation") true
+    (off.budget_exhausted = on.budget_exhausted);
+  check bool_t (name ^ ": same exercised") true
+    (E.SSet.equal off.exercised on.exercised);
+  check bool_t (name ^ ": same impl exercised") true
+    (E.SSet.equal off.impl_exercised on.impl_exercised);
+  check bool_t (name ^ ": same best tree") true
+    (L.equal off.best_logical on.best_logical)
+
+let test_memoize_equivalent () =
+  List.iter
+    (fun q -> check_memo_equivalent "default budget" E.default_options q)
+    [ join; filtered; get1 ];
+  (* Tiny budgets truncate the closure mid-enumeration: both paths must
+     still admit bit-identical tree sets, which is only true if memoized
+     replay preserves the reference enumeration order exactly. *)
+  List.iter
+    (fun budget ->
+      check_memo_equivalent
+        (Printf.sprintf "budget %d" budget)
+        { E.default_options with max_trees = budget }
+        filtered)
+    [ 2; 3; 5; 10; 50 ]
+
+let test_closure_dedup () =
+  (* JoinCommute applied twice yields the original tree; the closure must
+     not blow up re-admitting known trees through new derivations. *)
+  let r = Result.get_ok (E.optimize cat join) in
+  check bool_t "closure completed" false r.budget_exhausted;
+  let r10 =
+    Result.get_ok (E.optimize ~options:{ E.default_options with max_trees = 1000 } cat join)
+  in
+  check int_t "fixpoint independent of budget headroom" r.trees_explored
+    r10.trees_explored
+
+let test_budget_exhausted_invariants () =
+  let tight = { E.default_options with max_trees = 3 } in
+  let r = Result.get_ok (E.optimize ~options:tight cat filtered) in
+  check bool_t "tight budget reported exhausted" true r.budget_exhausted;
+  check int_t "admits exactly max_trees" 3 r.trees_explored;
+  let loose = Result.get_ok (E.optimize cat filtered) in
+  check bool_t "default budget completes on micro" false loose.budget_exhausted;
+  check bool_t "exhausted run costs no less" true (r.cost >= loose.cost -. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Shared exploration                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_shared_cost_empty_disabled () =
+  List.iter
+    (fun q ->
+      let full = Result.get_ok (E.optimize cat q) in
+      let sh = Result.get_ok (E.explore_shared cat q) in
+      check int_t "shared closure size = explore's" full.trees_explored
+        (E.shared_trees sh);
+      check bool_t "same exercised" true
+        (E.SSet.equal full.exercised (E.shared_exercised sh));
+      let c = Result.get_ok (E.shared_cost sh ~disabled:E.SSet.empty) in
+      check float_t "shared_cost {} = optimize cost" full.cost c)
+    [ join; filtered; get1 ]
+
+let test_shared_cost_singleton_disabled () =
+  (* On the micro catalog the closure completes within the default
+     budget, so the shared filtered cost must equal a from-scratch
+     optimization with the rule disabled — for every exercised logical
+     rule and for implementation rules too. *)
+  let sh = Result.get_ok (E.explore_shared cat filtered) in
+  check bool_t "closure complete" false (E.shared_truncated sh);
+  E.SSet.iter
+    (fun rule ->
+      let scratch =
+        Result.get_ok
+          (E.optimize ~options:(disabled_options [ rule ]) cat filtered)
+      in
+      let shared =
+        Result.get_ok (E.shared_cost sh ~disabled:(E.SSet.singleton rule))
+      in
+      check float_t ("shared = scratch with " ^ rule ^ " off") scratch.cost shared)
+    (E.shared_exercised sh);
+  let no_hash =
+    Result.get_ok (E.shared_cost sh ~disabled:(E.SSet.singleton "JoinToHashJoin"))
+  in
+  let scratch =
+    Result.get_ok
+      (E.optimize ~options:(disabled_options [ "JoinToHashJoin" ]) cat filtered)
+  in
+  check float_t "impl rule honoured" scratch.cost no_hash
+
+let test_shared_cost_conservative () =
+  (* Pair-disabling: never cheaper than the from-scratch cost. *)
+  let sh = Result.get_ok (E.explore_shared cat filtered) in
+  let rules = E.SSet.elements (E.shared_exercised sh) in
+  List.iter
+    (fun r1 ->
+      List.iter
+        (fun r2 ->
+          let disabled = E.SSet.of_list [ r1; r2 ] in
+          let scratch =
+            Result.get_ok
+              (E.optimize ~options:(disabled_options [ r1; r2 ]) cat filtered)
+          in
+          match E.shared_cost sh ~disabled with
+          | Ok c ->
+            check bool_t
+              (Printf.sprintf "shared >= scratch without {%s,%s}" r1 r2)
+              true
+              (c >= scratch.cost -. 1e-9)
+          | Error _ -> Alcotest.fail "shared_cost failed on complete closure")
+        rules)
+    rules
+
+let test_shared_cost_all_impl_disabled () =
+  let sh = Result.get_ok (E.explore_shared cat filtered) in
+  let disabled = E.SSet.of_list E.implementation_rule_names in
+  check bool_t "no plan when all impl rules disabled" true
+    (Result.is_error (E.shared_cost sh ~disabled))
+
 let suite =
   [ ( "optimizer.engine",
       [ Alcotest.test_case "ruleset tracking" `Quick test_ruleset_tracking;

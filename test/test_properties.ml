@@ -177,6 +177,97 @@ let prop_pad_grows =
       let padded = Core.Arggen.pad ctx t 4 in
       L.size padded >= L.size t && Result.is_ok (Relalg.Props.validate cat padded))
 
+(* The memoized (hash-consed, Cascades-style) engine must be
+   observationally indistinguishable from the per-tree reference path,
+   including under budgets that truncate the closure mid-enumeration. *)
+let prop_memoized_engine_equivalent =
+  QCheck.Test.make ~name:"memoized exploration equals the reference engine" ~count:25
+    seed_arb (fun seed ->
+      let t = random_tree cat seed in
+      (* Vary the budget so some runs truncate and some complete. *)
+      let max_trees = 50 + (seed mod 5 * 150) in
+      let options mem = { quick_options with max_trees; memoize = mem } in
+      match
+        ( Optimizer.Engine.optimize ~options:(options true) cat t,
+          Optimizer.Engine.optimize ~options:(options false) cat t )
+      with
+      | Error _, Error _ -> true
+      | Ok m, Ok r ->
+        (m.cost = r.cost
+        && m.trees_explored = r.trees_explored
+        && m.budget_exhausted = r.budget_exhausted
+        && Optimizer.Engine.SSet.equal m.exercised r.exercised
+        && Optimizer.Engine.SSet.equal m.impl_exercised r.impl_exercised
+        && L.equal m.best_logical r.best_logical)
+        || QCheck.Test.fail_reportf
+             "diverged (budget %d): cost %.3f vs %.3f, trees %d vs %d on\n%s"
+             max_trees m.cost r.cost m.trees_explored r.trees_explored
+             (L.to_string t)
+      | _ -> QCheck.Test.fail_reportf "one engine failed, the other did not")
+
+(* Shared exploration with nothing disabled is exactly a full optimize;
+   with a disabled set it can only overestimate (§5.2 direction). *)
+let prop_shared_cost_consistent =
+  QCheck.Test.make ~name:"shared_cost agrees with optimize" ~count:20 seed_arb
+    (fun seed ->
+      let t = random_tree cat ~max_ops:6 seed in
+      match Optimizer.Engine.optimize ~options:quick_options cat t with
+      | Error _ -> true
+      | Ok base -> (
+        match Optimizer.Engine.explore_shared ~options:quick_options cat t with
+        | Error e -> QCheck.Test.fail_reportf "explore_shared failed: %s" e
+        | Ok sh ->
+          let empty_ok =
+            match
+              Optimizer.Engine.shared_cost sh ~disabled:Optimizer.Engine.SSet.empty
+            with
+            | Ok c ->
+              c = base.cost
+              || QCheck.Test.fail_reportf "shared {} %.4f <> optimize %.4f" c
+                   base.cost
+            | Error e -> QCheck.Test.fail_reportf "shared_cost {} failed: %s" e
+          in
+          let g = Prng.create (seed + 13) in
+          let subset =
+            Prng.sample g 2 (Optimizer.Engine.SSet.elements base.exercised)
+          in
+          let disabled =
+            List.fold_left
+              (fun s r -> Optimizer.Engine.SSet.add r s)
+              Optimizer.Engine.SSet.empty subset
+          in
+          let monotone =
+            (* Always true, truncated or not: the surviving set is a
+               subset of the very closure optimize searched. *)
+            match Optimizer.Engine.shared_cost sh ~disabled with
+            | Ok shc ->
+              shc >= base.cost -. 1e-6
+              || QCheck.Test.fail_reportf
+                   "shared %.4f below the all-rules optimum %.4f" shc base.cost
+            | Error _ -> true (* every derivation used a disabled rule *)
+          in
+          let conservative =
+            (* Comparable to a from-scratch Cost(q, not R) only when the
+               closure completed: under truncation the two searches have
+               different frontiers and are incomparable. *)
+            Optimizer.Engine.shared_truncated sh
+            ||
+            match
+              ( Optimizer.Engine.shared_cost sh ~disabled,
+                Optimizer.Engine.optimize
+                  ~options:{ quick_options with disabled }
+                  cat t )
+            with
+            | Ok shc, Ok scratch ->
+              shc >= scratch.cost -. 1e-6
+              || QCheck.Test.fail_reportf
+                   "shared %.4f below scratch %.4f disabling [%s]" shc scratch.cost
+                   (String.concat "; " subset)
+            | Error _, _ -> true
+            | Ok _, Error _ -> true
+          in
+          empty_ok && monotone && conservative))
+
 let prop_ruleset_subset_of_registry =
   QCheck.Test.make ~name:"RuleSet only contains registered rules" ~count:50 seed_arb
     (fun seed ->
@@ -201,4 +292,6 @@ let suite =
         to_alco prop_rule_off_same_results;
         to_alco prop_refresh_labels_disjoint;
         to_alco prop_pad_grows;
+        to_alco prop_memoized_engine_equivalent;
+        to_alco prop_shared_cost_consistent;
         to_alco prop_ruleset_subset_of_registry ] ) ]

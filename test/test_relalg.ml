@@ -177,6 +177,58 @@ let test_pp_contains_structure () =
   check bool_t "mentions tables" true
     (contains ~sub:"Get(t1 AS r0)" s && contains ~sub:"Get(t2 AS r1)" s)
 
+(* ------------------------------------------------------------------ *)
+(* Structural hashing and hash-consing                                  *)
+(* ------------------------------------------------------------------ *)
+
+let limit_chain depth leaf =
+  let rec wrap n t = if n = 0 then t else wrap (n - 1) (L.Limit { count = 7; child = t }) in
+  wrap depth leaf
+
+(* Regression: the polymorphic [Hashtbl.hash] only samples a bounded
+   prefix of the value, so deep trees differing only near the leaves all
+   hashed alike and every hot table degenerated into linear collision
+   scans. [Logical.hash] must keep distinguishing them. *)
+let test_deep_hash_no_truncation () =
+  let t1 = limit_chain 40 get0 in
+  let t2 = limit_chain 40 get1 in
+  check bool_t "trees differ" false (L.equal t1 t2);
+  check bool_t "Hashtbl.hash collides on deep trees (the bug)" true
+    (Hashtbl.hash t1 = Hashtbl.hash t2);
+  check bool_t "Logical.hash distinguishes them" false (L.hash t1 = L.hash t2);
+  (* And the full hash is consistent with equality. *)
+  let t1' = limit_chain 40 (L.Get { table = "t1"; alias = "r0" }) in
+  check bool_t "equal trees, equal hash" true
+    (L.equal t1 t1' && L.hash t1 = L.hash t1')
+
+let test_hashcons_interning () =
+  let h = Hashcons.intern join in
+  let h' = Hashcons.intern (L.Join { kind = L.Inner; pred = S.eq (S.col a) (S.col c);
+                                     left = get0; right = get1 }) in
+  check bool_t "equal trees intern to the same node" true (h == h');
+  check int_t "same id" (Hashcons.id h) (Hashcons.id h');
+  check bool_t "distinct trees get distinct ids" true
+    (Hashcons.id (Hashcons.intern get0) <> Hashcons.id (Hashcons.intern get1));
+  check int_t "cached size" (L.size join) (Hashcons.size h);
+  check int_t "cached hash" (L.hash join) (Hashcons.hash h);
+  check bool_t "repr is equal to the input" true (L.equal join (Hashcons.repr h))
+
+let test_hashcons_rebuild () =
+  let n = Hashcons.intern join in
+  let swapped = Hashcons.rebuild (Hashcons.rebuild n 0 (Hashcons.intern get1)) 1
+      (Hashcons.intern get0) in
+  let direct =
+    Hashcons.intern
+      (L.Join { kind = L.Inner; pred = S.eq (S.col a) (S.col c);
+                left = get1; right = get0 })
+  in
+  check bool_t "rebuild = intern of the rebuilt tree" true (swapped == direct);
+  check bool_t "rebuild with the same child is the identity" true
+    (Hashcons.rebuild n 0 (Hashcons.intern get0) == n);
+  Alcotest.check_raises "bad index"
+    (Invalid_argument "Hashcons.rebuild: child index out of range") (fun () ->
+      ignore (Hashcons.rebuild n 5 (Hashcons.intern get0)))
+
 let suite =
   [ ( "relalg.ident",
       [ Alcotest.test_case "round trip" `Quick test_ident_round_trip;
@@ -194,4 +246,9 @@ let suite =
       [ Alcotest.test_case "children round trip" `Quick test_children_roundtrip;
         Alcotest.test_case "size/fold/aliases" `Quick test_size_fold_aliases;
         Alcotest.test_case "kind names" `Quick test_kind_names;
-        Alcotest.test_case "pretty printing" `Quick test_pp_contains_structure ] ) ]
+        Alcotest.test_case "pretty printing" `Quick test_pp_contains_structure ] );
+    ( "relalg.hashcons",
+      [ Alcotest.test_case "deep hash not truncated" `Quick
+          test_deep_hash_no_truncation;
+        Alcotest.test_case "interning" `Quick test_hashcons_interning;
+        Alcotest.test_case "rebuild" `Quick test_hashcons_rebuild ] ) ]
