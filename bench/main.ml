@@ -346,6 +346,84 @@ let ext_correctness () =
     (List.length rep2.bugs)
 
 (* ------------------------------------------------------------------ *)
+(* Triage: delta reduction of the bugs each injected fault surfaces     *)
+(* ------------------------------------------------------------------ *)
+
+let reduce_bench () =
+  header "Triage: delta reduction of injected-fault bugs (k=8, seed 1)";
+  let cat = Lazy.force catalog in
+  Printf.printf "%-30s %5s %6s %10s %8s %8s %7s\n" "fault" "bugs" "cases"
+    "nodes" "steps" "checks" "secs";
+  hr ();
+  let all_shrink = ref [] in
+  let faults = ref [] in
+  List.iter
+    (fun victim ->
+      let fw_b =
+        F.create ~options:bench_options
+          ~rules:(Core.Faults.inject victim)
+          cat
+      in
+      let g = Prng.create 1 in
+      let t0 = now () in
+      let suite =
+        Su.generate ~extra_ops:2 fw_b g ~targets:[ Su.Single victim ] ~k:8
+      in
+      let sol = C.topk ~exploit_monotonicity:true fw_b suite in
+      let report = Core.Correctness.run fw_b suite sol in
+      let t = Triage.Pipeline.triage fw_b report in
+      let secs = now () -. t0 in
+      let shrinks =
+        List.map
+          (fun (c : Triage.Pipeline.case) ->
+            (c.stats.original_size, c.stats.reduced_size, c.stats.steps,
+             c.stats.checks))
+          t.cases
+      in
+      all_shrink := !all_shrink @ shrinks;
+      let sum f = List.fold_left (fun a x -> a + f x) 0 shrinks in
+      Printf.printf "%-30s %5d %6d %4d->%-5d %8d %8d %6.1fs\n%!" victim
+        (List.length report.bugs)
+        (List.length t.cases)
+        (sum (fun (o, _, _, _) -> o))
+        (sum (fun (_, r, _, _) -> r))
+        (sum (fun (_, _, s, _) -> s))
+        t.checks secs;
+      faults :=
+        ( victim,
+          Obs.Json.Obj
+            [ ("bugs", Obs.Json.Int (List.length report.bugs));
+              ("cases", Obs.Json.Int (List.length t.cases));
+              ("duplicates", Obs.Json.Int t.duplicates);
+              ( "original_nodes",
+                Obs.Json.Int (sum (fun (o, _, _, _) -> o)) );
+              ("reduced_nodes", Obs.Json.Int (sum (fun (_, r, _, _) -> r)));
+              ("oracle_checks", Obs.Json.Int t.checks);
+              ("plan_executions", Obs.Json.Int t.executions);
+              ("seconds", Obs.Json.Float secs) ] )
+        :: !faults)
+    Core.Faults.names;
+  hr ();
+  let shrinks =
+    List.map
+      (fun (o, r, _, _) -> float_of_int (o - r) /. float_of_int (max 1 o))
+      !all_shrink
+  in
+  let median xs =
+    match List.sort compare xs with
+    | [] -> 0.0
+    | l -> List.nth l (List.length l / 2)
+  in
+  Printf.printf "  %d reproducers; median node shrink %.0f%%\n"
+    (List.length shrinks)
+    (100.0 *. median shrinks);
+  detail "reduce"
+    (Obs.Json.Obj
+       [ ("reproducers", Obs.Json.Int (List.length shrinks));
+         ("median_shrink", Obs.Json.Float (median shrinks));
+         ("per_fault", Obs.Json.Obj (List.rev !faults)) ])
+
+(* ------------------------------------------------------------------ *)
 (* Engine speedup experiments (hash-consing / memoized exploration)     *)
 (* ------------------------------------------------------------------ *)
 
@@ -506,15 +584,16 @@ let () =
     | "correctness" -> ext_correctness ()
     | "explore" -> explore_bench ()
     | "matrix" -> matrix_bench ~full
+    | "reduce" -> reduce_bench ()
     | "micro" -> micro ()
     | "all" ->
       List.iter timed
         [ "fig8"; "fig9"; "fig11"; "fig12"; "fig13"; "fig14"; "matching";
-          "correctness"; "explore"; "matrix"; "micro" ]
+          "correctness"; "explore"; "matrix"; "reduce"; "micro" ]
     | other ->
       Printf.eprintf
         "unknown experiment %s (expected fig8..fig14, matching, correctness, \
-         explore, matrix, micro, all)\n"
+         explore, matrix, reduce, micro, all)\n"
         other;
       exit 2
   and timed name =

@@ -8,6 +8,9 @@
      qtr compress --rules 10 --k 5     compare BASELINE/SMC/TOPK
      qtr validate --rules 10 --k 3     run correctness testing
      qtr validate --inject SelectMerge ... with a buggy rule injected
+     qtr reduce --inject SelectMerge --corpus corpus/
+                                       minimize + dedup + persist reproducers
+     qtr replay --corpus corpus/       re-execute the regression corpus
      qtr stats                         per-rule optimizer metrics table
 
    Every subcommand accepts --trace FILE to record a Chrome trace-event
@@ -390,6 +393,146 @@ let validate_cmd =
       $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
+(* qtr reduce                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let reduce_cmd =
+  let inject =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"RULE"
+          ~doc:"Inject the buggy variant of RULE (one of the Faults registry).")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Persist every minimized reproducer (SQL + JSON metadata) into $(docv), \
+             one case per bug signature; re-execute later with $(b,qtr replay).")
+  in
+  let max_checks =
+    Arg.(
+      value & opt int 400
+      & info [ "max-checks" ] ~docv:"N"
+          ~doc:"Oracle-evaluation budget per bug during delta reduction.")
+  in
+  let run scale budget seed n k inject corpus max_checks trace json =
+    with_telemetry trace @@ fun () ->
+    if json then Obs.Metrics.set_enabled true;
+    let rules_override = Option.map Core.Faults.inject inject in
+    let fw = make_fw ?rules:rules_override scale budget in
+    let g = Prng.create seed in
+    let rules =
+      match inject with
+      | Some victim -> [ victim ]
+      | None -> List.filteri (fun i _ -> i < n) Optimizer.Rules.names
+    in
+    let targets = List.map (fun r -> Core.Suite.Single r) rules in
+    if not json then
+      Printf.printf "generating suite: %d rules x k=%d...\n%!" (List.length targets) k;
+    let suite = Core.Suite.generate ~extra_ops:2 fw g ~targets ~k in
+    let sol = Core.Compress.topk ~exploit_monotonicity:true fw suite in
+    let report = Core.Correctness.run fw suite sol in
+    if not json then Format.printf "%a@." Core.Correctness.pp_report report;
+    let triaged = Triage.Pipeline.triage ~max_checks fw report in
+    (match corpus with
+    | None -> ()
+    | Some dir -> (
+      match
+        Triage.Pipeline.save_corpus ~dir ~catalog:(Triage.Corpus.Tpch scale) ~budget
+          ?fault:inject (Core.Framework.catalog fw) triaged
+      with
+      | Ok paths ->
+        if not json then
+          Printf.printf "wrote %d corpus case(s) to %s\n%!" (List.length paths) dir
+      | Error e ->
+        Printf.eprintf "%s\n" e;
+        exit 1));
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [ ("bugs", Obs.Json.Int (List.length report.bugs));
+                ("triage", Triage.Pipeline.report_json triaged);
+                ("metrics", Obs.Report.metrics_json ()) ]))
+    else Format.printf "%a@." Triage.Pipeline.pp_report triaged
+  in
+  Cmd.v
+    (Cmd.info "reduce"
+       ~doc:
+         "Validate, then delta-reduce every bug to a minimal reproducer, dedup by \
+          signature, and optionally persist the regression corpus")
+    Term.(
+      const run $ scale_arg $ budget_arg $ seed_arg $ n_rules_arg $ k_arg $ inject
+      $ corpus $ max_checks $ trace_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* qtr replay                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let replay_cmd =
+  let corpus =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR" ~doc:"Corpus directory written by $(b,qtr reduce).")
+  in
+  let reinject =
+    Arg.(
+      value & flag
+      & info [ "reinject" ]
+          ~doc:
+            "Re-inject the fault recorded in each case's metadata before replaying — \
+             the corpus self-check: every case must reproduce its divergence, and the \
+             exit status is non-zero if any does not. Without this flag the current \
+             rule registry is used and any $(i,reproduced) divergence (a resurfaced \
+             regression) makes the exit status non-zero.")
+  in
+  let budget_override =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"TREES"
+          ~doc:"Override the per-case recorded exploration budget.")
+  in
+  let run corpus reinject budget trace json =
+    with_telemetry trace @@ fun () ->
+    match Triage.Pipeline.replay ~reinject ?budget ~dir:corpus () with
+    | Error e ->
+      Printf.eprintf "%s\n" e;
+      exit 2
+    | Ok results ->
+      let reproduced =
+        List.length
+          (List.filter
+             (fun (r : Triage.Pipeline.replayed) ->
+               match r.outcome with Triage.Pipeline.Reproduced _ -> true | _ -> false)
+             results)
+      in
+      if json then print_endline (Obs.Json.to_string (Triage.Pipeline.replay_json results))
+      else begin
+        List.iter
+          (fun r -> Format.printf "%a@." Triage.Pipeline.pp_replayed r)
+          results;
+        Printf.printf "%d/%d case(s) reproduced their divergence\n%!" reproduced
+          (List.length results)
+      end;
+      if reinject then begin
+        if reproduced < List.length results then exit 1
+      end
+      else if reproduced > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute a persisted regression corpus from disk (regression gate by \
+          default; corpus self-check with --reinject)")
+    Term.(const run $ corpus $ reinject $ budget_override $ trace_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
 (* qtr stats                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -515,4 +658,4 @@ let () =
        (Cmd.group
           (Cmd.info "qtr" ~version:"1.0.0" ~doc)
           [ rules_cmd; optimize_cmd; generate_cmd; coverage_cmd; compress_cmd;
-            validate_cmd; stats_cmd ]))
+            validate_cmd; reduce_cmd; replay_cmd; stats_cmd ]))

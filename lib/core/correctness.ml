@@ -6,6 +6,7 @@ type bug = {
   query : Relalg.Logical.t;
   expected_rows : int;
   actual_rows : int;
+  diff : RS.diff;
   detail : string;
 }
 
@@ -63,27 +64,15 @@ let run fw (suite : Suite.t) (sol : Compress.solution) =
                 | Error e -> errors := (context, "variant exec: " ^ e) :: !errors
                 | Ok actual ->
                   if not (RS.equal_bag expected actual) then
-                    let detail =
-                      match RS.first_difference expected actual with
-                      | Some (Some r, _) ->
-                        "row only with rule on: ("
-                        ^ String.concat ", "
-                            (Array.to_list (Array.map Storage.Value.to_sql r))
-                        ^ ")"
-                      | Some (None, Some r) ->
-                        "row only with rule off: ("
-                        ^ String.concat ", "
-                            (Array.to_list (Array.map Storage.Value.to_sql r))
-                        ^ ")"
-                      | _ -> "results diverge"
-                    in
+                    let diff = RS.bag_diff expected actual in
                     bugs :=
                       { target;
                         query_index = q;
                         query = suite.entries.(q).query;
                         expected_rows = RS.row_count expected;
                         actual_rows = RS.row_count actual;
-                        detail }
+                        diff;
+                        detail = RS.diff_summary diff }
                       :: !bugs
               end))
         picks)

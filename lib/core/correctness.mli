@@ -11,7 +11,11 @@ type bug = {
   query : Relalg.Logical.t;
   expected_rows : int;
   actual_rows : int;
-  detail : string;  (** first diverging row pair, printed *)
+  diff : Executor.Resultset.diff;
+      (** bag-diff summary: missing/extra row counts and up to 3 sample
+          rows per side, enough for triage to classify the divergence as
+          row-count vs row-content *)
+  detail : string;  (** {!Executor.Resultset.diff_summary} of [diff] *)
 }
 
 type report = {

@@ -26,6 +26,57 @@ let equal_bag a b =
   List.length ra = List.length rb
   && List.for_all2 (fun x y -> compare_rows x y = 0) ra rb
 
+type diff = {
+  missing_count : int;
+  extra_count : int;
+  missing_sample : Value.t array list;
+  extra_sample : Value.t array list;
+}
+
+let no_diff =
+  { missing_count = 0; extra_count = 0; missing_sample = []; extra_sample = [] }
+
+(* Multiset difference by sorted merge: a row appearing m times in
+   [expected] and n times in [actual] contributes max(0, m-n) to missing
+   and max(0, n-m) to extra. *)
+let bag_diff ?(samples = 3) expected actual =
+  let ra = List.sort compare_rows expected.rows
+  and rb = List.sort compare_rows actual.rows in
+  let take_sample sample row = if List.length sample < samples then row :: sample else sample in
+  let rec go mc ec ms es = function
+    | [], [] ->
+      { missing_count = mc;
+        extra_count = ec;
+        missing_sample = List.rev ms;
+        extra_sample = List.rev es }
+    | x :: xs, [] -> go (mc + 1) ec (take_sample ms x) es (xs, [])
+    | [], y :: ys -> go mc (ec + 1) ms (take_sample es y) ([], ys)
+    | x :: xs, y :: ys ->
+      let c = compare_rows x y in
+      if c = 0 then go mc ec ms es (xs, ys)
+      else if c < 0 then go (mc + 1) ec (take_sample ms x) es (xs, y :: ys)
+      else go mc (ec + 1) ms (take_sample es y) (x :: xs, ys)
+  in
+  go 0 0 [] [] (ra, rb)
+
+let row_to_sql row =
+  "(" ^ String.concat ", " (Array.to_list (Array.map Value.to_sql row)) ^ ")"
+
+let diff_summary d =
+  if d.missing_count = 0 && d.extra_count = 0 then "results identical"
+  else
+    let side count sample what =
+      if count = 0 then []
+      else
+        [ Printf.sprintf "%d row(s) %s%s" count what
+            (match sample with
+            | [] -> ""
+            | rows -> ", e.g. " ^ String.concat " " (List.map row_to_sql rows)) ]
+    in
+    String.concat "; "
+      (side d.missing_count d.missing_sample "only with rule on"
+      @ side d.extra_count d.extra_sample "only with rule off")
+
 let first_difference a b =
   if not (same_cols a b) then Some (None, None)
   else

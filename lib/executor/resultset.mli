@@ -21,6 +21,28 @@ val equal_bag : t -> t -> bool
     rows. All equivalent plans for a query produce the same column list,
     so a mismatch of columns simply reports inequality. *)
 
+type diff = {
+  missing_count : int;  (** rows present only in the first (expected) bag *)
+  extra_count : int;  (** rows present only in the second (actual) bag *)
+  missing_sample : Storage.Value.t array list;  (** up to [samples] of them *)
+  extra_sample : Storage.Value.t array list;
+}
+
+val no_diff : diff
+(** The empty diff (both counts zero). *)
+
+val bag_diff : ?samples:int -> t -> t -> diff
+(** Multiset difference of the two row bags: a row appearing [m] times in
+    the first and [n] times in the second contributes [max 0 (m-n)] to
+    missing and [max 0 (n-m)] to extra. At most [samples] (default 3)
+    example rows are retained per side. Columns are not compared. *)
+
+val row_to_sql : Storage.Value.t array -> string
+(** One row as a parenthesised tuple of SQL literals. *)
+
+val diff_summary : diff -> string
+(** Human-readable one-liner: per-side counts plus the sample rows. *)
+
 val first_difference :
   t -> t -> (Storage.Value.t array option * Storage.Value.t array option) option
 (** After normalization, the first position where the two results diverge

@@ -251,3 +251,8 @@ let to_float = function
   | Int i -> Some (float_of_int i)
   | Float f -> Some f
   | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+let to_str = function String s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function List l -> Some l | _ -> None

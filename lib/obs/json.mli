@@ -25,3 +25,11 @@ val member : string -> t -> t option
 
 val to_float : t -> float option
 (** Numeric projection ([Int] widens). *)
+
+val to_int : t -> int option
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+(** Constructor projections; [None] on any other constructor. Used by the
+    readers of persisted documents (bench trajectories, triage corpus
+    metadata). *)

@@ -16,6 +16,14 @@ let hash = function
   | Max e -> Scalar.hash_combine 4 (Scalar.hash e)
   | Avg e -> Scalar.hash_combine 5 (Scalar.hash e)
 
+let shape_hash = function
+  | CountStar -> 0x5157
+  | Count e -> Scalar.hash_combine 1 (Scalar.shape_hash e)
+  | Sum e -> Scalar.hash_combine 2 (Scalar.shape_hash e)
+  | Min e -> Scalar.hash_combine 3 (Scalar.shape_hash e)
+  | Max e -> Scalar.hash_combine 4 (Scalar.shape_hash e)
+  | Avg e -> Scalar.hash_combine 5 (Scalar.shape_hash e)
+
 let argument = function
   | CountStar -> None
   | Count e | Sum e | Min e | Max e | Avg e -> Some e

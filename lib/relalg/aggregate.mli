@@ -13,6 +13,10 @@ val equal : t -> t -> bool
 val hash : t -> int
 (** Full-depth structural hash, consistent with {!equal}. *)
 
+val shape_hash : t -> int
+(** Skeleton hash: the aggregate function plus {!Scalar.shape_hash} of its
+    argument (literals and column identity ignored). *)
+
 val argument : t -> Scalar.t option
 val columns : t -> Ident.Set.t
 val rename : (Ident.t -> Ident.t) -> t -> t

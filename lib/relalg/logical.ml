@@ -172,6 +172,33 @@ let payload_equal a b =
 let rec hash t =
   List.fold_left (fun h c -> comb h (hash c)) (payload_hash t) (children t)
 
+(* Shape hash of a node's payload: operator kind and expression skeletons
+   only. Table names are kept (the shape of a bug includes which base
+   relations it touches); aliases, literal constant values, column identity
+   and output names are ignored. Two reproducers that differ only in those
+   respects are, for triage purposes, the same bug. *)
+let payload_shape_hash = function
+  | Get g -> comb 21 (Hashtbl.hash g.table)
+  | Filter f -> comb 22 (Scalar.shape_hash f.pred)
+  | Project p ->
+    List.fold_left (fun h (_, e) -> comb h (Scalar.shape_hash e)) 23 p.cols
+  | Join j -> comb (comb 24 (Hashtbl.hash j.kind)) (Scalar.shape_hash j.pred)
+  | GroupBy g ->
+    List.fold_left
+      (fun h (_, a) -> comb h (Aggregate.shape_hash a))
+      (comb 25 (List.length g.keys))
+      g.aggs
+  | UnionAll _ -> 26
+  | Union _ -> 27
+  | Intersect _ -> 28
+  | Except _ -> 29
+  | Distinct _ -> 30
+  | Sort s -> comb 31 (List.length s.keys)
+  | Limit _ -> 32
+
+let rec shape_hash t =
+  List.fold_left (fun h c -> comb h (shape_hash c)) (payload_shape_hash t) (children t)
+
 module Tbl = Hashtbl.Make (struct
   type nonrec t = t
 

@@ -66,6 +66,13 @@ val payload_hash : t -> int
 val payload_equal : t -> t -> bool
 (** Same constructor and non-child fields; children are ignored. *)
 
+val shape_hash : t -> int
+(** Hash of the tree's operator/expression skeleton: operator kinds, base
+    table names, and {!Scalar.shape_hash} of every predicate/projection —
+    aliases, literal constant values, column identity and output names are
+    ignored. Used as the structural component of triage bug signatures, so
+    reproducers differing only in constants or labels dedup together. *)
+
 module Tbl : Hashtbl.S with type key = t
 (** Hash tables keyed by whole trees, using the structural {!hash}. *)
 

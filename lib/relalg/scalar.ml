@@ -35,6 +35,30 @@ let rec hash = function
   | Not a -> hash_combine 8 (hash a)
   | IsNull a -> hash_combine 9 (hash a)
   | IsNotNull a -> hash_combine 10 (hash a)
+(* Shape hash: the constructor skeleton only. Constants contribute their
+   type, not their value; column references contribute a fixed tag. Two
+   predicates that differ only in literals or in which columns they touch
+   share a shape — the granularity at which triage dedups bugs. *)
+let rec shape_hash = function
+  | Const v ->
+    hash_combine 101
+      (match Storage.Value.type_of v with Some ty -> Hashtbl.hash ty | None -> 0)
+  | Col _ -> 102
+  | Neg a -> hash_combine 103 (shape_hash a)
+  | Arith (op, a, b) ->
+    hash_combine
+      (hash_combine (hash_combine 104 (Hashtbl.hash op)) (shape_hash a))
+      (shape_hash b)
+  | Cmp (op, a, b) ->
+    hash_combine
+      (hash_combine (hash_combine 105 (Hashtbl.hash op)) (shape_hash a))
+      (shape_hash b)
+  | And (a, b) -> hash_combine (hash_combine 106 (shape_hash a)) (shape_hash b)
+  | Or (a, b) -> hash_combine (hash_combine 107 (shape_hash a)) (shape_hash b)
+  | Not a -> hash_combine 108 (shape_hash a)
+  | IsNull a -> hash_combine 109 (shape_hash a)
+  | IsNotNull a -> hash_combine 110 (shape_hash a)
+
 let true_ = Const (Storage.Value.Bool true)
 let col id = Col id
 let int n = Const (Storage.Value.Int n)

@@ -30,6 +30,12 @@ val hash_combine : int -> int -> int
 (** The hash-mixing step used by the structural hashes of this library
     (shared so composite hashes stay consistent). *)
 
+val shape_hash : t -> int
+(** Hash of the expression's constructor skeleton only: constants
+    contribute their type (not their value) and column references a fixed
+    tag. Expressions that differ only in literals or column identity share
+    a shape — the granularity of triage bug signatures. *)
+
 val true_ : t
 val col : Ident.t -> t
 val int : int -> t

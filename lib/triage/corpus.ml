@@ -1,0 +1,138 @@
+module J = Obs.Json
+
+type catalog_spec = Micro | Tpch of float
+
+let catalog_of_spec = function
+  | Micro -> Storage.Datagen.micro ()
+  | Tpch scale -> Storage.Datagen.tpch ~scale ()
+
+let spec_name = function Micro -> "micro" | Tpch _ -> "tpch"
+
+type meta = {
+  id : string;
+  target : string;
+  kind : Divergence.kind;
+  shape : int;
+  fault : string option;
+  catalog : catalog_spec;
+  budget : int;
+  original_nodes : int;
+  reduced_nodes : int;
+  steps : int;
+  checks : int;
+  expected_rows : int;
+  actual_rows : int;
+}
+
+type case = { meta : meta; sql : string }
+
+let target_of_name name =
+  match String.split_on_char '+' name with
+  | [ r ] -> Ok (Core.Suite.Single r)
+  | [ a; b ] -> Ok (Core.Suite.Pair (a, b))
+  | _ -> Error ("corpus: unparsable target name " ^ name)
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let meta_json m =
+  J.Obj
+    [ ("id", J.String m.id);
+      ("target", J.String m.target);
+      ("kind", J.String (Divergence.kind_name m.kind));
+      ("shape", J.Int m.shape);
+      ("fault", match m.fault with Some f -> J.String f | None -> J.Null);
+      ("catalog", J.String (spec_name m.catalog));
+      ("scale", match m.catalog with Tpch s -> J.Float s | Micro -> J.Null);
+      ("budget", J.Int m.budget);
+      ("original_nodes", J.Int m.original_nodes);
+      ("reduced_nodes", J.Int m.reduced_nodes);
+      ("steps", J.Int m.steps);
+      ("checks", J.Int m.checks);
+      ("expected_rows", J.Int m.expected_rows);
+      ("actual_rows", J.Int m.actual_rows) ]
+
+let meta_of_json doc =
+  let ( let* ) = Option.bind in
+  let field name proj = Option.bind (J.member name doc) proj in
+  let require err = function Some x -> Ok x | None -> Error err in
+  let result =
+    let* id = field "id" J.to_str in
+    let* target = field "target" J.to_str in
+    let* kind = Option.bind (field "kind" J.to_str) Divergence.kind_of_name in
+    let* shape = field "shape" J.to_int in
+    let fault = field "fault" J.to_str in
+    let* catalog =
+      match field "catalog" J.to_str with
+      | Some "micro" -> Some Micro
+      | Some "tpch" -> Option.map (fun s -> Tpch s) (field "scale" J.to_float)
+      | _ -> None
+    in
+    let* budget = field "budget" J.to_int in
+    let* original_nodes = field "original_nodes" J.to_int in
+    let* reduced_nodes = field "reduced_nodes" J.to_int in
+    let* steps = field "steps" J.to_int in
+    let* checks = field "checks" J.to_int in
+    let* expected_rows = field "expected_rows" J.to_int in
+    let* actual_rows = field "actual_rows" J.to_int in
+    Some
+      { id; target; kind; shape; fault; catalog; budget; original_nodes;
+        reduced_nodes; steps; checks; expected_rows; actual_rows }
+  in
+  require "corpus: missing or ill-typed metadata field" result
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  end
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let sql_path ~dir id = Filename.concat dir (id ^ ".sql")
+let json_path ~dir id = Filename.concat dir (id ^ ".json")
+
+let save ~dir cat meta reduced =
+  try
+    mkdir_p dir;
+    let sql = Relalg.Sql_print.to_sql cat reduced in
+    write_file (sql_path ~dir meta.id) (sql ^ "\n");
+    write_file (json_path ~dir meta.id) (J.to_string (meta_json meta) ^ "\n");
+    Ok (json_path ~dir meta.id)
+  with Sys_error e | Invalid_argument e -> Error ("corpus save: " ^ e)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    Error ("corpus: no such directory " ^ dir)
+  else
+    let entries = Array.to_list (Sys.readdir dir) in
+    let metas =
+      List.sort compare
+        (List.filter (fun f -> Filename.check_suffix f ".json") entries)
+    in
+    let ( let* ) = Result.bind in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | f :: rest ->
+        let path = Filename.concat dir f in
+        let* doc =
+          Result.map_error (fun e -> path ^ ": " ^ e) (J.of_string (read_file path))
+        in
+        let* meta = Result.map_error (fun e -> path ^ ": " ^ e) (meta_of_json doc) in
+        let sqlfile = sql_path ~dir meta.id in
+        if not (Sys.file_exists sqlfile) then
+          Error ("corpus: missing reproducer " ^ sqlfile)
+        else go ({ meta; sql = String.trim (read_file sqlfile) } :: acc) rest
+    in
+    go [] metas

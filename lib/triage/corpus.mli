@@ -1,0 +1,48 @@
+(** The persistent regression corpus: one minimized reproducer per bug
+    signature, stored as replayable SQL plus JSON metadata.
+
+    Layout: a flat directory with ["<id>.sql"] (the reproducer, in the
+    dialect of {!Relalg.Sql_print}, round-trippable through
+    {!Relalg.Sql_parser}) and ["<id>.json"] (metadata) per case, where
+    [id] is the {!Signature.key}. Saving a case whose signature already
+    exists overwrites it — dedup across runs is the id scheme itself. *)
+
+type catalog_spec = Micro | Tpch of float  (** scale factor *)
+
+val catalog_of_spec : catalog_spec -> Storage.Catalog.t
+(** Regenerate the (deterministic) database a case was found on. *)
+
+val spec_name : catalog_spec -> string
+
+type meta = {
+  id : string;  (** {!Signature.key} of the case *)
+  target : string;  (** {!Core.Suite.target_name} — rules to disable *)
+  kind : Divergence.kind;
+  shape : int;
+  fault : string option;
+      (** the {!Core.Faults} variant that was injected when the bug was
+          found, so a replay can reconstruct the buggy registry *)
+  catalog : catalog_spec;
+  budget : int;  (** optimizer exploration budget (trees) *)
+  original_nodes : int;
+  reduced_nodes : int;
+  steps : int;
+  checks : int;
+  expected_rows : int;
+  actual_rows : int;
+}
+
+type case = { meta : meta; sql : string }
+
+val target_of_name : string -> (Core.Suite.target, string) result
+(** Inverse of {!Core.Suite.target_name} (rule names never contain '+'). *)
+
+val save :
+  dir:string -> Storage.Catalog.t -> meta -> Relalg.Logical.t ->
+  (string, string) result
+(** Write the case (creating [dir] if needed); returns the metadata path.
+    The catalog is needed to render the SQL. *)
+
+val load : dir:string -> (case list, string) result
+(** Every case in the directory, sorted by id. Errors on the first
+    unreadable or inconsistent case. *)

@@ -1,0 +1,49 @@
+module RS = Executor.Resultset
+
+type kind = Row_count | Row_content | Exec_error
+
+let kind_name = function
+  | Row_count -> "row_count"
+  | Row_content -> "row_content"
+  | Exec_error -> "exec_error"
+
+let kind_of_name = function
+  | "row_count" -> Some Row_count
+  | "row_content" -> Some Row_content
+  | "exec_error" -> Some Exec_error
+  | _ -> None
+
+type t = {
+  kind : kind;
+  expected_rows : int;
+  actual_rows : int;
+  diff : RS.diff;
+  detail : string;
+}
+
+let classify ~(expected : RS.t) ~(actual : RS.t) =
+  let diff = RS.bag_diff expected actual in
+  let er = RS.row_count expected and ar = RS.row_count actual in
+  { kind = (if er <> ar then Row_count else Row_content);
+    expected_rows = er;
+    actual_rows = ar;
+    diff;
+    detail = RS.diff_summary diff }
+
+let of_bug (b : Core.Correctness.bug) =
+  { kind = (if b.expected_rows <> b.actual_rows then Row_count else Row_content);
+    expected_rows = b.expected_rows;
+    actual_rows = b.actual_rows;
+    diff = b.diff;
+    detail = b.detail }
+
+let exec_error ~expected_rows msg =
+  { kind = Exec_error;
+    expected_rows;
+    actual_rows = 0;
+    diff = RS.no_diff;
+    detail = "variant plan execution failed: " ^ msg }
+
+let pp fmt d =
+  Format.fprintf fmt "%s: %d rows vs %d rows (%s)" (kind_name d.kind)
+    d.expected_rows d.actual_rows d.detail

@@ -1,0 +1,31 @@
+(** Classification of a correctness divergence — the "what went wrong"
+    axis of a bug signature. *)
+
+type kind =
+  | Row_count  (** the two plans return different numbers of rows *)
+  | Row_content  (** same cardinality, different row multiset *)
+  | Exec_error  (** the rule-disabled plan fails to execute at all *)
+
+val kind_name : kind -> string
+(** Stable snake_case spelling, used in signatures and corpus metadata. *)
+
+val kind_of_name : string -> kind option
+
+type t = {
+  kind : kind;
+  expected_rows : int;  (** rows of Plan(q) — all rules enabled *)
+  actual_rows : int;  (** rows of Plan(q, ¬R) *)
+  diff : Executor.Resultset.diff;
+  detail : string;  (** human-readable summary *)
+}
+
+val classify : expected:Executor.Resultset.t -> actual:Executor.Resultset.t -> t
+(** Bag-diff the two results and classify. Only call on results that are
+    not bag-equal. *)
+
+val of_bug : Core.Correctness.bug -> t
+(** Re-classify a validation bug from its stored bag-diff summary. *)
+
+val exec_error : expected_rows:int -> string -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+module F = Core.Framework
+module L = Relalg.Logical
+module RS = Executor.Resultset
+
+type verdict =
+  | Diverges of Divergence.t
+  | Agrees
+  | Rule_not_fired
+  | Invalid of string
+
+type t = {
+  fw : F.t;
+  target : Core.Suite.target;
+  disabled : string list;
+  mutable checks : int;
+  mutable executions : int;
+}
+
+let create fw target =
+  { fw; target; disabled = Core.Suite.rules_of target; checks = 0; executions = 0 }
+
+let target t = t.target
+let checks t = t.checks
+let executions t = t.executions
+
+let checks_c = Obs.Metrics.counter "triage.oracle.checks"
+let exec_c = Obs.Metrics.counter "triage.oracle.executions"
+
+let check t q =
+  t.checks <- t.checks + 1;
+  Obs.Metrics.incr checks_c;
+  let cat = F.catalog t.fw in
+  match Relalg.Props.validate cat q with
+  | Error e -> Invalid ("validate: " ^ e)
+  | Ok () -> (
+    match F.optimize t.fw q with
+    | Error e -> Invalid ("optimize: " ^ e)
+    | Ok base ->
+      if not (List.for_all (fun r -> F.SSet.mem r base.exercised) t.disabled) then
+        Rule_not_fired
+      else (
+        match F.optimize t.fw ~disabled:t.disabled q with
+        | Error e -> Invalid ("optimize (disabled): " ^ e)
+        | Ok variant ->
+          if Optimizer.Physical.equal base.plan variant.plan then Agrees
+          else (
+            t.executions <- t.executions + 2;
+            Obs.Metrics.add exec_c 2;
+            match Executor.Exec.run cat base.plan with
+            | Error e -> Invalid ("baseline exec: " ^ e)
+            | Ok expected -> (
+              match Executor.Exec.run cat variant.plan with
+              | Error e ->
+                Diverges
+                  (Divergence.exec_error ~expected_rows:(RS.row_count expected) e)
+              | Ok actual ->
+                if RS.equal_bag expected actual then Agrees
+                else Diverges (Divergence.classify ~expected ~actual)))))

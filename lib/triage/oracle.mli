@@ -1,0 +1,31 @@
+(** The reduction oracle: is a candidate query still a true reproducer of
+    the bug it was derived from?
+
+    A query [q] passes for a target [R] iff it is well-formed, [RuleSet(q)]
+    still exercises every rule of the target, [Plan(q)] and [Plan(q, ¬R)]
+    differ, and executing the two plans yields diverging result bags (or
+    the disabled-rule plan fails to execute). This is exactly the predicate
+    {!Core.Correctness.run} applies to suite entries, packaged as a
+    reusable check so delta reduction can re-verify every shrinking step. *)
+
+type verdict =
+  | Diverges of Divergence.t  (** still a reproducer *)
+  | Agrees  (** plans identical or result bags equal *)
+  | Rule_not_fired  (** the target rule(s) no longer fire on the query *)
+  | Invalid of string  (** ill-formed tree, or optimization/baseline failed *)
+
+type t
+
+val create : Core.Framework.t -> Core.Suite.target -> t
+(** The framework carries the rule registry under test (inject faults via
+    [Framework.create ~rules:(Faults.inject ...)]). *)
+
+val check : t -> Relalg.Logical.t -> verdict
+(** One oracle evaluation: up to two optimizer invocations and two plan
+    executions. Counted by {!checks}/{!executions} and the
+    ["triage.oracle.*"] metrics. *)
+
+val target : t -> Core.Suite.target
+val checks : t -> int
+val executions : t -> int
+(** Plan executions spent (two per divergence-checked candidate). *)

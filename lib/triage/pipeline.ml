@@ -1,0 +1,249 @@
+module F = Core.Framework
+module L = Relalg.Logical
+module J = Obs.Json
+
+(* ------------------------------------------------------------------ *)
+(* Triage: reduce + dedup                                              *)
+(* ------------------------------------------------------------------ *)
+
+type case = {
+  target : Core.Suite.target;
+  signature : Signature.t;
+  original : L.t;
+  reduced : L.t;
+  divergence : Divergence.t;
+  stats : Reduce.stats;
+  dup_count : int;
+}
+
+type report = {
+  cases : case list;
+  duplicates : int;
+  irreducible : (Core.Correctness.bug * string) list;
+  checks : int;
+  executions : int;
+}
+
+let bugs_c = Obs.Metrics.counter "triage.bugs"
+let dedup_c = Obs.Metrics.counter "triage.dedup_hits"
+
+let triage ?max_checks fw (correctness : Core.Correctness.report) =
+  Obs.Trace.with_span "triage.run"
+    ~args:[ ("bugs", J.Int (List.length correctness.bugs)) ]
+  @@ fun () ->
+  let by_sig : (string, case) Hashtbl.t = Hashtbl.create 16 in
+  let order : string list ref = ref [] in
+  let irreducible = ref [] in
+  let checks = ref 0 and executions = ref 0 in
+  List.iter
+    (fun (bug : Core.Correctness.bug) ->
+      Obs.Metrics.incr bugs_c;
+      let oracle = Oracle.create fw bug.target in
+      (match Reduce.run ?max_checks oracle bug.query with
+      | Error e -> irreducible := (bug, e) :: !irreducible
+      | Ok (reduced, divergence, stats) ->
+        let signature = Signature.make bug.target divergence.kind reduced in
+        let key = Signature.key signature in
+        (match Hashtbl.find_opt by_sig key with
+        | Some existing ->
+          Obs.Metrics.incr dedup_c;
+          (* Keep the smaller reproducer for the signature. *)
+          let keep =
+            if stats.reduced_size < existing.stats.reduced_size then
+              { target = bug.target; signature; original = bug.query; reduced;
+                divergence; stats; dup_count = existing.dup_count + 1 }
+            else { existing with dup_count = existing.dup_count + 1 }
+          in
+          Hashtbl.replace by_sig key keep
+        | None ->
+          Hashtbl.replace by_sig key
+            { target = bug.target; signature; original = bug.query; reduced;
+              divergence; stats; dup_count = 1 };
+          order := key :: !order));
+      checks := !checks + Oracle.checks oracle;
+      executions := !executions + Oracle.executions oracle)
+    correctness.bugs;
+  let cases = List.rev_map (fun k -> Hashtbl.find by_sig k) !order in
+  { cases;
+    duplicates = List.fold_left (fun n c -> n + c.dup_count - 1) 0 cases;
+    irreducible = List.rev !irreducible;
+    checks = !checks;
+    executions = !executions }
+
+(* ------------------------------------------------------------------ *)
+(* Corpus persistence                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let meta_of_case ~catalog ~budget ~fault (c : case) : Corpus.meta =
+  { id = Signature.key c.signature;
+    target = Core.Suite.target_name c.target;
+    kind = c.divergence.kind;
+    shape = c.signature.shape;
+    fault;
+    catalog;
+    budget;
+    original_nodes = c.stats.original_size;
+    reduced_nodes = c.stats.reduced_size;
+    steps = c.stats.steps;
+    checks = c.stats.checks;
+    expected_rows = c.divergence.expected_rows;
+    actual_rows = c.divergence.actual_rows }
+
+let save_corpus ~dir ~catalog ~budget ?fault cat (r : report) =
+  let ( let* ) = Result.bind in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | c :: rest ->
+      let* path = Corpus.save ~dir cat (meta_of_case ~catalog ~budget ~fault c) c.reduced in
+      go (path :: acc) rest
+  in
+  go [] r.cases
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type outcome =
+  | Reproduced of Divergence.t
+  | Clean
+  | Not_fired
+  | Failed of string
+
+type replayed = { case : Corpus.case; outcome : outcome }
+
+let replay ?(reinject = false) ?budget ~dir () =
+  let ( let* ) = Result.bind in
+  let* cases = Corpus.load ~dir in
+  let catalogs : (string, Storage.Catalog.t) Hashtbl.t = Hashtbl.create 4 in
+  let catalog_for spec =
+    let key =
+      match spec with
+      | Corpus.Micro -> "micro"
+      | Corpus.Tpch s -> Printf.sprintf "tpch:%g" s
+    in
+    match Hashtbl.find_opt catalogs key with
+    | Some c -> c
+    | None ->
+      let c = Corpus.catalog_of_spec spec in
+      Hashtbl.replace catalogs key c;
+      c
+  in
+  let replay_one (case : Corpus.case) =
+    let outcome =
+      match Corpus.target_of_name case.meta.target with
+      | Error e -> Failed e
+      | Ok target -> (
+        let cat = catalog_for case.meta.catalog in
+        let rules =
+          match (reinject, case.meta.fault) with
+          | true, Some fault -> Core.Faults.inject fault
+          | _ -> Optimizer.Rules.all
+        in
+        let options =
+          { Optimizer.Engine.default_options with
+            max_trees = Option.value budget ~default:case.meta.budget }
+        in
+        let fw = F.create ~options ~rules cat in
+        match Relalg.Sql_parser.parse cat case.sql with
+        | Error e -> Failed ("parse: " ^ e)
+        | Ok q -> (
+          match Oracle.check (Oracle.create fw target) q with
+          | Oracle.Diverges d -> Reproduced d
+          | Oracle.Agrees -> Clean
+          | Oracle.Rule_not_fired -> Not_fired
+          | Oracle.Invalid e -> Failed e))
+    in
+    { case; outcome }
+  in
+  Ok (List.map replay_one cases)
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let divergence_json (d : Divergence.t) =
+  J.Obj
+    [ ("kind", J.String (Divergence.kind_name d.kind));
+      ("expected_rows", J.Int d.expected_rows);
+      ("actual_rows", J.Int d.actual_rows);
+      ("missing_rows", J.Int d.diff.missing_count);
+      ("extra_rows", J.Int d.diff.extra_count);
+      ("detail", J.String d.detail) ]
+
+let case_json (c : case) =
+  J.Obj
+    [ ("id", J.String (Signature.key c.signature));
+      ("target", J.String (Core.Suite.target_name c.target));
+      ("divergence", divergence_json c.divergence);
+      ("original_nodes", J.Int c.stats.original_size);
+      ("reduced_nodes", J.Int c.stats.reduced_size);
+      ("steps", J.Int c.stats.steps);
+      ("checks", J.Int c.stats.checks);
+      ("budget_exhausted", J.Bool c.stats.budget_exhausted);
+      ("duplicates", J.Int (c.dup_count - 1)) ]
+
+let report_json (r : report) =
+  J.Obj
+    [ ("cases", J.List (List.map case_json r.cases));
+      ("duplicates", J.Int r.duplicates);
+      ("irreducible", J.Int (List.length r.irreducible));
+      ("oracle_checks", J.Int r.checks);
+      ("plan_executions", J.Int r.executions) ]
+
+let outcome_name = function
+  | Reproduced _ -> "reproduced"
+  | Clean -> "clean"
+  | Not_fired -> "rule_not_fired"
+  | Failed _ -> "failed"
+
+let replay_json (rs : replayed list) =
+  let reproduced =
+    List.length (List.filter (fun r -> match r.outcome with Reproduced _ -> true | _ -> false) rs)
+  in
+  J.Obj
+    [ ( "cases",
+        J.List
+          (List.map
+             (fun r ->
+               J.Obj
+                 ([ ("id", J.String r.case.meta.id);
+                    ("target", J.String r.case.meta.target);
+                    ("outcome", J.String (outcome_name r.outcome)) ]
+                 @
+                 match r.outcome with
+                 | Reproduced d -> [ ("divergence", divergence_json d) ]
+                 | Failed e -> [ ("error", J.String e) ]
+                 | Clean | Not_fired -> []))
+             rs) );
+      ("total", J.Int (List.length rs));
+      ("reproduced", J.Int reproduced) ]
+
+let pp_case fmt (c : case) =
+  Format.fprintf fmt
+    "@[<v2>%a (x%d): %d -> %d nodes in %d step(s), %d oracle check(s)%s@,%a@]"
+    Signature.pp c.signature c.dup_count c.stats.original_size c.stats.reduced_size
+    c.stats.steps c.stats.checks
+    (if c.stats.budget_exhausted then " [budget exhausted]" else "")
+    L.pp c.reduced
+
+let pp_report fmt (r : report) =
+  Format.fprintf fmt
+    "@[<v>triage: %d distinct bug(s), %d duplicate(s) merged, %d irreducible; %d \
+     oracle checks, %d plan executions"
+    (List.length r.cases) r.duplicates
+    (List.length r.irreducible)
+    r.checks r.executions;
+  List.iter (fun c -> Format.fprintf fmt "@,%a" pp_case c) r.cases;
+  List.iter
+    (fun ((b : Core.Correctness.bug), e) ->
+      Format.fprintf fmt "@,irreducible %s on query #%d: %s"
+        (Core.Suite.target_name b.target) b.query_index e)
+    r.irreducible;
+  Format.fprintf fmt "@]"
+
+let pp_replayed fmt (r : replayed) =
+  Format.fprintf fmt "%-48s %-12s" r.case.meta.id (outcome_name r.outcome);
+  match r.outcome with
+  | Reproduced d -> Format.fprintf fmt " %a" Divergence.pp d
+  | Failed e -> Format.fprintf fmt " %s" e
+  | Clean | Not_fired -> ()

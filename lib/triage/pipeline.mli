@@ -1,0 +1,65 @@
+(** End-to-end bug triage: delta-reduce every validation bug, dedup by
+    signature, persist the survivors, and replay a persisted corpus. *)
+
+type case = {
+  target : Core.Suite.target;
+  signature : Signature.t;
+  original : Relalg.Logical.t;  (** the bug's query as validation found it *)
+  reduced : Relalg.Logical.t;  (** the minimized reproducer *)
+  divergence : Divergence.t;  (** observed on the reduced query *)
+  stats : Reduce.stats;
+  dup_count : int;  (** raw bugs that collapsed onto this signature *)
+}
+
+type report = {
+  cases : case list;  (** one per distinct signature, discovery order *)
+  duplicates : int;
+  irreducible : (Core.Correctness.bug * string) list;
+      (** bugs whose original query failed oracle re-verification *)
+  checks : int;  (** oracle evaluations across all reductions *)
+  executions : int;  (** plan executions across all reductions *)
+}
+
+val triage :
+  ?max_checks:int -> Core.Framework.t -> Core.Correctness.report -> report
+(** Reduce every bug of a {!Core.Correctness.run} report against the same
+    framework (same rule registry, including any injected fault) and dedup
+    by {!Signature.key}, keeping the smallest reproducer per signature.
+    [max_checks] bounds oracle evaluations {e per bug} (see
+    {!Reduce.run}). *)
+
+val save_corpus :
+  dir:string ->
+  catalog:Corpus.catalog_spec ->
+  budget:int ->
+  ?fault:string ->
+  Storage.Catalog.t ->
+  report ->
+  (string list, string) result
+(** Persist every case; returns the metadata paths written. [catalog],
+    [budget] and [fault] describe the environment the bugs were found in,
+    so {!replay} can reconstruct it from disk. *)
+
+type outcome =
+  | Reproduced of Divergence.t  (** the divergence resurfaced *)
+  | Clean  (** plans agree or results match — the bug is gone *)
+  | Not_fired  (** the target rule no longer fires on the reproducer *)
+  | Failed of string  (** parse/optimize/catalog error *)
+
+type replayed = { case : Corpus.case; outcome : outcome }
+
+val replay :
+  ?reinject:bool -> ?budget:int -> dir:string -> unit ->
+  (replayed list, string) result
+(** Re-execute every stored case against a freshly regenerated catalog.
+    With [reinject] (default false) the fault recorded in each case's
+    metadata is injected first — the corpus self-check, where every case
+    must come back [Reproduced]. Without it the current (sound) registry
+    is used — the regression gate, where any [Reproduced] is a
+    resurfaced bug. [budget] overrides the per-case recorded exploration
+    budget. *)
+
+val report_json : report -> Obs.Json.t
+val replay_json : replayed list -> Obs.Json.t
+val pp_report : Format.formatter -> report -> unit
+val pp_replayed : Format.formatter -> replayed -> unit

@@ -1,0 +1,179 @@
+module L = Relalg.Logical
+module S = Relalg.Scalar
+module V = Storage.Value
+
+(* ------------------------------------------------------------------ *)
+(* Candidate generation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let shrink_const (v : V.t) : V.t list =
+  match v with
+  | V.Int n when n <> 0 -> V.Int 0 :: (if abs n > 1 then [ V.Int (n / 2) ] else [])
+  | V.Float f when f <> 0.0 -> [ V.Float 0.0 ]
+  | V.Str s when String.length s > 0 ->
+    V.Str ""
+    :: (if String.length s > 1 then [ V.Str (String.sub s 0 (String.length s / 2)) ]
+        else [])
+  | V.Date d when d <> 0 -> [ V.Date 0 ]
+  | _ -> []
+
+(* One-step shrinks of a scalar expression. Replacements are type-shaped:
+   boolean positions are only replaced by boolean subterms, numeric
+   operands by numeric subterms — and the oracle re-validates anyway. *)
+let rec shrink_scalar (e : S.t) : S.t list =
+  let unary rebuild a = List.map rebuild (shrink_scalar a) in
+  let binary rebuild a b =
+    List.map (fun a' -> rebuild a' b) (shrink_scalar a)
+    @ List.map (fun b' -> rebuild a b') (shrink_scalar b)
+  in
+  match e with
+  | S.Const v -> List.map (fun v -> S.Const v) (shrink_const v)
+  | S.Col _ -> []
+  | S.And (a, b) -> [ a; b ] @ binary (fun x y -> S.And (x, y)) a b
+  | S.Or (a, b) -> [ a; b ] @ binary (fun x y -> S.Or (x, y)) a b
+  | S.Not a -> [ a ] @ unary (fun x -> S.Not x) a
+  | S.Cmp (op, a, b) -> binary (fun x y -> S.Cmp (op, x, y)) a b
+  | S.Arith (op, a, b) -> [ a; b ] @ binary (fun x y -> S.Arith (op, x, y)) a b
+  | S.Neg a -> [ a ] @ unary (fun x -> S.Neg x) a
+  | S.IsNull a -> unary (fun x -> S.IsNull x) a
+  | S.IsNotNull a -> unary (fun x -> S.IsNotNull x) a
+
+let remove_each xs =
+  List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) xs) xs
+
+(* Root edits of one node: child hoisting (delete the operator), payload
+   simplification (predicates, projections, keys, aggregates), constant
+   shrinking. Child hoisting may change the output schema — legal, since
+   the oracle compares Plan(q) against Plan(q, ¬R) for the *same* q. *)
+let local_edits (t : L.t) : L.t list =
+  let hoist = L.children t in
+  let payload =
+    match t with
+    | L.Get _ -> []
+    | L.Filter f ->
+      List.map (fun p -> L.Filter { f with pred = p }) (shrink_scalar f.pred)
+    | L.Project p ->
+      (if List.length p.cols > 1 then
+         List.map (fun cols -> L.Project { p with cols }) (remove_each p.cols)
+       else [])
+      @ List.concat_map
+          (fun (id, e) ->
+            List.map
+              (fun e' ->
+                L.Project
+                  { p with
+                    cols =
+                      List.map
+                        (fun (id', e0) ->
+                          if Relalg.Ident.equal id id' then (id', e') else (id', e0))
+                        p.cols })
+              (shrink_scalar e))
+          p.cols
+    | L.Join j ->
+      List.map (fun pred -> L.Join { j with pred }) (shrink_scalar j.pred)
+    | L.GroupBy g ->
+      (if List.length g.aggs > 0 then
+         List.map (fun aggs -> L.GroupBy { g with aggs }) (remove_each g.aggs)
+       else [])
+      @
+      if List.length g.keys > 0 then
+        List.map (fun keys -> L.GroupBy { g with keys }) (remove_each g.keys)
+      else []
+    | L.Sort s ->
+      if List.length s.keys > 1 then
+        List.map (fun keys -> L.Sort { s with keys }) (remove_each s.keys)
+      else []
+    | L.Limit l -> if l.count > 1 then [ L.Limit { l with count = l.count / 2 } ] else []
+    | L.UnionAll _ | L.Union _ | L.Intersect _ | L.Except _ | L.Distinct _ -> []
+  in
+  hoist @ payload
+
+let set_nth xs i x = List.mapi (fun j y -> if j = i then x else y) xs
+
+(* Every tree obtainable from [t] by one edit at one position. *)
+let rec candidates (t : L.t) : L.t list =
+  let kids = L.children t in
+  local_edits t
+  @ List.concat
+      (List.mapi
+         (fun i c ->
+           List.map (fun c' -> L.with_children t (set_nth kids i c')) (candidates c))
+         kids)
+
+(* ------------------------------------------------------------------ *)
+(* Greedy reduction loop                                               *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  steps : int;
+  checks : int;
+  original_size : int;
+  reduced_size : int;
+  budget_exhausted : bool;
+}
+
+let steps_c = Obs.Metrics.counter "triage.reduce.steps"
+let shrunk_c = Obs.Metrics.counter "triage.reduce.nodes_removed"
+
+let run ?(max_checks = 400) (oracle : Oracle.t) (q0 : L.t) =
+  let checks_at_start = Oracle.checks oracle in
+  match Oracle.check oracle q0 with
+  | (Agrees | Rule_not_fired | Invalid _) as v ->
+    Error
+      (match v with
+      | Oracle.Invalid e -> "original query rejected: " ^ e
+      | Oracle.Rule_not_fired -> "original query no longer fires the target rule"
+      | _ -> "original query does not diverge")
+  | Diverges d0 ->
+    (* Verdict cache: candidates recur across passes (shrinking one branch
+       leaves the others' candidates unchanged), and every cached hit
+       saves two optimizer invocations. *)
+    let seen : Oracle.verdict L.Tbl.t = L.Tbl.create 64 in
+    let budget_exhausted = ref false in
+    let spent () = Oracle.checks oracle - checks_at_start in
+    let cached_check q =
+      match L.Tbl.find_opt seen q with
+      | Some v -> v
+      | None ->
+        if spent () >= max_checks then begin
+          budget_exhausted := true;
+          Oracle.Agrees (* treated as "not accepted"; never cached *)
+        end
+        else begin
+          let v = Oracle.check oracle q in
+          L.Tbl.replace seen q v;
+          v
+        end
+    in
+    let rec loop current div steps =
+      if !budget_exhausted then (current, div, steps)
+      else
+        (* Biggest shrink first: candidates sorted by ascending size. *)
+        let cands =
+          List.stable_sort
+            (fun a b -> compare (L.size a) (L.size b))
+            (candidates current)
+        in
+        let rec first_accepted = function
+          | [] -> None
+          | c :: rest -> (
+            match cached_check c with
+            | Oracle.Diverges d -> Some (c, d)
+            | _ -> first_accepted rest)
+        in
+        match first_accepted cands with
+        | Some (c, d) ->
+          Obs.Metrics.incr steps_c;
+          loop c d (steps + 1)
+        | None -> (current, div, steps)
+    in
+    let reduced, div, steps = loop q0 d0 0 in
+    Obs.Metrics.add shrunk_c (L.size q0 - L.size reduced);
+    Ok
+      ( reduced,
+        div,
+        { steps;
+          checks = spent ();
+          original_size = L.size q0;
+          reduced_size = L.size reduced;
+          budget_exhausted = !budget_exhausted } )

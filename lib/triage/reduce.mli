@@ -1,0 +1,34 @@
+(** Delta reduction of failing queries (greedy one-edit descent).
+
+    From a bug's (often [extra_ops]-padded) query, repeatedly apply the
+    single smallest-result edit that keeps the {!Oracle} verdict at
+    [Diverges]: operator deletion by child hoisting, predicate and
+    projection simplification, group-by key/aggregate dropping, and
+    constant shrinking. Every accepted step is a true reproducer — the
+    target rule still fires and Plan(q) vs Plan(q, ¬R) still diverge on
+    the executor — so the fixpoint is a minimal-by-one-edit reproducer. *)
+
+val candidates : Relalg.Logical.t -> Relalg.Logical.t list
+(** All trees reachable by one edit at one position (exposed for tests).
+    Candidates are not validated; the oracle re-checks well-formedness. *)
+
+type stats = {
+  steps : int;  (** accepted shrinking edits *)
+  checks : int;  (** oracle evaluations spent (cache misses only) *)
+  original_size : int;  (** node count before *)
+  reduced_size : int;  (** node count after *)
+  budget_exhausted : bool;  (** [max_checks] stopped the descent early *)
+}
+
+val run :
+  ?max_checks:int ->
+  Oracle.t ->
+  Relalg.Logical.t ->
+  (Relalg.Logical.t * Divergence.t * stats, string) result
+(** [run oracle q0] first re-verifies that [q0] diverges (error if not),
+    then descends greedily, trying candidates in ascending-size order and
+    restarting from the first accepted one. Verdicts are cached per
+    distinct tree, so revisited candidates cost nothing. [max_checks]
+    (default 400) bounds oracle evaluations; on exhaustion the best tree
+    so far is returned with [budget_exhausted] set. The returned
+    divergence is the one observed on the {e reduced} query. *)

@@ -1,0 +1,13 @@
+type t = { target : string; kind : Divergence.kind; shape : int }
+
+let make target (kind : Divergence.kind) reduced =
+  { target = Core.Suite.target_name target;
+    kind;
+    shape = Relalg.Logical.shape_hash reduced }
+
+let key s =
+  Printf.sprintf "%s-%s-%08x" s.target (Divergence.kind_name s.kind)
+    (s.shape land 0xffffffff)
+
+let equal a b = String.equal (key a) (key b)
+let pp fmt s = Format.pp_print_string fmt (key s)

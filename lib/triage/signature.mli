@@ -1,0 +1,19 @@
+(** Bug signatures: target rule(s) × divergence kind × structural shape of
+    the minimized reproducer.
+
+    The shape component is {!Relalg.Logical.shape_hash}, so two bugs whose
+    minimized trees differ only in literal constants, aliases or column
+    identity — the axes delta reduction cannot always canonicalize — share
+    a signature and dedup together. *)
+
+type t = { target : string; kind : Divergence.kind; shape : int }
+
+val make : Core.Suite.target -> Divergence.kind -> Relalg.Logical.t -> t
+(** [make target kind reduced]: signature of a minimized reproducer. *)
+
+val key : t -> string
+(** Stable filename-safe spelling ["<target>-<kind>-<shape hex>"]; the
+    dedup key and the corpus case id. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

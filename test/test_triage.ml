@@ -1,0 +1,234 @@
+(* Bug triage: delta reduction of failing queries, signature dedup, corpus
+   persistence/replay, SQL round-trip of minimized reproducers, and the
+   end-to-end claim that generation surfaces every injected fault. *)
+module F = Core.Framework
+module Su = Core.Suite
+module C = Core.Compress
+module L = Relalg.Logical
+module O = Triage.Oracle
+module R = Triage.Reduce
+module P = Triage.Pipeline
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let quick_options = { Optimizer.Engine.default_options with max_trees = 400 }
+let micro = Storage.Datagen.micro ()
+
+(* Bugs in the wild come [extra_ops]-padded: bury a spurious operator
+   inside the handcrafted reproducer core (shared with {!Test_compress})
+   that the reducer must strip again. The padding goes {e below} the
+   core, on its first base table — padding {e above} it (a Sort, say)
+   makes the buggy plan's extra output rows lose on cost, so the
+   optimizer quietly picks the sound plan and the divergence vanishes. *)
+let rec pad q =
+  match q with
+  | L.Get _ -> L.Distinct q
+  | _ -> (
+    match L.children q with
+    | first :: rest -> L.with_children q (pad first :: rest)
+    | [] -> q)
+
+let buggy_fw victim = F.create ~options:quick_options ~rules:(Core.Faults.inject victim) micro
+
+let reduce_fault victim =
+  let fw_b = buggy_fw victim in
+  let q0 = pad (Test_compress.fault_query victim) in
+  let oracle = O.create fw_b (Su.Single victim) in
+  match R.run oracle q0 with
+  | Error e -> Alcotest.failf "%s: padded reproducer irreducible: %s" victim e
+  | Ok (reduced, divergence, stats) -> (fw_b, q0, reduced, divergence, stats)
+
+(* Tentpole acceptance: every reproducer shrinks strictly, and the shrunk
+   tree is still a true reproducer — the target rule fires on it and the
+   plans with and without the rule diverge on the executor. *)
+let test_reduce_strict_shrink victim () =
+  let fw_b, q0, reduced, divergence, stats = reduce_fault victim in
+  check int_t "original size accounted" (L.size q0) stats.R.original_size;
+  check int_t "reduced size accounted" (L.size reduced) stats.R.reduced_size;
+  check bool_t "strict shrink" true (stats.R.reduced_size < stats.R.original_size);
+  check bool_t "padding stripped" true
+    (stats.R.reduced_size <= L.size (Test_compress.fault_query victim));
+  check bool_t "steps counted" true (stats.R.steps > 0);
+  check bool_t "divergence has rows or error" true
+    (divergence.Triage.Divergence.expected_rows >= 0);
+  (* Re-verify the reduced tree with a fresh oracle: rule fires AND the
+     executed plans diverge when the rule is disabled. *)
+  (match O.check (O.create fw_b (Su.Single victim)) reduced with
+  | O.Diverges _ -> ()
+  | O.Agrees -> Alcotest.fail "reduced query no longer diverges"
+  | O.Rule_not_fired -> Alcotest.fail "reduced query no longer fires the rule"
+  | O.Invalid e -> Alcotest.failf "reduced query invalid: %s" e);
+  check bool_t "rule still in RuleSet" true
+    (F.SSet.mem victim (Result.get_ok (F.ruleset fw_b reduced)))
+
+(* Every candidate is one edit away: distinct from the input, and at least
+   one candidate is a strict hoist (smaller tree). *)
+let test_candidates () =
+  let core = Test_compress.fault_query "SelectMerge" in
+  let q = pad core in
+  let cs = R.candidates q in
+  check bool_t "has candidates" true (cs <> []);
+  check bool_t "all differ from input" true (List.for_all (fun c -> not (L.equal c q)) cs);
+  check bool_t "some candidate smaller" true (List.exists (fun c -> L.size c < L.size q) cs);
+  (* deleting the padding operator is a one-edit candidate *)
+  check bool_t "unpadded core among candidates" true (List.exists (L.equal core) cs)
+
+(* Two differently-padded copies of the same core bug must collapse onto
+   one signature: same target, same divergence kind, same shape after
+   reduction (literals differ — the shape hash ignores them). *)
+let test_signature_dedup () =
+  let victim = "SelectMerge" in
+  let fw_b = buggy_fw victim in
+  let core1 = Test_compress.fault_query victim in
+  let core2 =
+    (* same shape, different constant and padding *)
+    let module S = Relalg.Scalar in
+    match core1 with
+    | L.Filter { pred = S.Cmp (op, l, _); child } ->
+      L.Filter { pred = S.Cmp (op, l, S.int 5); child }
+    | _ -> Alcotest.fail "unexpected core shape"
+  in
+  let q1 = pad core1 in
+  let q2 = core2 in
+  let entry q =
+    { Su.query = q;
+      ruleset = Result.get_ok (F.ruleset fw_b q);
+      cost = Result.get_ok (F.cost fw_b q) }
+  in
+  let s : Su.t =
+    { k = 2;
+      targets = [ Su.Single victim ];
+      entries = [| entry q1; entry q2 |];
+      per_target = [ (Su.Single victim, [ 0; 1 ]) ] }
+  in
+  let report = Core.Correctness.run fw_b s (C.baseline fw_b s) in
+  check int_t "both padded copies are bugs" 2 (List.length report.bugs);
+  let t = P.triage fw_b report in
+  check int_t "one case after dedup" 1 (List.length t.P.cases);
+  check int_t "one duplicate merged" 1 t.P.duplicates;
+  let case = List.hd t.P.cases in
+  check int_t "dup_count" 2 case.P.dup_count;
+  check bool_t "signature key is stable" true
+    (Triage.Signature.key case.P.signature
+    = Triage.Signature.key
+        (Triage.Signature.make case.P.target case.P.divergence.Triage.Divergence.kind
+           case.P.reduced))
+
+(* Satellite: SQL round-trip. Every minimized reproducer must survive
+   print -> parse structurally intact — that is what makes the on-disk
+   corpus trustworthy. *)
+let test_sql_roundtrip () =
+  List.iter
+    (fun victim ->
+      let _, _, reduced, _, _ = reduce_fault victim in
+      let sql = Relalg.Sql_print.to_sql micro reduced in
+      match Relalg.Sql_parser.parse micro sql with
+      | Error e -> Alcotest.failf "%s: reparse failed: %s\n%s" victim e sql
+      | Ok q ->
+        check bool_t (victim ^ " round-trips structurally") true (L.equal q reduced))
+    Core.Faults.names
+
+(* Corpus: save every micro-fault case, then replay from disk. With the
+   fault re-injected every case must reproduce; against the sound
+   registry none may. *)
+let test_corpus_replay () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "qtr-test-corpus" in
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (try Sys.readdir dir with Sys_error _ -> [||]);
+  let total = ref 0 in
+  List.iter
+    (fun victim ->
+      let fw_b = buggy_fw victim in
+      let q = pad (Test_compress.fault_query victim) in
+      let entry =
+        { Su.query = q;
+          ruleset = Result.get_ok (F.ruleset fw_b q);
+          cost = Result.get_ok (F.cost fw_b q) }
+      in
+      let s : Su.t =
+        { k = 1;
+          targets = [ Su.Single victim ];
+          entries = [| entry |];
+          per_target = [ (Su.Single victim, [ 0 ]) ] }
+      in
+      let report = Core.Correctness.run fw_b s (C.baseline fw_b s) in
+      let t = P.triage fw_b report in
+      check bool_t (victim ^ " triaged") true (t.P.cases <> []);
+      (match
+         P.save_corpus ~dir ~catalog:Triage.Corpus.Micro ~budget:400 ~fault:victim
+           micro t
+       with
+      | Error e -> Alcotest.failf "%s: save failed: %s" victim e
+      | Ok paths -> total := !total + List.length paths))
+    Core.Faults.names;
+  check bool_t "corpus non-empty" true (!total >= List.length Core.Faults.names);
+  (* Self-check: re-injecting each case's recorded fault reproduces it. *)
+  (match P.replay ~reinject:true ~dir () with
+  | Error e -> Alcotest.failf "reinject replay failed: %s" e
+  | Ok rs ->
+    check int_t "replayed all cases" !total (List.length rs);
+    List.iter
+      (fun (r : P.replayed) ->
+        match r.P.outcome with
+        | P.Reproduced _ -> ()
+        | o ->
+          Alcotest.failf "%s: expected reproduced, got %s" r.P.case.Triage.Corpus.meta.id
+            (match o with
+            | P.Clean -> "clean"
+            | P.Not_fired -> "rule_not_fired"
+            | P.Failed e -> "failed: " ^ e
+            | P.Reproduced _ -> assert false))
+      rs);
+  (* Regression gate: the sound registry shows no divergence. *)
+  match P.replay ~dir () with
+  | Error e -> Alcotest.failf "gate replay failed: %s" e
+  | Ok rs ->
+    List.iter
+      (fun (r : P.replayed) ->
+        match r.P.outcome with
+        | P.Reproduced _ ->
+          Alcotest.failf "%s: diverges under sound rules" r.P.case.Triage.Corpus.meta.id
+        | P.Failed e -> Alcotest.failf "%s: replay error: %s" r.P.case.Triage.Corpus.meta.id e
+        | P.Clean | P.Not_fired -> ())
+      rs
+
+(* Satellite: end to end, for EVERY fault in the registry, the stochastic
+   pipeline (generate -> compress -> validate) surfaces at least one bug.
+   Generation is seeded; each fault gets a few seeds to do so. *)
+let test_e2e_every_fault_surfaces () =
+  let cat = Storage.Datagen.tpch ~scale:0.001 () in
+  List.iter
+    (fun victim ->
+      let fw_b =
+        F.create ~options:quick_options ~rules:(Core.Faults.inject victim) cat
+      in
+      let found =
+        List.exists
+          (fun seed ->
+            let g = Storage.Prng.create seed in
+            let s =
+              Su.generate fw_b g ~targets:[ Su.Single victim ] ~k:8 ~extra_ops:2
+            in
+            let sol = C.topk ~exploit_monotonicity:true fw_b s in
+            (Core.Correctness.run fw_b s sol).bugs <> [])
+          [ 1; 5; 4; 2 ]
+      in
+      check bool_t (victim ^ " surfaced by generation") true found)
+    Core.Faults.names
+
+let reduce_case victim = Alcotest.test_case victim `Slow (test_reduce_strict_shrink victim)
+
+let suite =
+  [ ( "triage.reduce",
+      Alcotest.test_case "one-edit candidates" `Quick test_candidates
+      :: List.map reduce_case Core.Faults.names );
+    ( "triage.signature",
+      [ Alcotest.test_case "padded duplicates dedup" `Slow test_signature_dedup ] );
+    ( "triage.corpus",
+      [ Alcotest.test_case "sql round-trip of reproducers" `Slow test_sql_roundtrip;
+        Alcotest.test_case "save/load/replay" `Slow test_corpus_replay ] );
+    ( "triage.e2e",
+      [ Alcotest.test_case "every fault surfaces" `Slow test_e2e_every_fault_surfaces ] ) ]
