@@ -509,6 +509,61 @@ let matrix_bench ~full =
          ("edge_cost_sum_per_edge", Obs.Json.Float per_total);
          ("edge_cost_sum_shared", Obs.Json.Float sh_total) ])
 
+let parallel_bench ~full =
+  header "Parallel: worker-pool scaling of generation / edge matrix / validation";
+  Printf.printf "  recommended domain count on this machine: %d\n%!"
+    (Domain.recommended_domain_count ());
+  let framework = fw () in
+  let suite, _, _ = get_pair_suite ~full framework in
+  let gen_rules = List.filteri (fun i _ -> i < 8) Optimizer.Rules.names in
+  let gen_targets = List.map (fun r -> Su.Single r) gen_rules in
+  let measure jobs =
+    let pool = Par.Pool.create ~jobs () in
+    let g = Prng.create 4321 in
+    let t0 = now () in
+    let gsuite = Su.generate ~extra_ops:2 ~pool framework g ~targets:gen_targets ~k:4 in
+    let gen_s = now () -. t0 in
+    let t1 = now () in
+    let sol = C.topk ~pool framework suite in
+    let matrix_s = now () -. t1 in
+    let t2 = now () in
+    let report = Core.Correctness.run ~pool framework gsuite (C.topk ~pool framework gsuite) in
+    let validate_s = now () -. t2 in
+    (jobs, gen_s, matrix_s, validate_s, (gsuite.Su.per_target, sol, report))
+  in
+  let runs = List.map measure [ 1; 2; 4 ] in
+  let _, g1, m1, v1, out1 = List.hd runs in
+  Printf.printf "  %4s | %10s %10s %10s | %8s %10s\n" "jobs" "generate" "matrix"
+    "validate" "speedup" "identical";
+  hr ();
+  let rows =
+    List.map
+      (fun (jobs, gs, ms, vs, out) ->
+        let speedup = (g1 +. m1 +. v1) /. Float.max 1e-9 (gs +. ms +. vs) in
+        (* Determinism is the contract: every job count must produce the
+           same suite, solution, and validation report as jobs=1. *)
+        let identical = out = out1 in
+        Printf.printf "  %4d | %9.2fs %9.2fs %9.2fs | %7.2fx %10b\n%!" jobs gs ms vs
+          speedup identical;
+        (jobs, gs, ms, vs, speedup, identical))
+      runs
+  in
+  detail "parallel"
+    (Obs.Json.Obj
+       [ ("recommended_domains", Obs.Json.Int (Domain.recommended_domain_count ()));
+         ( "runs",
+           Obs.Json.List
+             (List.map
+                (fun (jobs, gs, ms, vs, speedup, identical) ->
+                  Obs.Json.Obj
+                    [ ("jobs", Obs.Json.Int jobs);
+                      ("generate_seconds", Obs.Json.Float gs);
+                      ("matrix_seconds", Obs.Json.Float ms);
+                      ("validate_seconds", Obs.Json.Float vs);
+                      ("speedup_vs_jobs1", Obs.Json.Float speedup);
+                      ("identical_to_jobs1", Obs.Json.Bool identical) ])
+                rows) ) ])
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the substrate                            *)
 (* ------------------------------------------------------------------ *)
@@ -584,16 +639,17 @@ let () =
     | "correctness" -> ext_correctness ()
     | "explore" -> explore_bench ()
     | "matrix" -> matrix_bench ~full
+    | "parallel" -> parallel_bench ~full
     | "reduce" -> reduce_bench ()
     | "micro" -> micro ()
     | "all" ->
       List.iter timed
         [ "fig8"; "fig9"; "fig11"; "fig12"; "fig13"; "fig14"; "matching";
-          "correctness"; "explore"; "matrix"; "reduce"; "micro" ]
+          "correctness"; "explore"; "matrix"; "parallel"; "reduce"; "micro" ]
     | other ->
       Printf.eprintf
         "unknown experiment %s (expected fig8..fig14, matching, correctness, \
-         explore, matrix, reduce, micro, all)\n"
+         explore, matrix, parallel, reduce, micro, all)\n"
         other;
       exit 2
   and timed name =

@@ -50,6 +50,22 @@ let trace_arg =
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON on stdout.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel phases (suite generation, the edge-cost \
+           matrix, validation, reduction, replay). Defaults to the machine's \
+           recommended domain count. Results are identical for every $(docv), \
+           including 1.")
+
+let pool_of jobs =
+  match jobs with
+  | None -> Par.Pool.create ()
+  | Some j -> Par.Pool.create ~jobs:j ()
+
 (* Telemetry is off unless asked for: tracing implies metrics, so the
    per-rule tables under `--json`/`qtr stats` line up with the spans. *)
 let with_telemetry trace f =
@@ -243,27 +259,34 @@ let n_rules_arg =
     & info [ "rules" ] ~docv:"N" ~doc:"Number of rules (prefix of the registry).")
 
 let coverage_cmd =
-  let run scale budget seed n trace json =
+  let run scale budget seed n jobs trace json =
     with_telemetry trace @@ fun () ->
+    let pool = pool_of jobs in
     let fw = make_fw scale budget in
     let rules = List.filteri (fun i _ -> i < n) Optimizer.Rules.names in
-    if not json then Printf.printf "%-34s %8s %9s\n" "rule" "RANDOM" "PATTERN";
+    (* Each rule is one task with its own seed and alias range, so the
+       trial counts are independent of the job count. *)
     let rows =
-      List.mapi
-        (fun i name ->
+      Par.Pool.map_list pool
+        (fun (i, name) ->
+          Relalg.Ident.set_fresh (i * 100_000);
           let g = Prng.create (seed + i) in
           let r = Core.Query_gen.random_for_rules ~max_trials:100 fw g [ name ] in
           let p = Core.Query_gen.for_rule ~max_trials:100 fw g name in
-          if not json then begin
-            let show cap = function
-              | Some (x : Core.Query_gen.generated) -> string_of_int x.trials
-              | None -> cap
-            in
-            Printf.printf "%-34s %8s %9s\n%!" name (show ">100" r) (show "FAIL" p)
-          end;
           (name, r, p))
-        rules
+        (List.mapi (fun i name -> (i, name)) rules)
     in
+    if not json then begin
+      Printf.printf "%-34s %8s %9s\n" "rule" "RANDOM" "PATTERN";
+      List.iter
+        (fun (name, r, p) ->
+          let show cap = function
+            | Some (x : Core.Query_gen.generated) -> string_of_int x.trials
+            | None -> cap
+          in
+          Printf.printf "%-34s %8s %9s\n%!" name (show ">100" r) (show "FAIL" p))
+        rows
+    end;
     if json then begin
       let trials = function
         | Some (x : Core.Query_gen.generated) -> Obs.Json.Int x.trials
@@ -287,7 +310,9 @@ let coverage_cmd =
   in
   Cmd.v
     (Cmd.info "coverage" ~doc:"Rule-coverage trials, RANDOM vs PATTERN (Figure 8)")
-    Term.(const run $ scale_arg $ budget_arg $ seed_arg $ n_rules_arg $ trace_arg $ json_arg)
+    Term.(
+      const run $ scale_arg $ budget_arg $ seed_arg $ n_rules_arg $ jobs_arg $ trace_arg
+      $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* qtr compress                                                        *)
@@ -299,8 +324,9 @@ let pairs_flag =
   Arg.(value & flag & info [ "pairs" ] ~doc:"Target rule pairs instead of singletons.")
 
 let compress_cmd =
-  let run scale budget seed n k pairs trace json =
+  let run scale budget seed n k pairs jobs trace json =
     with_telemetry trace @@ fun () ->
+    let pool = pool_of jobs in
     let fw = make_fw scale budget in
     let g = Prng.create seed in
     let rules = List.filteri (fun i _ -> i < n) Optimizer.Rules.names in
@@ -310,15 +336,15 @@ let compress_cmd =
     in
     if not json then
       Printf.printf "generating suite: %d targets x k=%d...\n%!" (List.length targets) k;
-    let suite = Core.Suite.generate ~extra_ops:2 fw g ~targets ~k in
+    let suite = Core.Suite.generate ~extra_ops:2 ~pool fw g ~targets ~k in
     if not json then
       Printf.printf "%d distinct queries (shortfalls %d)\n%!"
         (Array.length suite.entries)
         (List.length (Core.Suite.shortfall suite));
     let algos =
-      [ ("BASELINE", Core.Compress.baseline fw suite);
-        ("SMC", Core.Compress.smc fw suite);
-        ("TOPK", Core.Compress.topk fw suite);
+      [ ("BASELINE", Core.Compress.baseline ~pool fw suite);
+        ("SMC", Core.Compress.smc ~pool fw suite);
+        ("TOPK", Core.Compress.topk ~pool fw suite);
         ("TOPK+mono", Core.Compress.topk ~exploit_monotonicity:true fw suite) ]
     in
     if json then begin
@@ -326,6 +352,7 @@ let compress_cmd =
         Obs.Json.Obj
           [ ("targets", Obs.Json.Int (List.length targets));
             ("k", Obs.Json.Int k);
+            ("jobs", Obs.Json.Int (Par.Pool.jobs pool));
             ("distinct_queries", Obs.Json.Int (Array.length suite.entries));
             ("shortfalls", Obs.Json.Int (List.length (Core.Suite.shortfall suite)));
             ( "algorithms",
@@ -335,7 +362,16 @@ let compress_cmd =
                      Obs.Json.Obj
                        [ ("name", Obs.Json.String name);
                          ("total_cost", Obs.Json.Float sol.total_cost);
-                         ("invocations", Obs.Json.Int sol.invocations) ])
+                         ("invocations", Obs.Json.Int sol.invocations);
+                         ( "under_covered",
+                           Obs.Json.List
+                             (List.map
+                                (fun (t, d) ->
+                                  Obs.Json.Obj
+                                    [ ( "target",
+                                        Obs.Json.String (Core.Suite.target_name t) );
+                                      ("deficit", Obs.Json.Int d) ])
+                                sol.under_covered) ) ])
                    algos) ) ]
       in
       print_endline (Obs.Json.to_string doc)
@@ -344,14 +380,19 @@ let compress_cmd =
       List.iter
         (fun (name, (sol : Core.Compress.solution)) ->
           Printf.printf "  %-10s cost %14.1f  invocations %5d\n%!" name sol.total_cost
-            sol.invocations)
+            sol.invocations;
+          List.iter
+            (fun (t, d) ->
+              Printf.printf "             under-covered: %s (missing %d of k=%d)\n%!"
+                (Core.Suite.target_name t) d k)
+            sol.under_covered)
         algos
   in
   Cmd.v
     (Cmd.info "compress" ~doc:"Test-suite compression: BASELINE vs SMC vs TOPK")
     Term.(
       const run $ scale_arg $ budget_arg $ seed_arg $ n_rules_arg $ k_arg $ pairs_flag
-      $ trace_arg $ json_arg)
+      $ jobs_arg $ trace_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* qtr validate                                                        *)
@@ -367,8 +408,9 @@ let validate_cmd =
             "Inject the buggy variant of RULE (one of the Faults registry) before \
              validating.")
   in
-  let run scale budget seed n k inject trace =
+  let run scale budget seed n k inject jobs trace =
     with_telemetry trace @@ fun () ->
+    let pool = pool_of jobs in
     let rules_override = Option.map Core.Faults.inject inject in
     let fw = make_fw ?rules:rules_override scale budget in
     let g = Prng.create seed in
@@ -379,9 +421,14 @@ let validate_cmd =
     in
     let targets = List.map (fun r -> Core.Suite.Single r) rules in
     Printf.printf "generating suite: %d rules x k=%d...\n%!" (List.length targets) k;
-    let suite = Core.Suite.generate ~extra_ops:2 fw g ~targets ~k in
-    let sol = Core.Compress.topk ~exploit_monotonicity:true fw suite in
-    let report = Core.Correctness.run fw suite sol in
+    let suite = Core.Suite.generate ~extra_ops:2 ~pool fw g ~targets ~k in
+    let sol = Core.Compress.topk ~pool fw suite in
+    List.iter
+      (fun (t, d) ->
+        Printf.printf "warning: target %s under-covered (missing %d of k=%d)\n%!"
+          (Core.Suite.target_name t) d k)
+      sol.under_covered;
+    let report = Core.Correctness.run ~pool fw suite sol in
     Format.printf "%a@." Core.Correctness.pp_report report;
     if report.bugs <> [] then exit 1
   in
@@ -390,7 +437,7 @@ let validate_cmd =
        ~doc:"Execute a compressed correctness suite (optionally with a fault injected)")
     Term.(
       const run $ scale_arg $ budget_arg $ seed_arg $ n_rules_arg $ k_arg $ inject
-      $ trace_arg)
+      $ jobs_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* qtr reduce                                                          *)
@@ -419,9 +466,10 @@ let reduce_cmd =
       & info [ "max-checks" ] ~docv:"N"
           ~doc:"Oracle-evaluation budget per bug during delta reduction.")
   in
-  let run scale budget seed n k inject corpus max_checks trace json =
+  let run scale budget seed n k inject corpus max_checks jobs trace json =
     with_telemetry trace @@ fun () ->
     if json then Obs.Metrics.set_enabled true;
+    let pool = pool_of jobs in
     let rules_override = Option.map Core.Faults.inject inject in
     let fw = make_fw ?rules:rules_override scale budget in
     let g = Prng.create seed in
@@ -433,11 +481,11 @@ let reduce_cmd =
     let targets = List.map (fun r -> Core.Suite.Single r) rules in
     if not json then
       Printf.printf "generating suite: %d rules x k=%d...\n%!" (List.length targets) k;
-    let suite = Core.Suite.generate ~extra_ops:2 fw g ~targets ~k in
-    let sol = Core.Compress.topk ~exploit_monotonicity:true fw suite in
-    let report = Core.Correctness.run fw suite sol in
+    let suite = Core.Suite.generate ~extra_ops:2 ~pool fw g ~targets ~k in
+    let sol = Core.Compress.topk ~pool fw suite in
+    let report = Core.Correctness.run ~pool fw suite sol in
     if not json then Format.printf "%a@." Core.Correctness.pp_report report;
-    let triaged = Triage.Pipeline.triage ~max_checks fw report in
+    let triaged = Triage.Pipeline.triage ~max_checks ~pool fw report in
     (match corpus with
     | None -> ()
     | Some dir -> (
@@ -467,7 +515,7 @@ let reduce_cmd =
           signature, and optionally persist the regression corpus")
     Term.(
       const run $ scale_arg $ budget_arg $ seed_arg $ n_rules_arg $ k_arg $ inject
-      $ corpus $ max_checks $ trace_arg $ json_arg)
+      $ corpus $ max_checks $ jobs_arg $ trace_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* qtr replay                                                          *)
@@ -498,9 +546,10 @@ let replay_cmd =
       & info [ "budget" ] ~docv:"TREES"
           ~doc:"Override the per-case recorded exploration budget.")
   in
-  let run corpus reinject budget trace json =
+  let run corpus reinject budget jobs trace json =
     with_telemetry trace @@ fun () ->
-    match Triage.Pipeline.replay ~reinject ?budget ~dir:corpus () with
+    let pool = pool_of jobs in
+    match Triage.Pipeline.replay ~reinject ?budget ~pool ~dir:corpus () with
     | Error e ->
       Printf.eprintf "%s\n" e;
       exit 2
@@ -530,7 +579,7 @@ let replay_cmd =
        ~doc:
          "Re-execute a persisted regression corpus from disk (regression gate by \
           default; corpus self-check with --reinject)")
-    Term.(const run $ corpus $ reinject $ budget_override $ trace_arg $ json_arg)
+    Term.(const run $ corpus $ reinject $ budget_override $ jobs_arg $ trace_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* qtr stats                                                           *)

@@ -70,13 +70,96 @@ let edge_cost ec ~target_idx ~query_idx =
 
 let invocations_used ec = ec.calls
 
+(* Parallel edge-matrix fill. The pair list is partitioned by query
+   index — one task per query column — so each task owns one query's
+   shared exploration and every edge it computes; tasks share nothing
+   but the (read-only) suite and the framework, whose counters are
+   atomic. Workers return pure results; the merge into [memo]/[shared]/
+   [calls] happens on the calling domain in task order, so the memo
+   contents and the computed-edge count are identical to a sequential
+   fill of the same pairs — [Par.Pool.sequential] is the reference. *)
+let prefetch ?(pool = Par.Pool.sequential) ec pairs =
+  let seen = Hashtbl.create 64 in
+  let cols : (int, int list ref) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun (ti, qi) ->
+      if
+        (not (Hashtbl.mem ec.memo (ti, qi))) && not (Hashtbl.mem seen (ti, qi))
+      then begin
+        Hashtbl.replace seen (ti, qi) ();
+        match Hashtbl.find_opt cols qi with
+        | Some l -> l := ti :: !l
+        | None ->
+          Hashtbl.replace cols qi (ref [ ti ]);
+          order := qi :: !order
+      end)
+    pairs;
+  let columns =
+    List.rev_map (fun qi -> (qi, List.rev !(Hashtbl.find cols qi))) !order
+  in
+  let results =
+    Par.Pool.map_list pool
+      (fun (qi, tis) ->
+        let query = ec.suite.entries.(qi).query in
+        let sh =
+          if ec.share then
+            match ec.shared.(qi) with
+            | Some r -> r
+            | None -> (
+              match Framework.explore_shared ec.fw query with
+              | Ok sh -> Some sh
+              | Error _ -> None)
+          else None
+        in
+        let cost_of ti =
+          let disabled = Suite.rules_of ec.targets.(ti) in
+          match sh with
+          | Some sh -> (
+            match Framework.shared_cost ec.fw ~disabled sh with
+            | Ok c -> c
+            | Error _ -> Float.infinity)
+          | None -> (
+            match Framework.cost ec.fw ~disabled query with
+            | Ok c -> c
+            | Error _ -> Float.infinity)
+        in
+        (qi, sh, List.map (fun ti -> (ti, cost_of ti)) tis))
+      columns
+  in
+  List.iter
+    (fun (qi, sh, edges) ->
+      if ec.share && ec.shared.(qi) = None then ec.shared.(qi) <- Some sh;
+      List.iter
+        (fun (ti, c) ->
+          if not (Hashtbl.mem ec.memo (ti, qi)) then begin
+            ec.calls <- ec.calls + 1;
+            Obs.Metrics.incr ec.computed_c;
+            Hashtbl.replace ec.memo (ti, qi) c
+          end)
+        edges)
+    results
+
 type solution = {
   assignment : (Suite.target * (int * float) list) list;
   total_cost : float;
   invocations : int;
+  under_covered : (Suite.target * int) list;
 }
 
 let node_cost (suite : Suite.t) i = suite.entries.(i).cost
+
+(* A solution under-covers a target when it assigns fewer than k queries
+   — the suite simply has no k covering queries for it. Silently
+   clamping (as smc's [need] array must, to terminate) hid this; now
+   every algorithm reports the deficit so callers can regenerate with a
+   bigger budget instead of trusting a weaker-than-requested suite. *)
+let under_coverage (suite : Suite.t) assignment =
+  List.filter_map
+    (fun (target, picks) ->
+      let deficit = suite.k - List.length picks in
+      if deficit > 0 then Some (target, deficit) else None)
+    assignment
 
 (* Every algorithm runs under a span and publishes its outcome as
    gauges, so a compression run's cost/invocation trade-off (Figures
@@ -95,6 +178,9 @@ let algo_span name (suite : Suite.t) f =
       Obs.Metrics.gauge_set
         (Obs.Metrics.gauge ~label:name "compress.invocations")
         (float_of_int sol.invocations);
+      Obs.Metrics.gauge_set
+        (Obs.Metrics.gauge ~label:name "compress.under_covered_targets")
+        (float_of_int (List.length sol.under_covered));
       sol)
 
 (* Shared-execution objective: distinct node costs once + all edge costs. *)
@@ -120,12 +206,18 @@ let solution_cost (suite : Suite.t) sol =
 (* without sharing Plan(q) runs across targets.                         *)
 (* ------------------------------------------------------------------ *)
 
-let baseline ?share_exploration fw (suite : Suite.t) =
+let baseline ?share_exploration ?pool fw (suite : Suite.t) =
   algo_span "baseline" suite @@ fun () ->
   let ec = edge_costs ?share_exploration fw suite in
   let tindex =
     List.mapi (fun i (t, _) -> (t, i)) suite.per_target
   in
+  prefetch ?pool ec
+    (List.concat_map
+       (fun (target, indices) ->
+         let ti = List.assoc target tindex in
+         List.map (fun q -> (ti, q)) indices)
+       suite.per_target);
   let assignment =
     List.map
       (fun (target, indices) ->
@@ -143,13 +235,16 @@ let baseline ?share_exploration fw (suite : Suite.t) =
           acc picks)
       0.0 assignment
   in
-  { assignment; total_cost = total; invocations = invocations_used ec }
+  { assignment;
+    total_cost = total;
+    invocations = invocations_used ec;
+    under_covered = under_coverage suite assignment }
 
 (* ------------------------------------------------------------------ *)
 (* Greedy Constrained Set-Multicover (Figure 5)                         *)
 (* ------------------------------------------------------------------ *)
 
-let smc ?share_exploration fw (suite : Suite.t) =
+let smc ?share_exploration ?pool fw (suite : Suite.t) =
   algo_span "smc" suite @@ fun () ->
   let iterations_c = Obs.Metrics.counter "compress.smc.iterations" in
   let targets = Array.of_list suite.targets in
@@ -201,6 +296,12 @@ let smc ?share_exploration fw (suite : Suite.t) =
   (* SMC never looks at edge costs while choosing; they are computed once
      afterwards to evaluate the solution, as when executing it. *)
   let ec = edge_costs ?share_exploration fw suite in
+  prefetch ?pool ec
+    (List.concat
+       (Array.to_list
+          (Array.mapi
+             (fun ti picks -> List.rev_map (fun q -> (ti, q)) picks)
+             assignment)));
   let assignment =
     Array.to_list
       (Array.mapi
@@ -211,14 +312,24 @@ let smc ?share_exploration fw (suite : Suite.t) =
                picks ))
          assignment)
   in
-  let sol = { assignment; total_cost = 0.0; invocations = 0 } in
+  let sol =
+    { assignment;
+      total_cost = 0.0;
+      invocations = invocations_used ec;
+      under_covered = under_coverage suite assignment }
+  in
   { sol with total_cost = solution_cost suite sol }
 
 (* ------------------------------------------------------------------ *)
 (* TopKIndependent (Figure 6), optionally with monotonicity (§5.3.1)    *)
 (* ------------------------------------------------------------------ *)
 
-(* Bounded max-queue of (edge_cost, query) keeping the k cheapest. *)
+(* Bounded max-queue of (edge_cost, query) keeping the k cheapest.
+   Ordered by (cost, query index), so equal-cost ties evict the larger
+   query index: the kept set — and therefore the whole solution — is a
+   function of the edge costs alone, not of insertion order. (The old
+   cost-only comparator let [List.merge]'s placement of ties decide,
+   which made solutions depend on scan order.) *)
 module Kqueue = struct
   type t = { k : int; mutable items : (float * int) list (* descending *) }
 
@@ -229,7 +340,7 @@ module Kqueue = struct
   let push q cost query =
     let items =
       List.merge
-        (fun (a, _) (b, _) -> compare b a)
+        (fun (a, qa) (b, qb) -> compare (b, qb) (a, qa))
         [ (cost, query) ] q.items
     in
     q.items <-
@@ -238,11 +349,24 @@ module Kqueue = struct
   let contents q = List.rev_map (fun (c, i) -> (i, c)) q.items
 end
 
-let topk ?(exploit_monotonicity = false) ?share_exploration fw (suite : Suite.t) =
+let topk ?(exploit_monotonicity = false) ?share_exploration ?pool fw
+    (suite : Suite.t) =
   algo_span (if exploit_monotonicity then "topk_mono" else "topk") suite @@ fun () ->
   let pruned_c = Obs.Metrics.counter "compress.topk.pruned_edges" in
   let ec = edge_costs ?share_exploration fw suite in
   let targets = Array.of_list suite.targets in
+  (* The naive variant computes every (target, covering query) edge, so
+     the whole matrix can be prefetched in parallel. The monotonicity
+     variant stays sequential: which edges it computes depends on the
+     costs of earlier ones (that adaptivity is the point of §5.3.1). *)
+  if not exploit_monotonicity then
+    prefetch ?pool ec
+      (List.concat
+         (Array.to_list
+            (Array.mapi
+               (fun ti target ->
+                 List.map (fun q -> (ti, q)) (Suite.covering suite target))
+               targets)));
   let assignment =
     Array.to_list
       (Array.mapi
@@ -284,5 +408,10 @@ let topk ?(exploit_monotonicity = false) ?share_exploration fw (suite : Suite.t)
            (target, Kqueue.contents queue))
          targets)
   in
-  let sol = { assignment; total_cost = 0.0; invocations = invocations_used ec } in
+  let sol =
+    { assignment;
+      total_cost = 0.0;
+      invocations = invocations_used ec;
+      under_covered = under_coverage suite assignment }
+  in
   { sol with total_cost = solution_cost suite sol }

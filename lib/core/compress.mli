@@ -31,6 +31,15 @@ val edge_costs : ?share_exploration:bool -> Framework.t -> Suite.t -> edge_costs
 val edge_cost : edge_costs -> target_idx:int -> query_idx:int -> float
 (** Infinity when no plan exists with the rules disabled. *)
 
+val prefetch : ?pool:Par.Pool.t -> edge_costs -> (int * int) list -> unit
+(** [prefetch ?pool ec pairs] fills the memo for the given
+    [(target_idx, query_idx)] pairs, partitioned by query index so each
+    worker owns one query's shared exploration and its edges. Results
+    are merged on the calling domain in task order: the memo contents,
+    {!invocations_used}, and every subsequent {!edge_cost} are identical
+    whatever the pool size ([Par.Pool.sequential], the default, is the
+    reference). Already-memoized and duplicate pairs are skipped. *)
+
 val invocations_used : edge_costs -> int
 (** Distinct edge computations so far. Each is one unit of the paper's
     abstract optimizer work (Figure 14's x-axis), however it was served;
@@ -43,19 +52,53 @@ type solution = {
   total_cost : float;
   invocations : int;
       (** optimizer invocations consumed building the solution *)
+  under_covered : (Suite.target * int) list;
+      (** targets assigned fewer than [k] queries, with the deficit
+          [k - assigned] — the suite has no [k] covering queries for
+          them, so the solution is weaker than requested there. Empty
+          when every target got its full [k]. *)
 }
 
-val baseline : ?share_exploration:bool -> Framework.t -> Suite.t -> solution
-val smc : ?share_exploration:bool -> Framework.t -> Suite.t -> solution
+(** The optional [pool] parallelizes the edge-cost matrix fill via
+    {!prefetch}; solutions are identical for any pool size. *)
+
+val baseline :
+  ?share_exploration:bool -> ?pool:Par.Pool.t -> Framework.t -> Suite.t -> solution
+
+val smc :
+  ?share_exploration:bool -> ?pool:Par.Pool.t -> Framework.t -> Suite.t -> solution
 
 val topk :
   ?exploit_monotonicity:bool ->
   ?share_exploration:bool ->
+  ?pool:Par.Pool.t ->
   Framework.t ->
   Suite.t ->
   solution
 (** Default [exploit_monotonicity] is [false] (the naive variant that
-    computes every edge cost). *)
+    computes every edge cost). With [~exploit_monotonicity:true] the
+    edge scan is adaptive and [pool] is ignored (the scan stays
+    sequential). *)
+
+(** {2 Internals exposed for tests} *)
+
+module Kqueue : sig
+  type t
+
+  val create : int -> t
+  val size : t -> int
+
+  val max_cost : t -> float
+  (** Cost of the current worst kept item; [infinity] when empty. *)
+
+  val push : t -> float -> int -> unit
+  (** Keep the [k] items smallest by [(cost, query index)] — equal-cost
+      ties deterministically keep the smaller query index, independent
+      of push order. *)
+
+  val contents : t -> (int * float) list
+  (** Kept items as (query, cost), ascending by (cost, query index). *)
+end
 
 val solution_cost : Suite.t -> solution -> float
 (** Recomputes a solution's cost under shared-execution semantics

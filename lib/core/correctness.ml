@@ -18,70 +18,107 @@ type report = {
   errors : (string * string) list;
 }
 
-let run fw (suite : Suite.t) (sol : Compress.solution) =
+(* Two-phase so both phases are embarrassingly parallel: first every
+   distinct picked query's baseline (optimize + execute, once each),
+   then every target's variants against the now read-only baseline
+   table. Tasks return pure per-task results; counters are summed and
+   bug/error lists concatenated in assignment order on the calling
+   domain, so the report — including the [executions] count, which
+   increments per successful optimize whether or not the execution then
+   errors, exactly as the historical sequential loop did — is identical
+   for any pool size. *)
+let run ?(pool = Par.Pool.sequential) fw (suite : Suite.t)
+    (sol : Compress.solution) =
   let cat = Framework.catalog fw in
+  let distinct_picked =
+    let seen = Hashtbl.create 16 in
+    List.concat_map
+      (fun (_, picks) ->
+        List.filter_map
+          (fun (q, _) ->
+            if Hashtbl.mem seen q then None
+            else begin
+              Hashtbl.replace seen q ();
+              Some q
+            end)
+          picks)
+      sol.assignment
+  in
+  let baselines =
+    Par.Pool.map_list pool
+      (fun q ->
+        match Framework.optimize fw suite.entries.(q).query with
+        | Error e -> (q, 0, Error e)
+        | Ok res -> (
+          match Executor.Exec.run cat res.plan with
+          | Error e -> (q, 1, Error e)
+          | Ok rows -> (q, 1, Ok (res.plan, rows))))
+      distinct_picked
+  in
+  let executions = ref 0 in
   let baseline_cache : (int, (Optimizer.Physical.t * RS.t, string) result) Hashtbl.t =
     Hashtbl.create 16
   in
-  let executions = ref 0 in
-  let baseline q =
-    match Hashtbl.find_opt baseline_cache q with
-    | Some r -> r
-    | None ->
-      let r =
-        match Framework.optimize fw suite.entries.(q).query with
-        | Error e -> Error e
-        | Ok res -> (
-          incr executions;
-          match Executor.Exec.run cat res.plan with
-          | Error e -> Error e
-          | Ok rows -> Ok (res.plan, rows))
-      in
-      Hashtbl.replace baseline_cache q r;
-      r
+  List.iter
+    (fun (q, execs, r) ->
+      executions := !executions + execs;
+      Hashtbl.replace baseline_cache q r)
+    baselines;
+  let validations =
+    Par.Pool.map_list pool
+      (fun (target, picks) ->
+        let disabled = Suite.rules_of target in
+        let pairs = ref 0 and execs = ref 0 and skipped = ref 0 in
+        let bugs = ref [] and errors = ref [] in
+        List.iter
+          (fun (q, _edge_cost) ->
+            incr pairs;
+            let context =
+              Printf.sprintf "%s / query %d" (Suite.target_name target) q
+            in
+            match Hashtbl.find baseline_cache q with
+            | Error e -> errors := (context, "baseline: " ^ e) :: !errors
+            | Ok (base_plan, expected) -> (
+              match Framework.optimize fw ~disabled suite.entries.(q).query with
+              | Error e -> errors := (context, "variant: " ^ e) :: !errors
+              | Ok res ->
+                if Optimizer.Physical.equal res.plan base_plan then incr skipped
+                else begin
+                  incr execs;
+                  match Executor.Exec.run cat res.plan with
+                  | Error e -> errors := (context, "variant exec: " ^ e) :: !errors
+                  | Ok actual ->
+                    if not (RS.equal_bag expected actual) then
+                      let diff = RS.bag_diff expected actual in
+                      bugs :=
+                        { target;
+                          query_index = q;
+                          query = suite.entries.(q).query;
+                          expected_rows = RS.row_count expected;
+                          actual_rows = RS.row_count actual;
+                          diff;
+                          detail = RS.diff_summary diff }
+                        :: !bugs
+                end))
+          picks;
+        (!pairs, !execs, !skipped, List.rev !bugs, List.rev !errors))
+      sol.assignment
   in
   let pairs = ref 0 and skipped = ref 0 in
   let bugs = ref [] and errors = ref [] in
   List.iter
-    (fun (target, picks) ->
-      let disabled = Suite.rules_of target in
-      List.iter
-        (fun (q, _edge_cost) ->
-          incr pairs;
-          let context =
-            Printf.sprintf "%s / query %d" (Suite.target_name target) q
-          in
-          match baseline q with
-          | Error e -> errors := (context, "baseline: " ^ e) :: !errors
-          | Ok (base_plan, expected) -> (
-            match Framework.optimize fw ~disabled suite.entries.(q).query with
-            | Error e -> errors := (context, "variant: " ^ e) :: !errors
-            | Ok res ->
-              if Optimizer.Physical.equal res.plan base_plan then incr skipped
-              else begin
-                incr executions;
-                match Executor.Exec.run cat res.plan with
-                | Error e -> errors := (context, "variant exec: " ^ e) :: !errors
-                | Ok actual ->
-                  if not (RS.equal_bag expected actual) then
-                    let diff = RS.bag_diff expected actual in
-                    bugs :=
-                      { target;
-                        query_index = q;
-                        query = suite.entries.(q).query;
-                        expected_rows = RS.row_count expected;
-                        actual_rows = RS.row_count actual;
-                        diff;
-                        detail = RS.diff_summary diff }
-                      :: !bugs
-              end))
-        picks)
-    sol.assignment;
+    (fun (p, e, s, bs, es) ->
+      pairs := !pairs + p;
+      executions := !executions + e;
+      skipped := !skipped + s;
+      bugs := !bugs @ bs;
+      errors := !errors @ es)
+    validations;
   { pairs_checked = !pairs;
     executions = !executions;
     skipped_identical = !skipped;
-    bugs = List.rev !bugs;
-    errors = List.rev !errors }
+    bugs = !bugs;
+    errors = !errors }
 
 let pp_report fmt r =
   Format.fprintf fmt

@@ -26,9 +26,14 @@ type report = {
   errors : (string * string) list;  (** (context, message) *)
 }
 
-val run : Framework.t -> Suite.t -> Compress.solution -> report
+val run :
+  ?pool:Par.Pool.t -> Framework.t -> Suite.t -> Compress.solution -> report
 (** Executes the solution against the framework's catalog (with the
     framework's rule registry — inject faults via
-    [Framework.create ~rules:(Faults.inject ...)] to see bugs surface). *)
+    [Framework.create ~rules:(Faults.inject ...)] to see bugs surface).
+    [pool] parallelizes the baseline executions and the per-target
+    variant validations; the report (bug order, counters, everything) is
+    identical for any pool size — [Par.Pool.sequential] is the
+    default and the reference. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -4,17 +4,19 @@ type t = {
   cat : Storage.Catalog.t;
   options : Optimizer.Engine.options;
   rule_list : Optimizer.Rule.t list;
-  mutable invocations : int;
+  invocations : int Atomic.t;
+      (** atomic so one framework can be shared by parallel workers and
+          still count every invocation exactly *)
 }
 
 let create ?(options = Optimizer.Engine.default_options)
     ?(rules = Optimizer.Rules.all) cat =
-  { cat; options; rule_list = rules; invocations = 0 }
+  { cat; options; rule_list = rules; invocations = Atomic.make 0 }
 
 let catalog t = t.cat
 let rules t = t.rule_list
-let invocations t = t.invocations
-let reset_invocations t = t.invocations <- 0
+let invocations t = Atomic.get t.invocations
+let reset_invocations t = Atomic.set t.invocations 0
 
 let with_disabled options disabled =
   { options with
@@ -26,12 +28,12 @@ let with_disabled options disabled =
    the unit of measurement of the paper's Figure 14, now visible on a
    timeline. *)
 let invoked t ~kind ~disabled f =
-  t.invocations <- t.invocations + 1;
+  let invocation = Atomic.fetch_and_add t.invocations 1 + 1 in
   Obs.Metrics.incr (Obs.Metrics.counter "framework.invocations");
   if Obs.Trace.enabled () then
     Obs.Trace.with_span ("framework." ^ kind)
       ~args:
-        [ ("invocation", Obs.Json.Int t.invocations);
+        [ ("invocation", Obs.Json.Int invocation);
           ("disabled", Obs.Json.List (List.map (fun r -> Obs.Json.String r) disabled)) ]
       f
   else f ()

@@ -30,8 +30,13 @@ type t = {
 
 type gen_method = Pattern_based | Random_based
 
-let generate ?(gen = Pattern_based) ?(extra_ops = 3) ?(max_trials = 60) fw g
-    ~targets ~k =
+(* Disjoint fresh-alias ranges for parallel generation: task [ti] draws
+   aliases from [ti * fresh_stride] upward. 100k aliases per target is
+   far beyond what 3k generation attempts can consume. *)
+let fresh_stride = 100_000
+
+let generate ?(gen = Pattern_based) ?(extra_ops = 3) ?(max_trials = 60) ?pool fw
+    g ~targets ~k =
   Obs.Trace.with_span "suite.generate"
     ~args:[ ("targets", Obs.Json.Int (List.length targets)); ("k", Obs.Json.Int k) ]
   @@ fun () ->
@@ -56,7 +61,7 @@ let generate ?(gen = Pattern_based) ?(extra_ops = 3) ?(max_trials = 60) fw g
         Some (!count - 1)
       | _ -> None)
   in
-  let generate_one target =
+  let generate_one g target =
     match gen with
     | Random_based ->
       Option.map
@@ -71,23 +76,86 @@ let generate ?(gen = Pattern_based) ?(extra_ops = 3) ?(max_trials = 60) fw g
       match res with Some r -> Some r.query | None -> None)
   in
   let per_target =
-    List.map
-      (fun target ->
-        (* Up to k distinct queries; cap attempts so a hard target cannot
-           stall the generation forever. *)
-        let indices = ref [] in
-        let attempts = ref 0 in
-        while List.length !indices < k && !attempts < 3 * k do
-          incr attempts;
-          match generate_one target with
-          | None -> ()
-          | Some query -> (
-            match add query with
-            | Some i when not (List.mem i !indices) -> indices := i :: !indices
-            | _ -> ())
-        done;
-        (target, List.rev !indices))
-      targets
+    match pool with
+    | None ->
+      (* Sequential reference: one PRNG stream threaded through every
+         target in order, queries checked and interned as they appear. *)
+      List.map
+        (fun target ->
+          (* Up to k distinct queries; cap attempts so a hard target
+             cannot stall the generation forever. *)
+          let indices = ref [] in
+          let attempts = ref 0 in
+          while List.length !indices < k && !attempts < 3 * k do
+            incr attempts;
+            match generate_one g target with
+            | None -> ()
+            | Some query -> (
+              match add query with
+              | Some i when not (List.mem i !indices) -> indices := i :: !indices
+              | _ -> ())
+          done;
+          (target, List.rev !indices))
+        targets
+    | Some pool ->
+      (* Parallel decomposition: each target is one task with its own
+         PRNG substream (derived here, in target order, before fanning
+         out) and its own fresh-alias range, so the queries a target
+         yields are a function of the target index alone — the same for
+         any job count, including the inline jobs=1 pool. Workers check
+         candidates with the (pure) framework themselves and dedup
+         locally; the cross-target dedup and index assignment below run
+         on this domain in target order. Note the substream derivation
+         makes this path draw different (equally valid) queries than
+         the [pool:None] reference above. *)
+      let tasks =
+        List.mapi (fun ti target -> (ti, target, Storage.Prng.split g)) targets
+      in
+      let produced =
+        Par.Pool.map_list pool
+          (fun (ti, target, g) ->
+            Relalg.Ident.set_fresh (ti * fresh_stride);
+            let accepted = ref [] in
+            let seen : unit L.Tbl.t = L.Tbl.create 16 in
+            let attempts = ref 0 in
+            let n = ref 0 in
+            while !n < k && !attempts < 3 * k do
+              incr attempts;
+              match generate_one g target with
+              | None -> ()
+              | Some query ->
+                if not (L.Tbl.mem seen query) then begin
+                  L.Tbl.replace seen query ();
+                  match (Framework.ruleset fw query, Framework.cost fw query) with
+                  | Ok ruleset, Ok cost ->
+                    accepted := { query; ruleset; cost } :: !accepted;
+                    incr n
+                  | _ -> ()
+                end
+            done;
+            (target, List.rev !accepted))
+          tasks
+      in
+      List.map
+        (fun (target, accepted) ->
+          let indices = ref [] in
+          List.iter
+            (fun (e : entry) ->
+              let i =
+                match L.Tbl.find_opt index e.query with
+                | Some i ->
+                  Obs.Metrics.incr dedup_c;
+                  i
+                | None ->
+                  entries := e :: !entries;
+                  L.Tbl.replace index e.query !count;
+                  incr count;
+                  !count - 1
+              in
+              if not (List.mem i !indices) then indices := i :: !indices)
+            accepted;
+          (target, List.rev !indices))
+        produced
   in
   { k; targets; entries = Array.of_list (List.rev !entries); per_target }
 

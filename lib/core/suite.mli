@@ -31,6 +31,7 @@ val generate :
   ?gen:gen_method ->
   ?extra_ops:int ->
   ?max_trials:int ->
+  ?pool:Par.Pool.t ->
   Framework.t ->
   Storage.Prng.t ->
   targets:target list ->
@@ -41,7 +42,15 @@ val generate :
     a target may end with fewer than [k] queries (reported by
     {!shortfall}). [extra_ops] (default 3) pads queries with random extra
     operators so suite costs vary, as with the paper's complex stochastic
-    queries. *)
+    queries.
+
+    Without [pool], one PRNG stream is threaded through every target in
+    order (the historical sequential behavior, byte-stable for a given
+    seed). With [pool], each target becomes one task with its own PRNG
+    substream (split from [g] in target order) and its own fresh-alias
+    range, and results are merged in target order — the suite is
+    identical for any [Par.Pool.jobs] count, including 1, but differs
+    from the no-pool stream (different, equally valid, random draws). *)
 
 val covering : t -> target -> int list
 (** Entry indices whose RuleSet exercises the target — the bipartite

@@ -2,8 +2,13 @@ let on = ref false
 let set_enabled b = on := b
 let enabled () = !on
 
-type counter = { mutable c : int }
-type gauge = { mutable g : float }
+(* Counters and gauges are single atomics: parallel workers bump them
+   lock-free and the totals are exact. Histograms mutate several fields
+   per sample, so each carries its own mutex; the registry itself is
+   mutexed too (registration is rare — instruments are interned once and
+   cached by the call sites). *)
+type counter = int Atomic.t
+type gauge = float Atomic.t
 
 (* Power-of-two buckets: bucket [i] counts samples in [2^(i-1), 2^i).
    64 buckets cover anything from sub-nanosecond to ~9e18, so latencies
@@ -11,6 +16,7 @@ type gauge = { mutable g : float }
 let n_buckets = 64
 
 type histogram = {
+  lock : Mutex.t;
   mutable count : int;
   mutable sum : float;
   mutable lo : float;
@@ -24,8 +30,10 @@ type instrument =
   | H of histogram
 
 let registry : (string * string option, instrument) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
 
 let register key mk extract =
+  Mutex.protect registry_lock @@ fun () ->
   match Hashtbl.find_opt registry key with
   | Some i -> extract i
   | None ->
@@ -38,17 +46,18 @@ let wrong_kind (name, _) = invalid_arg ("metric registered with another kind: " 
 let counter ?label name =
   let key = (name, label) in
   register key
-    (fun () -> C { c = 0 })
+    (fun () -> C (Atomic.make 0))
     (function C c -> c | _ -> wrong_kind key)
 
 let gauge ?label name =
   let key = (name, label) in
   register key
-    (fun () -> G { g = 0.0 })
+    (fun () -> G (Atomic.make 0.0))
     (function G g -> g | _ -> wrong_kind key)
 
 let fresh_hist () =
-  { count = 0;
+  { lock = Mutex.create ();
+    count = 0;
     sum = 0.0;
     lo = Float.infinity;
     hi = Float.neg_infinity;
@@ -64,10 +73,18 @@ let histogram ?label name =
 (* Hot path                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let incr c = if !on then c.c <- c.c + 1
-let add c n = if !on then c.c <- c.c + n
-let gauge_set g v = if !on then g.g <- v
-let gauge_max g v = if !on && v > g.g then g.g <- v
+let incr c = if !on then Atomic.incr c
+let add c n = if !on then ignore (Atomic.fetch_and_add c n)
+let gauge_set g v = if !on then Atomic.set g v
+
+let gauge_max g v =
+  if !on then begin
+    let rec loop () =
+      let cur = Atomic.get g in
+      if v > cur && not (Atomic.compare_and_set g cur v) then loop ()
+    in
+    loop ()
+  end
 
 let bucket_of v =
   if v < 1.0 then 0
@@ -77,6 +94,7 @@ let bucket_of v =
 
 let observe h v =
   if !on then begin
+    Mutex.protect h.lock @@ fun () ->
     h.count <- h.count + 1;
     h.sum <- h.sum +. v;
     if v < h.lo then h.lo <- v;
@@ -89,18 +107,21 @@ let observe h v =
 (* Reading                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let counter_value c = c.c
-let gauge_value g = g.g
+let counter_value c = Atomic.get c
+let gauge_value g = Atomic.get g
 
 type hist_snapshot = { count : int; sum : float; min : float; max : float }
 
 let hist_snapshot (h : histogram) =
+  Mutex.protect h.lock @@ fun () ->
   { count = h.count; sum = h.sum; min = h.lo; max = h.hi }
 
 let hist_mean (h : histogram) =
-  if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
+  let s = hist_snapshot h in
+  if s.count = 0 then 0.0 else s.sum /. float_of_int s.count
 
 let hist_quantile (h : histogram) q =
+  Mutex.protect h.lock @@ fun () ->
   if h.count = 0 then 0.0
   else begin
     let rank = q *. float_of_int h.count in
@@ -126,25 +147,31 @@ type value =
   | Histogram of hist_snapshot
 
 let snapshot () =
-  Hashtbl.fold
-    (fun (name, label) i acc ->
+  let entries =
+    Mutex.protect registry_lock @@ fun () ->
+    Hashtbl.fold (fun key i acc -> (key, i) :: acc) registry []
+  in
+  List.map
+    (fun ((name, label), i) ->
       let v =
         match i with
-        | C c -> Counter c.c
-        | G g -> Gauge g.g
+        | C c -> Counter (Atomic.get c)
+        | G g -> Gauge (Atomic.get g)
         | H h -> Histogram (hist_snapshot h)
       in
-      (name, label, v) :: acc)
-    registry []
+      (name, label, v))
+    entries
   |> List.sort (fun (n1, l1, _) (n2, l2, _) -> compare (n1, l1) (n2, l2))
 
 let reset () =
+  Mutex.protect registry_lock @@ fun () ->
   Hashtbl.iter
     (fun _ i ->
       match i with
-      | C c -> c.c <- 0
-      | G g -> g.g <- 0.0
+      | C c -> Atomic.set c 0
+      | G g -> Atomic.set g 0.0
       | H h ->
+        Mutex.protect h.lock @@ fun () ->
         h.count <- 0;
         h.sum <- 0.0;
         h.lo <- Float.infinity;
@@ -152,4 +179,5 @@ let reset () =
         Array.fill h.buckets 0 n_buckets 0)
     registry
 
-let clear () = Hashtbl.reset registry
+let clear () =
+  Mutex.protect registry_lock @@ fun () -> Hashtbl.reset registry

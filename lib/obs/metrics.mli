@@ -9,8 +9,11 @@
     a list) should additionally be guarded by {!enabled} at the call
     site.
 
-    The registry is global and single-threaded, matching the rest of the
-    system. *)
+    The registry is global and domain-safe: counters and gauges are
+    single atomics (exact totals under parallel mutation, lock-free),
+    histograms and the registry table are mutex-protected. Parallel
+    workers spawned by [Par.Pool] therefore share one registry and their
+    events aggregate exactly as in a sequential run. *)
 
 type counter
 type gauge

@@ -2,17 +2,22 @@ type sink = { write : string -> unit; close : unit -> unit }
 
 let sink : sink option ref = ref None
 let t0 : int64 ref = ref 0L
-let open_spans = ref 0
+let open_spans = Atomic.make 0
+
+(* Serializes whole JSONL lines: spans emitted from parallel workers
+   interleave per line, never mid-line. The per-domain [tid] field keeps
+   them separable in trace viewers. *)
+let write_lock = Mutex.create ()
 
 let enabled () = !sink <> None
-let depth () = !open_spans
+let depth () = Atomic.get open_spans
 
 let stop () =
   match !sink with
   | None -> ()
   | Some s ->
     sink := None;
-    open_spans := 0;
+    Atomic.set open_spans 0;
     s.close ()
 
 let () = at_exit stop
@@ -38,23 +43,23 @@ let emit s ~ph ~name ~cat ~args =
       ("ph", Json.String ph);
       ("ts", Json.Float (ts_us ()));
       ("pid", Json.Int 1);
-      ("tid", Json.Int 1) ]
+      ("tid", Json.Int ((Domain.self () :> int) + 1)) ]
   in
   let fields = match args with [] -> fields | _ -> fields @ [ ("args", Json.Obj args) ] in
   let buf = Buffer.create 128 in
   Json.to_buffer buf (Json.Obj fields);
   Buffer.add_char buf '\n';
-  s.write (Buffer.contents buf)
+  Mutex.protect write_lock (fun () -> s.write (Buffer.contents buf))
 
 let with_span ?cat ?(args = []) name f =
   match !sink with
   | None -> f ()
   | Some s ->
     emit s ~ph:"B" ~name ~cat ~args;
-    incr open_spans;
+    Atomic.incr open_spans;
     Fun.protect
       ~finally:(fun () ->
-        decr open_spans;
+        Atomic.decr open_spans;
         (* The sink may have been stopped while the span was open. *)
         match !sink with
         | Some s -> emit s ~ph:"E" ~name ~cat ~args:[]

@@ -10,7 +10,10 @@
 
     With no sink installed (the default) every entry point is one branch
     and returns immediately. The sink is global, like the metrics
-    registry. *)
+    registry, and domain-safe: each line is written under a mutex (no
+    mid-line interleaving) and carries the emitting domain's id as
+    [tid], so parallel workers show up as separate tracks in trace
+    viewers. *)
 
 val start : string -> unit
 (** Open [path] (truncating) and start emitting. Replaces any previous

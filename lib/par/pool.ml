@@ -1,0 +1,59 @@
+type t = { n_jobs : int }
+
+let create ?jobs () =
+  let n_jobs =
+    match jobs with Some j -> j | None -> Domain.recommended_domain_count ()
+  in
+  if n_jobs < 1 then invalid_arg "Par.Pool.create: jobs must be >= 1";
+  { n_jobs }
+
+let sequential = { n_jobs = 1 }
+let jobs t = t.n_jobs
+
+let tasks_c = lazy (Obs.Metrics.counter "par.tasks")
+let spawns_c = lazy (Obs.Metrics.counter "par.domains_spawned")
+
+(* One slot per task; each slot is written by exactly one domain (the
+   atomic cursor hands out indices uniquely) and read only after every
+   domain has been joined, so plain (word-sized) writes suffice. *)
+let map_array pool f arr =
+  let n = Array.length arr in
+  if pool.n_jobs = 1 || n <= 1 then Array.map f arr
+  else
+    Obs.Trace.with_span "par.map"
+      ~args:[ ("jobs", Obs.Json.Int pool.n_jobs); ("tasks", Obs.Json.Int n) ]
+    @@ fun () ->
+    Obs.Metrics.add (Lazy.force tasks_c) n;
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let run_tasks () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          let r =
+            match f arr.(i) with
+            | v -> Ok v
+            | exception e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some r;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = min (pool.n_jobs - 1) (n - 1) in
+    Obs.Metrics.add (Lazy.force spawns_c) helpers;
+    let domains = Array.init helpers (fun _ -> Domain.spawn run_tasks) in
+    run_tasks ();
+    Array.iter Domain.join domains;
+    (* Merge in task order; a failure surfaces as the lowest-index
+       exception, independent of which domain hit it first. *)
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      results
+
+let map_list pool f xs = Array.to_list (map_array pool f (Array.of_list xs))
+let init pool n f = map_array pool f (Array.init n Fun.id)

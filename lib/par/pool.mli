@@ -1,0 +1,41 @@
+(** Domain-based worker pool with deterministic results (OCaml 5, no
+    external dependencies).
+
+    A pool is a capacity, not a set of live threads: every {!map_array}
+    call spawns up to [jobs - 1] helper domains, work-steals task indices
+    from a shared atomic cursor, and joins them before returning. Results
+    are written to per-task slots and merged in task order, so the output
+    of a map is a pure function of the input array — never of the
+    scheduling. Anything that must also hold for the {e work} done inside
+    a task (PRNG draws, fresh-name allocation) is the caller's job:
+    derive a per-task substream before fanning out
+    ([Prng.create (seed + task_id)] / {!Storage.Prng.split}) and key
+    fresh-name bases on the task index ({!Relalg.Ident.set_fresh}).
+
+    With [jobs = 1] every combinator runs inline on the calling domain —
+    no domains are spawned, so a sequential pool is also the reference
+    semantics parallel runs must reproduce byte for byte. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [jobs] defaults to [Domain.recommended_domain_count ()]. Raises
+    [Invalid_argument] when [jobs < 1]. *)
+
+val sequential : t
+(** A pool with [jobs = 1]: all combinators run inline. *)
+
+val jobs : t -> int
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map] with deterministic output order. Tasks are
+    distributed dynamically (an atomic cursor), so uneven task costs
+    load-balance; slot [i] always holds [f arr.(i)]. If one or more
+    tasks raise, the exception of the {e lowest} task index is re-raised
+    (with its backtrace) after all domains have been joined. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map_array} over a list, preserving order. *)
+
+val init : t -> int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init]. *)

@@ -8,9 +8,13 @@
    structural hashing (which, with [Hashtbl.hash]'s bounded traversal,
    degenerated to linear collision scans on realistic query sizes).
 
-   The table is global and grows monotonically; ids stay valid for the
-   lifetime of the process ([clear] drops the table for test isolation
-   but never reuses ids, so stale id-keyed caches can miss, never lie). *)
+   The table is domain-local (Domain.DLS) and grows monotonically; each
+   domain interns without any synchronization. Ids are carved out of one
+   global atomic block allocator so they are unique process-wide and
+   stay valid for the lifetime of the process ([clear] drops the current
+   domain's table for test isolation but never reuses ids, so stale
+   id-keyed caches can miss, never lie — even when nodes from several
+   domains meet in one table). *)
 
 module L = Logical
 
@@ -41,19 +45,54 @@ module Tbl = Hashtbl.Make (struct
     Array.fold_left Scalar.hash_combine (L.payload_hash k.payload) k.kid_ids
 end)
 
-let table : node Tbl.t = Tbl.create 4096
-let next_id = ref 0
-let hit_count = ref 0
-let miss_count = ref 0
+(* Per-domain interning state. Ids come from fixed-size blocks handed
+   out by one global atomic counter: domains never contend on the hot
+   path (a block lasts ~4M interns) yet ids can never collide across
+   domains, which is what keeps cross-domain id-keyed caches honest. *)
+type state = {
+  table : node Tbl.t;
+  mutable next_id : int;
+  mutable id_limit : int;  (** exclusive end of the current block *)
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
 
-let node_of (payload : L.t) (kids : node array) : node =
+let id_block_bits = 22
+let next_block = Atomic.make 0
+
+let refill_block st =
+  let b = Atomic.fetch_and_add next_block 1 in
+  st.next_id <- b lsl id_block_bits;
+  st.id_limit <- (b + 1) lsl id_block_bits
+
+let state_key =
+  Domain.DLS.new_key (fun () ->
+      let st =
+        { table = Tbl.create 4096;
+          next_id = 0;
+          id_limit = 0;
+          hit_count = 0;
+          miss_count = 0 }
+      in
+      refill_block st;
+      st)
+
+let state () = Domain.DLS.get state_key
+
+let fresh_id st =
+  if st.next_id >= st.id_limit then refill_block st;
+  let id = st.next_id in
+  st.next_id <- id + 1;
+  id
+
+let node_of st (payload : L.t) (kids : node array) : node =
   let key = { payload; kid_ids = Array.map (fun k -> k.id) kids } in
-  match Tbl.find_opt table key with
+  match Tbl.find_opt st.table key with
   | Some n ->
-    incr hit_count;
+    st.hit_count <- st.hit_count + 1;
     n
   | None ->
-    incr miss_count;
+    st.miss_count <- st.miss_count + 1;
     let canonical_kids = Array.to_list (Array.map (fun k -> k.repr) kids) in
     let repr =
       (* Avoid reallocating when the payload's children are already the
@@ -67,16 +106,19 @@ let node_of (payload : L.t) (kids : node array) : node =
         (L.payload_hash payload) kids
     in
     let nsize = Array.fold_left (fun s k -> s + k.nsize) 1 kids in
-    let id = !next_id in
-    incr next_id;
+    let id = fresh_id st in
     let n = { repr; id; hkey; nsize; kids } in
-    Tbl.replace table key n;
+    Tbl.replace st.table key n;
     n
 
-let rec intern (t : L.t) : node =
-  match L.children t with
-  | [] -> node_of t [||]
-  | kids -> node_of t (Array.of_list (List.map intern kids))
+let intern (t : L.t) : node =
+  let st = state () in
+  let rec go t =
+    match L.children t with
+    | [] -> node_of st t [||]
+    | kids -> node_of st t (Array.of_list (List.map go kids))
+  in
+  go t
 
 let rebuild (n : node) i (kid : node) : node =
   if i < 0 || i >= Array.length n.kids then
@@ -85,7 +127,7 @@ let rebuild (n : node) i (kid : node) : node =
   else begin
     let kids = Array.copy n.kids in
     kids.(i) <- kid;
-    node_of n.repr kids
+    node_of (state ()) n.repr kids
   end
 
 let repr n = n.repr
@@ -93,11 +135,12 @@ let id n = n.id
 let hash n = n.hkey
 let size n = n.nsize
 let equal (a : node) (b : node) = a == b
-let live_nodes () = Tbl.length table
-let hits () = !hit_count
-let misses () = !miss_count
+let live_nodes () = Tbl.length (state ()).table
+let hits () = (state ()).hit_count
+let misses () = (state ()).miss_count
 
 let clear () =
-  Tbl.reset table;
-  hit_count := 0;
-  miss_count := 0
+  let st = state () in
+  Tbl.reset st.table;
+  st.hit_count <- 0;
+  st.miss_count <- 0

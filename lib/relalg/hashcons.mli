@@ -8,9 +8,18 @@
     property memos) key on {!id} — one int compare — instead of deep
     structural hashing.
 
-    The interning table is global (single-threaded, like the rest of the
-    system) and ids are never reused, so id-keyed caches can go stale
-    (miss) but never alias two different trees. *)
+    The interning table is {e domain-local} ([Domain.DLS]): each domain
+    interns into its own table with zero synchronization, and ids are
+    allocated from per-domain blocks carved off one global atomic
+    counter, so ids are unique across the whole process and never
+    reused. Consequences: within a domain, [==]/{!equal} and {!id}
+    behave exactly as a global table; across domains, two structurally
+    equal trees interned independently are {e distinct} nodes with
+    distinct ids — an id-keyed cache fed from several domains can
+    therefore miss (recompute) but never alias two different trees.
+    {!clear} and the {!hits}/{!misses}/{!live_nodes} introspection are
+    likewise per-domain. See DESIGN.md §10 for the trade-off against a
+    shared mutex-protected table. *)
 
 type node = private {
   repr : Logical.t;

@@ -35,11 +35,17 @@ end
 module Set = Set.Make (Ord)
 module Map = Map.Make (Ord)
 
-let counter = ref 0
+(* Domain-local so parallel workers allocate aliases without racing.
+   Deterministic parallel generation sets a disjoint per-task base with
+   [set_fresh] before producing queries, making aliases a function of
+   the task index rather than of domain scheduling. *)
+let counter = Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh_rel () =
-  let n = !counter in
-  incr counter;
+  let c = Domain.DLS.get counter in
+  let n = !c in
+  incr c;
   "r" ^ string_of_int n
 
-let reset_fresh () = counter := 0
+let reset_fresh () = Domain.DLS.get counter := 0
+let set_fresh n = Domain.DLS.get counter := n

@@ -30,8 +30,16 @@ module Set : Set.S with type elt = t
 module Map : Map.S with type key = t
 
 val fresh_rel : unit -> string
-(** A process-unique relation label ["r<n>"]. *)
+(** A fresh relation label ["r<n>"] from a domain-local counter. Unique
+    within a domain; parallel callers carve out disjoint ranges with
+    {!set_fresh} to keep labels deterministic and collision-free. *)
 
 val reset_fresh : unit -> unit
-(** Reset the label counter (tests only; makes generated trees
-    reproducible). *)
+(** Reset the calling domain's label counter (tests only; makes
+    generated trees reproducible). *)
+
+val set_fresh : int -> unit
+(** Set the calling domain's label counter. Parallel generation gives
+    each task a disjoint base (e.g. [task_index * 100_000]) so the
+    aliases a task produces depend only on the task, not on which
+    domain ran it. *)

@@ -9,22 +9,31 @@ let ( let* ) = Result.bind
    structural hash — so lookups cannot degenerate into linear collision
    scans the way polymorphic [Hashtbl.hash]'s truncated traversal did on
    realistic tree sizes. Caches are keyed on the catalog's physical
-   identity and flushed when a different catalog shows up. *)
-let cache_owner : Catalog.t option ref = ref None
-let schema_cache : (col_info list, string) result Logical.Tbl.t =
-  Logical.Tbl.create 4096
+   identity and flushed when a different catalog shows up. They are
+   domain-local ([Domain.DLS]) so parallel workers memoize without
+   synchronization — same values on every domain, just computed once per
+   domain instead of once per process. *)
+type caches = {
+  mutable owner : Catalog.t option;
+  schema_cache : (col_info list, string) result Logical.Tbl.t;
+  keys_cache : Ident.Set.t list Logical.Tbl.t;
+}
 
-let keys_cache : Ident.Set.t list Logical.Tbl.t = Logical.Tbl.create 4096
+let caches_key =
+  Domain.DLS.new_key (fun () ->
+      { owner = None;
+        schema_cache = Logical.Tbl.create 4096;
+        keys_cache = Logical.Tbl.create 4096 })
 
-let with_cache cat cache compute t =
-  let flush =
-    match !cache_owner with Some c -> not (c == cat) | None -> true
-  in
+let with_cache cat select compute t =
+  let cs = Domain.DLS.get caches_key in
+  let flush = match cs.owner with Some c -> not (c == cat) | None -> true in
   if flush then begin
-    Logical.Tbl.reset schema_cache;
-    Logical.Tbl.reset keys_cache;
-    cache_owner := Some cat
+    Logical.Tbl.reset cs.schema_cache;
+    Logical.Tbl.reset cs.keys_cache;
+    cs.owner <- Some cat
   end;
+  let cache = select cs in
   match Logical.Tbl.find_opt cache t with
   | Some r -> r
   | None ->
@@ -43,7 +52,7 @@ let distinct_idents ids =
   List.length sorted = List.length ids
 
 let rec schema cat (t : Logical.t) : (col_info list, string) result =
-  with_cache cat schema_cache (schema_uncached cat) t
+  with_cache cat (fun cs -> cs.schema_cache) (schema_uncached cat) t
 
 and schema_uncached cat (t : Logical.t) : (col_info list, string) result =
   match t with
@@ -193,7 +202,7 @@ let equi_join_columns pred left right =
     (Scalar.conjuncts pred)
 
 let rec keys cat (t : Logical.t) : Ident.Set.t list =
-  with_cache cat keys_cache (keys_uncached cat) t
+  with_cache cat (fun cs -> cs.keys_cache) (keys_uncached cat) t
 
 and keys_uncached cat (t : Logical.t) : Ident.Set.t list =
   match t with

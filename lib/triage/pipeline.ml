@@ -27,19 +27,34 @@ type report = {
 let bugs_c = Obs.Metrics.counter "triage.bugs"
 let dedup_c = Obs.Metrics.counter "triage.dedup_hits"
 
-let triage ?max_checks fw (correctness : Core.Correctness.report) =
+let triage ?max_checks ?(pool = Par.Pool.sequential) fw
+    (correctness : Core.Correctness.report) =
   Obs.Trace.with_span "triage.run"
     ~args:[ ("bugs", J.Int (List.length correctness.bugs)) ]
   @@ fun () ->
+  (* Each bug reduces independently (its own oracle, pure framework
+     calls), so reduction fans out; the signature dedup below is
+     order-sensitive and runs on the calling domain over the reductions
+     in bug order, making the report identical for any pool size. *)
+  let reduced =
+    Par.Pool.map_list pool
+      (fun (bug : Core.Correctness.bug) ->
+        Obs.Metrics.incr bugs_c;
+        let oracle = Oracle.create fw bug.target in
+        let r = Reduce.run ?max_checks oracle bug.query in
+        (bug, r, Oracle.checks oracle, Oracle.executions oracle))
+      correctness.bugs
+  in
   let by_sig : (string, case) Hashtbl.t = Hashtbl.create 16 in
   let order : string list ref = ref [] in
   let irreducible = ref [] in
   let checks = ref 0 and executions = ref 0 in
   List.iter
-    (fun (bug : Core.Correctness.bug) ->
-      Obs.Metrics.incr bugs_c;
-      let oracle = Oracle.create fw bug.target in
-      (match Reduce.run ?max_checks oracle bug.query with
+    (fun ( (bug : Core.Correctness.bug),
+           (r : (L.t * Divergence.t * Reduce.stats, string) result),
+           bug_checks,
+           bug_execs ) ->
+      (match r with
       | Error e -> irreducible := (bug, e) :: !irreducible
       | Ok (reduced, divergence, stats) ->
         let signature = Signature.make bug.target divergence.kind reduced in
@@ -60,9 +75,9 @@ let triage ?max_checks fw (correctness : Core.Correctness.report) =
             { target = bug.target; signature; original = bug.query; reduced;
               divergence; stats; dup_count = 1 };
           order := key :: !order));
-      checks := !checks + Oracle.checks oracle;
-      executions := !executions + Oracle.executions oracle)
-    correctness.bugs;
+      checks := !checks + bug_checks;
+      executions := !executions + bug_execs)
+    reduced;
   let cases = List.rev_map (fun k -> Hashtbl.find by_sig k) !order in
   { cases;
     duplicates = List.fold_left (fun n c -> n + c.dup_count - 1) 0 cases;
@@ -111,23 +126,23 @@ type outcome =
 
 type replayed = { case : Corpus.case; outcome : outcome }
 
-let replay ?(reinject = false) ?budget ~dir () =
+let replay ?(reinject = false) ?budget ?(pool = Par.Pool.sequential) ~dir () =
   let ( let* ) = Result.bind in
   let* cases = Corpus.load ~dir in
+  (* Build every needed catalog up front (in case order) so the table is
+     read-only by the time cases fan out across domains. *)
   let catalogs : (string, Storage.Catalog.t) Hashtbl.t = Hashtbl.create 4 in
-  let catalog_for spec =
-    let key =
-      match spec with
-      | Corpus.Micro -> "micro"
-      | Corpus.Tpch s -> Printf.sprintf "tpch:%g" s
-    in
-    match Hashtbl.find_opt catalogs key with
-    | Some c -> c
-    | None ->
-      let c = Corpus.catalog_of_spec spec in
-      Hashtbl.replace catalogs key c;
-      c
+  let key_of = function
+    | Corpus.Micro -> "micro"
+    | Corpus.Tpch s -> Printf.sprintf "tpch:%g" s
   in
+  List.iter
+    (fun (case : Corpus.case) ->
+      let key = key_of case.meta.catalog in
+      if not (Hashtbl.mem catalogs key) then
+        Hashtbl.replace catalogs key (Corpus.catalog_of_spec case.meta.catalog))
+    cases;
+  let catalog_for spec = Hashtbl.find catalogs (key_of spec) in
   let replay_one (case : Corpus.case) =
     let outcome =
       match Corpus.target_of_name case.meta.target with
@@ -155,7 +170,7 @@ let replay ?(reinject = false) ?budget ~dir () =
     in
     { case; outcome }
   in
-  Ok (List.map replay_one cases)
+  Ok (Par.Pool.map_list pool replay_one cases)
 
 (* ------------------------------------------------------------------ *)
 (* Reports                                                             *)

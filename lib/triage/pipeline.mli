@@ -21,12 +21,18 @@ type report = {
 }
 
 val triage :
-  ?max_checks:int -> Core.Framework.t -> Core.Correctness.report -> report
+  ?max_checks:int ->
+  ?pool:Par.Pool.t ->
+  Core.Framework.t ->
+  Core.Correctness.report ->
+  report
 (** Reduce every bug of a {!Core.Correctness.run} report against the same
     framework (same rule registry, including any injected fault) and dedup
     by {!Signature.key}, keeping the smallest reproducer per signature.
     [max_checks] bounds oracle evaluations {e per bug} (see
-    {!Reduce.run}). *)
+    {!Reduce.run}). [pool] fans the per-bug reductions out across
+    domains; dedup runs afterwards in bug order, so the report is
+    identical for any pool size. *)
 
 val save_corpus :
   dir:string ->
@@ -49,9 +55,11 @@ type outcome =
 type replayed = { case : Corpus.case; outcome : outcome }
 
 val replay :
-  ?reinject:bool -> ?budget:int -> dir:string -> unit ->
+  ?reinject:bool -> ?budget:int -> ?pool:Par.Pool.t -> dir:string -> unit ->
   (replayed list, string) result
-(** Re-execute every stored case against a freshly regenerated catalog.
+(** Re-execute every stored case against a freshly regenerated catalog
+    ([pool] replays cases in parallel; outcomes are merged in case
+    order).
     With [reinject] (default false) the fault recorded in each case's
     metadata is injected first — the corpus self-check, where every case
     must come back [Reproduced]. Without it the current (sound) registry

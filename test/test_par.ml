@@ -1,0 +1,207 @@
+(* The parallel worker pool and its determinism contract: jobs-N results
+   are identical to jobs-1 across suite generation, compression,
+   correctness validation, and triage. Also the PR's bug regressions:
+   SMC invocation accounting, under-coverage reporting, Kqueue ties.
+
+   Nothing here measures wall-clock speedup — CI machines may have one
+   core, where extra domains only add overhead. Determinism is the
+   testable contract; speed is recorded by the [parallel] bench. *)
+module F = Core.Framework
+module Su = Core.Suite
+module C = Core.Compress
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* ---------------- the pool itself ---------------- *)
+
+let test_pool_basics () =
+  check int_t "sequential is one job" 1 (Par.Pool.jobs Par.Pool.sequential);
+  Alcotest.check_raises "rejects zero jobs"
+    (Invalid_argument "Par.Pool.create: jobs must be >= 1") (fun () ->
+      ignore (Par.Pool.create ~jobs:0 ()));
+  let pool = Par.Pool.create ~jobs:4 () in
+  (* results land in input order whatever domain computed them *)
+  let xs = List.init 100 (fun i -> i) in
+  check (Alcotest.list int_t) "map_list keeps order"
+    (List.map (fun i -> i * i) xs)
+    (Par.Pool.map_list pool (fun i -> i * i) xs);
+  check (Alcotest.list int_t) "init keeps order"
+    (List.init 20 (fun i -> i + 1))
+    (Array.to_list (Par.Pool.init pool 20 (fun i -> i + 1)))
+
+let test_pool_exceptions () =
+  (* the lowest-index failure is the one re-raised, as sequentially *)
+  let pool = Par.Pool.create ~jobs:4 () in
+  Alcotest.check_raises "first failure wins" (Failure "task 3") (fun () ->
+      ignore
+        (Par.Pool.map_list pool
+           (fun i -> if i >= 3 then failwith (Printf.sprintf "task %d" i) else i)
+           (List.init 10 (fun i -> i))))
+
+(* ---------------- Kqueue tie-breaking ---------------- *)
+
+let test_kqueue_ties () =
+  (* Equal costs: the kept set must be a function of (cost, query) alone,
+     not of push order. *)
+  let runs =
+    List.map
+      (fun order ->
+        let q = C.Kqueue.create 2 in
+        List.iter (fun i -> C.Kqueue.push q 1.0 i) order;
+        C.Kqueue.contents q)
+      [ [ 5; 2; 9 ]; [ 9; 5; 2 ]; [ 2; 9; 5 ]; [ 9; 2; 5 ] ]
+  in
+  List.iter
+    (fun contents ->
+      check (Alcotest.list (Alcotest.pair int_t (Alcotest.float 0.0)))
+        "ties keep smallest query indices"
+        [ (2, 1.0); (5, 1.0) ]
+        contents)
+    runs;
+  (* mixed costs, permuted pushes: same contents *)
+  let items = [ (3.0, 1); (1.0, 4); (2.0, 0); (1.0, 2); (2.0, 7) ] in
+  let expect =
+    let q = C.Kqueue.create 3 in
+    List.iter (fun (c, i) -> C.Kqueue.push q c i) items;
+    C.Kqueue.contents q
+  in
+  check (Alcotest.list (Alcotest.pair int_t (Alcotest.float 0.0)))
+    "expected cheapest three" [ (2, 1.0); (4, 1.0); (0, 2.0) ] expect;
+  List.iter
+    (fun perm ->
+      let q = C.Kqueue.create 3 in
+      List.iter (fun (c, i) -> C.Kqueue.push q c i) perm;
+      check bool_t "permutation-independent" true (C.Kqueue.contents q = expect))
+    [ List.rev items;
+      [ (1.0, 2); (2.0, 7); (3.0, 1); (1.0, 4); (2.0, 0) ];
+      [ (2.0, 0); (1.0, 2); (2.0, 7); (1.0, 4); (3.0, 1) ] ]
+
+(* ---------------- handcrafted suite: SMC + under-coverage ---------------- *)
+
+let micro = Storage.Datagen.micro ()
+
+(* One query exercising SelectMerge on the micro catalog (same shape as
+   test_compress's fault query, minus the fault). *)
+let select_merge_query =
+  let open Relalg in
+  let module L = Logical in
+  let module S = Scalar in
+  let id = Ident.make in
+  let t1 = L.Get { table = "t1"; alias = "x" } in
+  let a = id "x" "a" and cc = id "x" "c" in
+  L.Filter
+    { pred = S.Cmp (S.Ge, S.col a, S.int 0);
+      child =
+        L.Filter
+          { pred = S.eq (S.col cc) (S.Const (Storage.Value.Str "x")); child = t1 } }
+
+(* A suite that asks for k=2 but only has one covering query: every
+   algorithm must report the deficit instead of silently clamping. *)
+let starved_suite fw : Su.t =
+  let query = select_merge_query in
+  let ruleset = Result.get_ok (F.ruleset fw query) in
+  check bool_t "query exercises SelectMerge" true (F.SSet.mem "SelectMerge" ruleset);
+  let cost = Result.get_ok (F.cost fw query) in
+  { k = 2;
+    targets = [ Su.Single "SelectMerge" ];
+    entries = [| { Su.query; ruleset; cost } |];
+    per_target = [ (Su.Single "SelectMerge", [ 0 ]) ] }
+
+let test_under_coverage_reported () =
+  let fw = F.create micro in
+  let suite = starved_suite fw in
+  List.iter
+    (fun (name, sol) ->
+      check bool_t (name ^ " picked the one covering query") true
+        (List.for_all (fun (_, picks) -> List.length picks = 1) sol.C.assignment);
+      check bool_t (name ^ " reports deficit 1") true
+        (sol.C.under_covered = [ (Su.Single "SelectMerge", 1) ]))
+    [ ("baseline", C.baseline fw suite);
+      ("smc", C.smc fw suite);
+      ("topk", C.topk fw suite);
+      ("topk_mono", C.topk ~exploit_monotonicity:true fw suite) ]
+
+let test_smc_invocations_regression () =
+  (* The SMC solution used to report invocations = 0 even though the
+     edge costs in its assignment were computed. It must count one
+     computed edge per (target, pick). *)
+  let fw = F.create micro in
+  let suite = starved_suite fw in
+  let sol = C.smc fw suite in
+  let picks = List.fold_left (fun n (_, ps) -> n + List.length ps) 0 sol.C.assignment in
+  check bool_t "smc picked something" true (picks > 0);
+  check int_t "smc invocations = computed edges" picks sol.C.invocations;
+  (* and the edges really carry costs, not placeholders *)
+  List.iter
+    (fun (_, ps) ->
+      List.iter (fun (_, c) -> check bool_t "finite edge" true (Float.is_finite c)) ps)
+    sol.C.assignment
+
+(* ---------------- jobs-1 vs jobs-4 determinism ---------------- *)
+
+let cat = Storage.Datagen.tpch ~scale:0.001 ()
+let quick_options = { Optimizer.Engine.default_options with max_trees = 400 }
+
+let rules4 =
+  [ "JoinCommute"; "PushSelectBelowJoin"; "SelectMerge"; "MergeSelectIntoJoin" ]
+
+let pipeline_with jobs =
+  let pool = Par.Pool.create ~jobs () in
+  let fw = F.create ~options:quick_options cat in
+  let g = Storage.Prng.create 11 in
+  let suite =
+    Su.generate fw g ~targets:(List.map (fun r -> Su.Single r) rules4) ~k:3 ~pool
+  in
+  let sols =
+    [ C.baseline ~pool fw suite; C.smc ~pool fw suite; C.topk ~pool fw suite ]
+  in
+  let report = Core.Correctness.run ~pool fw suite (List.nth sols 2) in
+  (suite, sols, report)
+
+let test_jobs_deterministic () =
+  let suite1, sols1, report1 = pipeline_with 1 in
+  let suite4, sols4, report4 = pipeline_with 4 in
+  check bool_t "suites identical (jobs 1 = jobs 4)" true (suite1 = suite4);
+  List.iteri
+    (fun i (s1, s4) ->
+      check bool_t (Printf.sprintf "solution %d identical" i) true (s1 = s4))
+    (List.combine sols1 sols4);
+  check bool_t "correctness reports identical" true (report1 = report4);
+  check bool_t "smc counted invocations" true
+    ((List.nth sols1 1).C.invocations > 0)
+
+let test_triage_deterministic () =
+  (* With a fault injected, bugs surface and triage fans reductions out;
+     the triage report must still be identical for any pool size. *)
+  let victim = "SelectMerge" in
+  let rules = Core.Faults.inject victim in
+  let fw = F.create ~rules micro in
+  let suite = { (starved_suite fw) with k = 1 } in
+  let sol = C.baseline fw suite in
+  let run jobs =
+    let pool = Par.Pool.create ~jobs () in
+    let report = Core.Correctness.run ~pool fw suite sol in
+    (report, Triage.Pipeline.triage ~pool fw report)
+  in
+  let report1, triage1 = run 1 in
+  let report4, triage4 = run 4 in
+  check bool_t "fault detected" true (report1.bugs <> []);
+  check bool_t "correctness identical under fault" true (report1 = report4);
+  check bool_t "triage reports identical" true (triage1 = triage4);
+  check bool_t "triage produced cases" true (triage1.cases <> [])
+
+let suite =
+  [ ( "par.pool",
+      [ Alcotest.test_case "basics" `Quick test_pool_basics;
+        Alcotest.test_case "exception order" `Quick test_pool_exceptions ] );
+    ( "par.compress",
+      [ Alcotest.test_case "kqueue tie-break" `Quick test_kqueue_ties;
+        Alcotest.test_case "under-coverage reported" `Slow
+          test_under_coverage_reported;
+        Alcotest.test_case "smc invocation accounting" `Slow
+          test_smc_invocations_regression ] );
+    ( "par.determinism",
+      [ Alcotest.test_case "jobs 1 = jobs 4 pipeline" `Slow test_jobs_deterministic;
+        Alcotest.test_case "jobs 1 = jobs 4 triage" `Slow test_triage_deterministic ] ) ]
