@@ -61,9 +61,14 @@ let () =
     (* 5. Execute the plan. *)
     (match Executor.Exec.run cat r.plan with
     | Ok res ->
+      let first_five =
+        Executor.Resultset.make
+          (Executor.Resultset.cols res)
+          (Array.sub (Executor.Resultset.rows res) 0
+             (min 5 (Executor.Resultset.row_count res)))
+      in
       Format.printf "Result: %d rows. First rows:@.%a@.@."
-        (Executor.Resultset.row_count res) Executor.Resultset.pp
-        { res with rows = List.filteri (fun i _ -> i < 5) res.rows }
+        (Executor.Resultset.row_count res) Executor.Resultset.pp first_five
     | Error e -> Format.printf "execution failed: %s@." e);
 
     (* 6. Plan(q, ¬{r}): turn off the group-by pull-up and compare cost. *)

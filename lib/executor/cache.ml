@@ -1,0 +1,58 @@
+module PTbl = Optimizer.Physical.Tbl
+
+(* Execution results keyed by the structural fingerprint of the physical
+   plan. The store is per-domain (Domain.DLS), matching the [lib/par]
+   discipline: no locks on the hot path, no cross-domain sharing of the
+   mutable table, and — because hits and misses never leak into any
+   reported count — [--jobs N] output stays byte-identical to [--jobs 1]
+   even though each domain warms its own cache. Callers that report
+   execution totals must count *logical* executions (increment whether
+   or not the run was served from cache).
+
+   Plans from different catalogs may collide structurally, so the store
+   remembers which catalog filled it and resets on (physical) catalog
+   change; tests and multi-catalog tools get isolation for free. *)
+
+type store = {
+  mutable catalog : Storage.Catalog.t option;
+  tbl : (Resultset.t, string) result PTbl.t;
+}
+
+let key =
+  Domain.DLS.new_key (fun () -> { catalog = None; tbl = PTbl.create 256 })
+
+let hits_c = Obs.Metrics.counter "executor.result_cache.hits"
+let miss_c = Obs.Metrics.counter "executor.result_cache.misses"
+
+(* Safety valve against unbounded growth in very long sessions; far
+   above what a validate or reduce run touches. *)
+let max_entries = 8192
+
+let run catalog plan =
+  let s = Domain.DLS.get key in
+  (match s.catalog with
+  | Some c when c == catalog -> ()
+  | _ ->
+    PTbl.reset s.tbl;
+    s.catalog <- Some catalog);
+  match PTbl.find_opt s.tbl plan with
+  | Some r ->
+    Obs.Metrics.incr hits_c;
+    r
+  | None ->
+    Obs.Metrics.incr miss_c;
+    let r = Exec.run catalog plan in
+    (* Pre-sort on the owning domain so a cached result handed to later
+       bag comparisons is already normalized (and never mutated by a
+       reader on another domain). *)
+    (match r with
+    | Ok rs -> ignore (Resultset.normalized rs)
+    | Error _ -> ());
+    if PTbl.length s.tbl >= max_entries then PTbl.reset s.tbl;
+    PTbl.add s.tbl plan r;
+    r
+
+let clear () =
+  let s = Domain.DLS.get key in
+  PTbl.reset s.tbl;
+  s.catalog <- None

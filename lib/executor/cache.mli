@@ -1,0 +1,26 @@
+(** Per-domain execution-result cache keyed by
+    {!Optimizer.Physical.fingerprint}.
+
+    Correctness validation executes many rule-off variants that compile
+    to plans already executed (different targets converging on the same
+    winner), and delta reduction re-executes near-identical candidate
+    plans hundreds of times; a hit skips compilation and execution
+    entirely and returns the previously materialized result.
+
+    The store lives in [Domain.DLS], so it is domain-safe without locks
+    and hit/miss patterns can differ across [--jobs] settings — callers
+    must therefore report *logical* execution counts (incremented on hit
+    or miss alike) to keep output byte-identical across job counts. The
+    cache resets automatically when called with a different catalog
+    (physical identity). *)
+
+val run :
+  Storage.Catalog.t -> Optimizer.Physical.t -> (Resultset.t, string) result
+(** {!Exec.run} with memoization. Cached [Ok] results are pre-normalized
+    (see {!Resultset.normalized}) on the executing domain, so sharing
+    them read-only across domains is safe. Records
+    [executor.result_cache.hits]/[.misses] when metrics are enabled. *)
+
+val clear : unit -> unit
+(** Drop the calling domain's cache (test isolation, fresh
+    measurements). *)

@@ -1,0 +1,40 @@
+(** One-time plan compilation.
+
+    Walks a physical plan once, resolving every column reference to an
+    array offset and every scalar operator to a closure, so the per-row
+    hot loop does zero hashtable lookups and zero AST dispatch. Anything
+    knowable from the plan and catalog alone — unknown tables, unknown
+    columns, set-operation arity mismatches — is reported here, at
+    compile time, before a single row is produced; only value-dependent
+    failures (type errors, AVG over non-numerics) remain row-time. *)
+
+exception Compile_error of string
+(** Static plan error: unknown table/column, set-operation arity
+    mismatch. Raised by {!plan} (and {!scalar}/{!pred}) — never from the
+    returned closures. *)
+
+val scalar :
+  Relalg.Ident.t array ->
+  Relalg.Scalar.t ->
+  Storage.Value.t array ->
+  Storage.Value.t
+(** [scalar cols e] compiles [e] against the row layout [cols]. The
+    returned closure agrees with {!Eval.scalar} on every row (same
+    three-valued logic, same [Invalid_argument] on type errors). *)
+
+val pred :
+  Relalg.Ident.t array -> Relalg.Scalar.t -> Storage.Value.t array -> bool
+(** Compiled {!Eval.pred_true}: [true] iff exactly [Bool true]. *)
+
+type t
+(** A compiled plan: output columns plus a generator that executes the
+    operator tree. Reusable — each {!execute} runs the plan afresh. *)
+
+val cols : t -> Relalg.Ident.t array
+
+val plan : Storage.Catalog.t -> Optimizer.Physical.t -> t
+(** Compile the whole plan. Raises {!Compile_error} on static errors. *)
+
+val execute : t -> Resultset.t
+(** Run the compiled plan. Raises {!Relops.Exec_error} or
+    [Invalid_argument] only for value-dependent failures. *)

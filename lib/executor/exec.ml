@@ -1,19 +1,19 @@
 open Storage
 module P = Optimizer.Physical
 module L = Relalg.Logical
-module A = Relalg.Aggregate
 module Ident = Relalg.Ident
+module RS = Resultset
 
-exception Exec_error of string
+let fail fmt = Relops.fail fmt
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
-
-module RowTbl = Hashtbl.Make (struct
-  type t = Value.t array
-
-  let equal a b = Resultset.compare_rows a b = 0
-  let hash row = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 row
-end)
+(* ------------------------------------------------------------------ *)
+(* Reference interpreter                                               *)
+(*                                                                     *)
+(* Row-at-a-time: every column reference is a hashtable lookup and      *)
+(* every expression an AST walk ([Eval.scalar]). Kept as the semantic   *)
+(* baseline the compiled path ([Compile]) is differentially tested      *)
+(* against, and as the interpreter side of the [execute] bench.         *)
+(* ------------------------------------------------------------------ *)
 
 let make_env (cols : Ident.t array) =
   let index : (Ident.t, int) Hashtbl.t = Hashtbl.create (Array.length cols) in
@@ -34,238 +34,19 @@ let key_indices (cols : Ident.t array) keys =
   in
   Array.of_list (List.map find keys)
 
-let extract_key idx row = Array.map (fun i -> row.(i)) idx
-let key_has_null key = Array.exists Value.is_null key
-let nulls n = Array.make n Value.Null
-
-(* ------------------------------------------------------------------ *)
-(* Aggregation                                                         *)
-(* ------------------------------------------------------------------ *)
-
-let compute_agg env rows (agg : A.t) : Value.t =
-  let non_null e =
-    List.filter_map
-      (fun row ->
-        let v = Eval.scalar (env row) e in
-        if Value.is_null v then None else Some v)
-      rows
-  in
-  match agg with
-  | A.CountStar -> Value.Int (List.length rows)
-  | A.Count e -> Value.Int (List.length (non_null e))
-  | A.Sum e -> (
-    match non_null e with
-    | [] -> Value.Null
-    | v :: vs -> List.fold_left Value.add v vs)
-  | A.Min e -> (
-    match non_null e with
-    | [] -> Value.Null
-    | v :: vs ->
-      List.fold_left (fun a b -> if Value.compare_total b a < 0 then b else a) v vs)
-  | A.Max e -> (
-    match non_null e with
-    | [] -> Value.Null
-    | v :: vs ->
-      List.fold_left (fun a b -> if Value.compare_total b a > 0 then b else a) v vs)
-  | A.Avg e -> (
-    match non_null e with
-    | [] -> Value.Null
-    | vs ->
-      let total =
-        List.fold_left
-          (fun acc v ->
-            match v with
-            | Value.Int x -> acc +. float_of_int x
-            | Value.Float x -> acc +. x
-            | _ -> fail "AVG over non-numeric value")
-          0.0 vs
-      in
-      Value.Float (total /. float_of_int (List.length vs)))
-
-(* Output of grouped aggregation: one row per group, keys then aggregates.
-   With no keys, exactly one (possibly empty-input) global group exists. *)
-let grouped_output (input : Resultset.t) keys aggs
-    (groups : (Value.t array * Value.t array list) list) : Resultset.t =
-  let env = make_env input.cols in
-  let rows =
-    List.map
-      (fun (key, members) ->
-        let agg_values = List.map (fun (_, a) -> compute_agg env members a) aggs in
-        Array.append key (Array.of_list agg_values))
-      groups
-  in
-  let cols = Array.of_list (keys @ List.map fst aggs) in
-  { Resultset.cols; rows }
-
-(* ------------------------------------------------------------------ *)
-(* Joins                                                               *)
-(* ------------------------------------------------------------------ *)
-
-(* Shared join finalization: [match_lists.(li)] holds the indices of right
-   rows fully matching left row [li]. *)
-let join_output (kind : L.join_kind) (left : Resultset.t) (right : Resultset.t)
-    (match_lists : int list array) : Resultset.t =
-  let larr = Array.of_list left.rows in
-  let rarr = Array.of_list right.rows in
-  let right_matched = Array.make (Array.length rarr) false in
-  let out = ref [] in
-  let emit row = out := row :: !out in
-  let combine li ri = Array.append larr.(li) rarr.(ri) in
-  let right_arity = Array.length right.cols in
-  let left_arity = Array.length left.cols in
-  Array.iteri
-    (fun li ms ->
-      match kind with
-      | L.Semi -> if ms <> [] then emit larr.(li)
-      | L.AntiSemi -> if ms = [] then emit larr.(li)
-      | L.Inner | L.Cross -> List.iter (fun ri -> emit (combine li ri)) ms
-      | L.LeftOuter ->
-        if ms = [] then emit (Array.append larr.(li) (nulls right_arity))
-        else List.iter (fun ri -> emit (combine li ri)) ms
-      | L.RightOuter ->
-        List.iter
-          (fun ri ->
-            right_matched.(ri) <- true;
-            emit (combine li ri))
-          ms
-      | L.FullOuter ->
-        if ms = [] then emit (Array.append larr.(li) (nulls right_arity))
-        else
-          List.iter
-            (fun ri ->
-              right_matched.(ri) <- true;
-              emit (combine li ri))
-            ms)
-    match_lists;
-  (match kind with
-  | L.RightOuter | L.FullOuter ->
-    Array.iteri
-      (fun ri matched ->
-        if not matched then emit (Array.append (nulls left_arity) rarr.(ri)))
-      right_matched
-  | L.Semi | L.AntiSemi | L.Inner | L.Cross | L.LeftOuter -> ());
-  let cols =
-    match kind with
-    | L.Semi | L.AntiSemi -> left.cols
-    | L.Inner | L.Cross | L.LeftOuter | L.RightOuter | L.FullOuter ->
-      Array.append left.cols right.cols
-  in
-  { Resultset.cols; rows = List.rev !out }
-
-let nested_loops_matches pred (left : Resultset.t) (right : Resultset.t) =
-  let combined_cols = Array.append left.cols right.cols in
-  let env = make_env combined_cols in
-  let rarr = Array.of_list right.rows in
-  let larr = Array.of_list left.rows in
-  Array.map
-    (fun lrow ->
-      let ms = ref [] in
-      Array.iteri
-        (fun ri rrow ->
-          if Eval.pred_true (env (Array.append lrow rrow)) pred then ms := ri :: !ms)
-        rarr;
-      List.rev !ms)
-    larr
-
-let hash_matches ~left_keys ~right_keys ~residual (left : Resultset.t)
-    (right : Resultset.t) =
-  let lidx = key_indices left.cols left_keys in
-  let ridx = key_indices right.cols right_keys in
-  let table : int list ref RowTbl.t = RowTbl.create 64 in
-  List.iteri
-    (fun ri rrow ->
-      let key = extract_key ridx rrow in
-      if not (key_has_null key) then
-        match RowTbl.find_opt table key with
-        | Some cell -> cell := ri :: !cell
-        | None -> RowTbl.add table key (ref [ ri ]))
-    right.rows;
-  let rarr = Array.of_list right.rows in
-  let combined_cols = Array.append left.cols right.cols in
-  let env = make_env combined_cols in
-  let check_residual lrow ri =
-    Relalg.Scalar.equal residual Relalg.Scalar.true_
-    || Eval.pred_true (env (Array.append lrow rarr.(ri))) residual
-  in
+(* Aggregate arguments interpreted per row, per group. *)
+let interp_aggs cols aggs =
+  let env = make_env cols in
   Array.of_list
     (List.map
-       (fun lrow ->
-         let key = extract_key lidx lrow in
-         if key_has_null key then []
-         else
-           match RowTbl.find_opt table key with
-           | None -> []
-           | Some cell -> List.filter (check_residual lrow) (List.rev !cell))
-       left.rows)
+       (fun (_, a) -> Relops.make_agg (fun e row -> Eval.scalar (env row) e) a)
+       aggs)
 
-(* Inner merge join over inputs already sorted on their keys. Rows with
-   NULL keys sort first and can never match; they are skipped. *)
-let merge_matches ~left_keys ~right_keys ~residual (left : Resultset.t)
-    (right : Resultset.t) =
-  let lidx = key_indices left.cols left_keys in
-  let ridx = key_indices right.cols right_keys in
-  let larr = Array.of_list left.rows in
-  let rarr = Array.of_list right.rows in
-  let nl = Array.length larr and nr = Array.length rarr in
-  let match_lists = Array.make nl [] in
-  let combined_cols = Array.append left.cols right.cols in
-  let env = make_env combined_cols in
-  let key_cmp a b = Resultset.compare_rows a b in
-  let li = ref 0 and ri = ref 0 in
-  while !li < nl && !ri < nr do
-    let lkey = extract_key lidx larr.(!li) in
-    let rkey = extract_key ridx rarr.(!ri) in
-    if key_has_null lkey then incr li
-    else if key_has_null rkey then incr ri
-    else
-      let c = key_cmp lkey rkey in
-      if c < 0 then incr li
-      else if c > 0 then incr ri
-      else begin
-        (* Collect the equal-key groups on both sides. *)
-        let l_end = ref !li in
-        while
-          !l_end < nl && key_cmp (extract_key lidx larr.(!l_end)) lkey = 0
-        do
-          incr l_end
-        done;
-        let r_end = ref !ri in
-        while
-          !r_end < nr && key_cmp (extract_key ridx rarr.(!r_end)) rkey = 0
-        do
-          incr r_end
-        done;
-        for i = !li to !l_end - 1 do
-          let ms = ref [] in
-          for j = !ri to !r_end - 1 do
-            let ok =
-              Relalg.Scalar.equal residual Relalg.Scalar.true_
-              || Eval.pred_true (env (Array.append larr.(i) rarr.(j))) residual
-            in
-            if ok then ms := j :: !ms
-          done;
-          match_lists.(i) <- List.rev !ms
-        done;
-        li := !l_end;
-        ri := !r_end
-      end
-  done;
-  match_lists
-
-(* ------------------------------------------------------------------ *)
-(* Operators                                                           *)
-(* ------------------------------------------------------------------ *)
-
-let distinct_rows rows =
-  let seen = RowTbl.create 64 in
-  List.filter
-    (fun row ->
-      if RowTbl.mem seen row then false
-      else begin
-        RowTbl.add seen row ();
-        true
-      end)
-    rows
+let residual_env cols r =
+  if Relalg.Scalar.equal r Relalg.Scalar.true_ then None
+  else
+    let env = make_env cols in
+    Some (fun row -> Eval.pred_true (env row) r)
 
 let op_name : P.t -> string = function
   | P.TableScan _ -> "TableScan"
@@ -284,18 +65,42 @@ let op_name : P.t -> string = function
   | P.HashDistinct _ -> "HashDistinct"
   | P.LimitOp _ -> "Limit"
 
-let rec exec catalog (plan : P.t) : Resultset.t =
+let rec exec catalog (plan : P.t) : RS.t =
   let rs = exec_node catalog plan in
   (* Rows flowing out of every physical operator, by operator kind. *)
   if Obs.Metrics.enabled () then begin
     Obs.Metrics.add
       (Obs.Metrics.counter ~label:(op_name plan) "exec.rows")
-      (List.length rs.rows);
+      (RS.row_count rs);
     Obs.Metrics.incr (Obs.Metrics.counter ~label:(op_name plan) "exec.operators")
   end;
   rs
 
-and exec_node catalog (plan : P.t) : Resultset.t =
+and exec_join catalog kind left right matches =
+  let l = exec catalog left and r = exec catalog right in
+  let larr = RS.rows l and rarr = RS.rows r in
+  RS.make
+    (Relops.join_cols kind (RS.cols l) (RS.cols r))
+    (Relops.join_rows kind
+       ~left_arity:(Array.length (RS.cols l))
+       ~right_arity:(Array.length (RS.cols r))
+       larr rarr
+       (matches l r larr rarr))
+
+and exec_agg catalog keys aggs child group =
+  let input = exec catalog child in
+  let kidx = key_indices (RS.cols input) keys in
+  let rows = RS.rows input in
+  let groups =
+    (* With no keys, exactly one (possibly empty-input) global group
+       exists. *)
+    if keys = [] then [| ([||], rows) |] else group kidx rows
+  in
+  RS.make
+    (Array.of_list (keys @ List.map fst aggs))
+    (Relops.grouped_rows (interp_aggs (RS.cols input) aggs) groups)
+
+and exec_node catalog (plan : P.t) : RS.t =
   match plan with
   | P.TableScan { table; alias } -> (
     match Catalog.find catalog table with
@@ -305,139 +110,126 @@ and exec_node catalog (plan : P.t) : Resultset.t =
         Array.of_list
           (List.map (fun c -> Ident.make alias c.Schema.col_name) tb.schema.columns)
       in
-      { Resultset.cols; rows = Array.to_list tb.rows })
+      RS.make cols tb.rows)
   | P.FilterOp { pred; child } ->
     let input = exec catalog child in
-    let env = make_env input.cols in
-    { input with rows = List.filter (fun row -> Eval.pred_true (env row) pred) input.rows }
+    let env = make_env (RS.cols input) in
+    RS.make (RS.cols input)
+      (Relops.filter_rows (fun row -> Eval.pred_true (env row) pred)
+         (RS.rows input))
   | P.ComputeScalar { cols; child } ->
     let input = exec catalog child in
-    let env = make_env input.cols in
+    let env = make_env (RS.cols input) in
     let out_cols = Array.of_list (List.map fst cols) in
     let rows =
-      List.map
+      Array.map
         (fun row ->
           Array.of_list (List.map (fun (_, e) -> Eval.scalar (env row) e) cols))
-        input.rows
+        (RS.rows input)
     in
-    { Resultset.cols = out_cols; rows }
+    RS.make out_cols rows
   | P.NestedLoopsJoin { kind; pred; left; right } ->
-    let l = exec catalog left and r = exec catalog right in
-    join_output kind l r (nested_loops_matches pred l r)
+    exec_join catalog kind left right (fun l r larr rarr ->
+        let env = make_env (Array.append (RS.cols l) (RS.cols r)) in
+        Relops.nested_loops_matches
+          (fun row -> Eval.pred_true (env row) pred)
+          larr rarr)
   | P.HashJoin { kind; left_keys; right_keys; residual; left; right } ->
-    let l = exec catalog left and r = exec catalog right in
-    join_output kind l r (hash_matches ~left_keys ~right_keys ~residual l r)
+    exec_join catalog kind left right (fun l r larr rarr ->
+        let lidx = key_indices (RS.cols l) left_keys in
+        let ridx = key_indices (RS.cols r) right_keys in
+        let res = residual_env (Array.append (RS.cols l) (RS.cols r)) residual in
+        Relops.hash_matches ~lidx ~ridx ~residual:res larr rarr)
   | P.MergeJoin { left_keys; right_keys; residual; left; right } ->
-    let l = exec catalog left and r = exec catalog right in
-    join_output L.Inner l r (merge_matches ~left_keys ~right_keys ~residual l r)
+    exec_join catalog L.Inner left right (fun l r larr rarr ->
+        let lidx = key_indices (RS.cols l) left_keys in
+        let ridx = key_indices (RS.cols r) right_keys in
+        let res = residual_env (Array.append (RS.cols l) (RS.cols r)) residual in
+        Relops.merge_matches ~lidx ~ridx ~residual:res larr rarr)
   | P.HashAggregate { keys; aggs; child } ->
-    let input = exec catalog child in
-    let kidx = key_indices input.cols keys in
-    if keys = [] then
-      grouped_output input keys aggs [ ([||], input.rows) ]
-    else begin
-      let table : Value.t array list ref RowTbl.t = RowTbl.create 64 in
-      let order = ref [] in
-      List.iter
-        (fun row ->
-          let key = extract_key kidx row in
-          match RowTbl.find_opt table key with
-          | Some cell -> cell := row :: !cell
-          | None ->
-            RowTbl.add table key (ref [ row ]);
-            order := key :: !order)
-        input.rows;
-      let groups =
-        List.rev_map
-          (fun key -> (key, List.rev !(RowTbl.find table key)))
-          !order
-      in
-      grouped_output input keys aggs groups
-    end
+    exec_agg catalog keys aggs child Relops.hash_groups
   | P.StreamAggregate { keys; aggs; child } ->
-    let input = exec catalog child in
-    let kidx = key_indices input.cols keys in
-    if keys = [] then grouped_output input keys aggs [ ([||], input.rows) ]
-    else begin
-      (* Consecutive runs of equal keys (input sorted by keys). *)
-      let groups = ref [] in
-      let current_key = ref None in
-      let current = ref [] in
-      let flush () =
-        match !current_key with
-        | Some key -> groups := (key, List.rev !current) :: !groups
-        | None -> ()
-      in
-      List.iter
-        (fun row ->
-          let key = extract_key kidx row in
-          match !current_key with
-          | Some k when Resultset.compare_rows k key = 0 -> current := row :: !current
-          | _ ->
-            flush ();
-            current_key := Some key;
-            current := [ row ])
-        input.rows;
-      flush ();
-      grouped_output input keys aggs (List.rev !groups)
-    end
+    exec_agg catalog keys aggs child Relops.stream_groups
   | P.SortOp { keys; child } ->
     let input = exec catalog child in
-    let kidx = key_indices input.cols (List.map fst keys) in
+    let kidx = key_indices (RS.cols input) (List.map fst keys) in
     let dirs = Array.of_list (List.map snd keys) in
-    let cmp a b =
-      let rec go i =
-        if i = Array.length kidx then 0
-        else
-          let c = Value.compare_total a.(kidx.(i)) b.(kidx.(i)) in
-          let c = match dirs.(i) with L.Asc -> c | L.Desc -> -c in
-          if c <> 0 then c else go (i + 1)
-      in
-      go 0
-    in
-    { input with rows = List.stable_sort cmp input.rows }
+    let rows = Array.copy (RS.rows input) in
+    Array.stable_sort (Relops.sort_compare kidx dirs) rows;
+    RS.make (RS.cols input) rows
   | P.Concat (a, b) ->
     let ra = exec catalog a and rb = exec catalog b in
     check_arity ra rb;
-    { ra with rows = ra.rows @ rb.rows }
+    RS.make (RS.cols ra) (Array.append (RS.rows ra) (RS.rows rb))
   | P.HashUnion (a, b) ->
     let ra = exec catalog a and rb = exec catalog b in
     check_arity ra rb;
-    { ra with rows = distinct_rows (ra.rows @ rb.rows) }
+    RS.make (RS.cols ra)
+      (Relops.distinct_rows (Array.append (RS.rows ra) (RS.rows rb)))
   | P.HashIntersect (a, b) ->
     let ra = exec catalog a and rb = exec catalog b in
     check_arity ra rb;
-    let in_b = RowTbl.create 64 in
-    List.iter (fun row -> RowTbl.replace in_b row ()) rb.rows;
-    { ra with rows = distinct_rows (List.filter (RowTbl.mem in_b) ra.rows) }
+    let in_b = Relops.row_set (RS.rows rb) in
+    RS.make (RS.cols ra)
+      (Relops.distinct_rows
+         (Relops.filter_rows (Relops.RowTbl.mem in_b) (RS.rows ra)))
   | P.HashExcept (a, b) ->
     let ra = exec catalog a and rb = exec catalog b in
     check_arity ra rb;
-    let in_b = RowTbl.create 64 in
-    List.iter (fun row -> RowTbl.replace in_b row ()) rb.rows;
-    { ra with
-      rows = distinct_rows (List.filter (fun r -> not (RowTbl.mem in_b r)) ra.rows) }
+    let in_b = Relops.row_set (RS.rows rb) in
+    RS.make (RS.cols ra)
+      (Relops.distinct_rows
+         (Relops.filter_rows
+            (fun r -> not (Relops.RowTbl.mem in_b r))
+            (RS.rows ra)))
   | P.HashDistinct child ->
     let input = exec catalog child in
-    { input with rows = distinct_rows input.rows }
+    RS.make (RS.cols input) (Relops.distinct_rows (RS.rows input))
   | P.LimitOp { count; child } ->
     let input = exec catalog child in
-    let rec take n = function
-      | [] -> []
-      | _ when n = 0 -> []
-      | x :: xs -> x :: take (n - 1) xs
-    in
-    { input with rows = take count input.rows }
+    RS.make (RS.cols input) (Relops.take_rows count (RS.rows input))
 
-and check_arity (a : Resultset.t) (b : Resultset.t) =
-  if Array.length a.cols <> Array.length b.cols then
-    fail "set operation arity mismatch: %d vs %d" (Array.length a.cols)
-      (Array.length b.cols)
+and check_arity (a : RS.t) (b : RS.t) =
+  if Array.length (RS.cols a) <> Array.length (RS.cols b) then
+    fail "set operation arity mismatch: %d vs %d"
+      (Array.length (RS.cols a))
+      (Array.length (RS.cols b))
+
+let run_interpreted catalog plan =
+  Obs.Trace.with_span "exec.interpret" @@ fun () ->
+  try Ok (exec catalog plan) with
+  | Relops.Exec_error msg -> Error msg
+  | Invalid_argument msg -> Error ("execution type error: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Compiled execution (the default path)                               *)
+(* ------------------------------------------------------------------ *)
+
+let compile_h = Obs.Metrics.histogram "executor.compile_ns"
+let exec_h = Obs.Metrics.histogram "executor.exec_ns"
+let rows_c = Obs.Metrics.counter "executor.rows"
+let rps_g = Obs.Metrics.gauge "executor.rows_per_sec"
 
 let run catalog plan =
   Obs.Trace.with_span "exec.run" @@ fun () ->
-  try Ok (exec catalog plan) with
-  | Exec_error msg -> Error msg
+  try
+    if Obs.Metrics.enabled () then begin
+      let t0 = Obs.Clock.now_ns () in
+      let compiled = Compile.plan catalog plan in
+      let t1 = Obs.Clock.now_ns () in
+      Obs.Metrics.observe compile_h (Obs.Clock.ns_between t0 t1);
+      let rs = Compile.execute compiled in
+      let t2 = Obs.Clock.now_ns () in
+      let dt = Obs.Clock.ns_between t1 t2 in
+      Obs.Metrics.observe exec_h dt;
+      Obs.Metrics.add rows_c (RS.row_count rs);
+      if dt > 0.0 then
+        Obs.Metrics.gauge_set rps_g (float_of_int (RS.row_count rs) *. 1e9 /. dt);
+      Ok rs
+    end
+    else Ok (Compile.execute (Compile.plan catalog plan))
+  with
+  | Compile.Compile_error msg | Relops.Exec_error msg -> Error msg
   | Invalid_argument msg -> Error ("execution type error: " ^ msg)
 
 let run_logical ?options catalog tree =

@@ -1,0 +1,335 @@
+open Storage
+module L = Relalg.Logical
+module A = Relalg.Aggregate
+
+exception Exec_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
+
+module RowTbl = Hashtbl.Make (struct
+  type t = Value.t array
+
+  let equal a b = Resultset.compare_rows a b = 0
+  let hash row = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 row
+end)
+
+(* Growable vector — the executor's output-row accumulator. *)
+module Vec = struct
+  type 'a t = { mutable arr : 'a array; mutable len : int }
+
+  let create () = { arr = [||]; len = 0 }
+
+  let push t x =
+    if t.len = Array.length t.arr then begin
+      let arr = Array.make (max 8 (2 * t.len)) x in
+      Array.blit t.arr 0 arr 0 t.len;
+      t.arr <- arr
+    end;
+    t.arr.(t.len) <- x;
+    t.len <- t.len + 1
+
+  let to_array t = Array.sub t.arr 0 t.len
+end
+
+let nulls n = Array.make n Value.Null
+let key_has_null key = Array.exists Value.is_null key
+let extract_key idx row = Array.map (fun i -> row.(i)) idx
+
+let filter_rows p rows =
+  let out = Vec.create () in
+  Array.iter (fun row -> if p row then Vec.push out row) rows;
+  Vec.to_array out
+
+let take_rows n rows = Array.sub rows 0 (min n (Array.length rows))
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* [make_agg compile agg] resolves the aggregate's argument expression
+   once via [compile] and returns the per-group evaluator. NULL inputs
+   are skipped by every aggregate except COUNT( * ). *)
+let make_agg (compile : Relalg.Scalar.t -> Value.t array -> Value.t)
+    (agg : A.t) : Value.t array array -> Value.t =
+  let non_null f rows =
+    List.rev
+      (Array.fold_left
+         (fun acc row ->
+           let v = f row in
+           if Value.is_null v then acc else v :: acc)
+         [] rows)
+  in
+  match agg with
+  | A.CountStar -> fun rows -> Value.Int (Array.length rows)
+  | A.Count e ->
+    let f = compile e in
+    fun rows -> Value.Int (List.length (non_null f rows))
+  | A.Sum e ->
+    let f = compile e in
+    fun rows ->
+      (match non_null f rows with
+      | [] -> Value.Null
+      | v :: vs -> List.fold_left Value.add v vs)
+  | A.Min e ->
+    let f = compile e in
+    fun rows ->
+      (match non_null f rows with
+      | [] -> Value.Null
+      | v :: vs ->
+        List.fold_left
+          (fun a b -> if Value.compare_total b a < 0 then b else a)
+          v vs)
+  | A.Max e ->
+    let f = compile e in
+    fun rows ->
+      (match non_null f rows with
+      | [] -> Value.Null
+      | v :: vs ->
+        List.fold_left
+          (fun a b -> if Value.compare_total b a > 0 then b else a)
+          v vs)
+  | A.Avg e ->
+    let f = compile e in
+    fun rows ->
+      (match non_null f rows with
+      | [] -> Value.Null
+      | vs ->
+        let total =
+          List.fold_left
+            (fun acc v ->
+              match v with
+              | Value.Int x -> acc +. float_of_int x
+              | Value.Float x -> acc +. x
+              | _ -> fail "AVG over non-numeric value")
+            0.0 vs
+        in
+        Value.Float (total /. float_of_int (List.length vs)))
+
+(* Hash grouping in first-appearance order of the keys; members keep
+   input order. *)
+let hash_groups kidx (rows : Value.t array array) :
+    (Value.t array * Value.t array array) array =
+  let table : Value.t array Vec.t RowTbl.t = RowTbl.create 64 in
+  let order = Vec.create () in
+  Array.iter
+    (fun row ->
+      let key = extract_key kidx row in
+      match RowTbl.find_opt table key with
+      | Some members -> Vec.push members row
+      | None ->
+        let members = Vec.create () in
+        Vec.push members row;
+        RowTbl.add table key members;
+        Vec.push order key)
+    rows;
+  Array.map
+    (fun key -> (key, Vec.to_array (RowTbl.find table key)))
+    (Vec.to_array order)
+
+(* Consecutive runs of equal keys (input sorted by keys). *)
+let stream_groups kidx (rows : Value.t array array) :
+    (Value.t array * Value.t array array) array =
+  let groups = Vec.create () in
+  let n = Array.length rows in
+  let i = ref 0 in
+  while !i < n do
+    let key = extract_key kidx rows.(!i) in
+    let j = ref (!i + 1) in
+    while
+      !j < n && Resultset.compare_rows (extract_key kidx rows.(!j)) key = 0
+    do
+      incr j
+    done;
+    Vec.push groups (key, Array.sub rows !i (!j - !i));
+    i := !j
+  done;
+  Vec.to_array groups
+
+(* One output row per group: keys then aggregate values. *)
+let grouped_rows (agg_fns : (Value.t array array -> Value.t) array)
+    (groups : (Value.t array * Value.t array array) array) =
+  Array.map
+    (fun (key, members) ->
+      let nk = Array.length key and na = Array.length agg_fns in
+      let out = Array.make (nk + na) Value.Null in
+      Array.blit key 0 out 0 nk;
+      for i = 0 to na - 1 do
+        out.(nk + i) <- agg_fns.(i) members
+      done;
+      out)
+    groups
+
+(* ------------------------------------------------------------------ *)
+(* Joins                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let join_cols (kind : L.join_kind) left_cols right_cols =
+  match kind with
+  | L.Semi | L.AntiSemi -> left_cols
+  | L.Inner | L.Cross | L.LeftOuter | L.RightOuter | L.FullOuter ->
+    Array.append left_cols right_cols
+
+(* Shared join finalization: [match_lists.(li)] holds the indices of right
+   rows fully matching left row [li]. *)
+let join_rows (kind : L.join_kind) ~left_arity ~right_arity
+    (larr : Value.t array array) (rarr : Value.t array array)
+    (match_lists : int list array) : Value.t array array =
+  let right_matched = Array.make (Array.length rarr) false in
+  let out = Vec.create () in
+  let emit row = Vec.push out row in
+  let combine li ri = Array.append larr.(li) rarr.(ri) in
+  Array.iteri
+    (fun li ms ->
+      match kind with
+      | L.Semi -> if ms <> [] then emit larr.(li)
+      | L.AntiSemi -> if ms = [] then emit larr.(li)
+      | L.Inner | L.Cross -> List.iter (fun ri -> emit (combine li ri)) ms
+      | L.LeftOuter ->
+        if ms = [] then emit (Array.append larr.(li) (nulls right_arity))
+        else List.iter (fun ri -> emit (combine li ri)) ms
+      | L.RightOuter ->
+        List.iter
+          (fun ri ->
+            right_matched.(ri) <- true;
+            emit (combine li ri))
+          ms
+      | L.FullOuter ->
+        if ms = [] then emit (Array.append larr.(li) (nulls right_arity))
+        else
+          List.iter
+            (fun ri ->
+              right_matched.(ri) <- true;
+              emit (combine li ri))
+            ms)
+    match_lists;
+  (match kind with
+  | L.RightOuter | L.FullOuter ->
+    Array.iteri
+      (fun ri matched ->
+        if not matched then emit (Array.append (nulls left_arity) rarr.(ri)))
+      right_matched
+  | L.Semi | L.AntiSemi | L.Inner | L.Cross | L.LeftOuter -> ());
+  Vec.to_array out
+
+let nested_loops_matches (pred : Value.t array -> bool)
+    (larr : Value.t array array) (rarr : Value.t array array) =
+  Array.map
+    (fun lrow ->
+      let ms = ref [] in
+      Array.iteri
+        (fun ri rrow -> if pred (Array.append lrow rrow) then ms := ri :: !ms)
+        rarr;
+      List.rev !ms)
+    larr
+
+(* Equi-join by hashing the right side on its key columns. NULL keys
+   never match (skipped on both sides); [residual] — when present — is
+   checked over the combined row. *)
+let hash_matches ~lidx ~ridx ~(residual : (Value.t array -> bool) option)
+    (larr : Value.t array array) (rarr : Value.t array array) =
+  let table : int list ref RowTbl.t = RowTbl.create 64 in
+  Array.iteri
+    (fun ri rrow ->
+      let key = extract_key ridx rrow in
+      if not (key_has_null key) then
+        match RowTbl.find_opt table key with
+        | Some cell -> cell := ri :: !cell
+        | None -> RowTbl.add table key (ref [ ri ]))
+    rarr;
+  let check_residual lrow ri =
+    match residual with
+    | None -> true
+    | Some p -> p (Array.append lrow rarr.(ri))
+  in
+  Array.map
+    (fun lrow ->
+      let key = extract_key lidx lrow in
+      if key_has_null key then []
+      else
+        match RowTbl.find_opt table key with
+        | None -> []
+        | Some cell -> List.filter (check_residual lrow) (List.rev !cell))
+    larr
+
+(* Inner merge join over inputs already sorted on their keys. Rows with
+   NULL keys sort first and can never match; they are skipped. *)
+let merge_matches ~lidx ~ridx ~(residual : (Value.t array -> bool) option)
+    (larr : Value.t array array) (rarr : Value.t array array) =
+  let nl = Array.length larr and nr = Array.length rarr in
+  let match_lists = Array.make nl [] in
+  let key_cmp = Resultset.compare_rows in
+  let li = ref 0 and ri = ref 0 in
+  while !li < nl && !ri < nr do
+    let lkey = extract_key lidx larr.(!li) in
+    let rkey = extract_key ridx rarr.(!ri) in
+    if key_has_null lkey then incr li
+    else if key_has_null rkey then incr ri
+    else
+      let c = key_cmp lkey rkey in
+      if c < 0 then incr li
+      else if c > 0 then incr ri
+      else begin
+        (* Collect the equal-key groups on both sides. *)
+        let l_end = ref !li in
+        while
+          !l_end < nl && key_cmp (extract_key lidx larr.(!l_end)) lkey = 0
+        do
+          incr l_end
+        done;
+        let r_end = ref !ri in
+        while
+          !r_end < nr && key_cmp (extract_key ridx rarr.(!r_end)) rkey = 0
+        do
+          incr r_end
+        done;
+        for i = !li to !l_end - 1 do
+          let ms = ref [] in
+          for j = !ri to !r_end - 1 do
+            let ok =
+              match residual with
+              | None -> true
+              | Some p -> p (Array.append larr.(i) rarr.(j))
+            in
+            if ok then ms := j :: !ms
+          done;
+          match_lists.(i) <- List.rev !ms
+        done;
+        li := !l_end;
+        ri := !r_end
+      end
+  done;
+  match_lists
+
+(* ------------------------------------------------------------------ *)
+(* Distinct and set operations                                         *)
+(* ------------------------------------------------------------------ *)
+
+let distinct_rows rows =
+  let seen = RowTbl.create 64 in
+  filter_rows
+    (fun row ->
+      if RowTbl.mem seen row then false
+      else begin
+        RowTbl.add seen row ();
+        true
+      end)
+    rows
+
+let row_set rows =
+  let set = RowTbl.create 64 in
+  Array.iter (fun row -> RowTbl.replace set row ()) rows;
+  set
+
+(* ------------------------------------------------------------------ *)
+(* Sorting                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sort_compare (kidx : int array) (dirs : L.sort_dir array) a b =
+  let rec go i =
+    if i = Array.length kidx then 0
+    else
+      let c = Value.compare_total a.(kidx.(i)) b.(kidx.(i)) in
+      let c = match dirs.(i) with L.Asc -> c | L.Desc -> -c in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0

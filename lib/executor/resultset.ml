@@ -1,8 +1,21 @@
 open Storage
 
-type t = { cols : Relalg.Ident.t array; rows : Value.t array list }
+(* Rows are an array; [norm] memoizes the sorted-by-[compare_rows] copy so
+   a result that takes part in several bag comparisons (baseline vs many
+   rule-off variants, reduction candidates, ...) is sorted exactly once.
+   The rows array itself is never mutated: [normalized] sorts a copy, and
+   a TableScan may hand the catalog's own row array to [make]. *)
+type t = {
+  cols : Relalg.Ident.t array;
+  rows : Value.t array array;
+  mutable norm : Value.t array array option;
+}
 
-let row_count t = List.length t.rows
+let make cols rows = { cols; rows; norm = None }
+
+let cols t = t.cols
+let rows t = t.rows
+let row_count t = Array.length t.rows
 
 let compare_rows (a : Value.t array) (b : Value.t array) =
   let n = min (Array.length a) (Array.length b) in
@@ -13,7 +26,14 @@ let compare_rows (a : Value.t array) (b : Value.t array) =
   in
   go 0
 
-let normalize t = { t with rows = List.sort compare_rows t.rows }
+let normalized t =
+  match t.norm with
+  | Some sorted -> sorted
+  | None ->
+    let sorted = Array.copy t.rows in
+    Array.sort compare_rows sorted;
+    t.norm <- Some sorted;
+    sorted
 
 let same_cols a b =
   Array.length a.cols = Array.length b.cols
@@ -21,10 +41,12 @@ let same_cols a b =
 
 let equal_bag a b =
   same_cols a b
+  && Array.length a.rows = Array.length b.rows
   &&
-  let ra = List.sort compare_rows a.rows and rb = List.sort compare_rows b.rows in
-  List.length ra = List.length rb
-  && List.for_all2 (fun x y -> compare_rows x y = 0) ra rb
+  let ra = normalized a and rb = normalized b in
+  let n = Array.length ra in
+  let rec go i = i = n || (compare_rows ra.(i) rb.(i) = 0 && go (i + 1)) in
+  go 0
 
 type diff = {
   missing_count : int;
@@ -36,28 +58,52 @@ type diff = {
 let no_diff =
   { missing_count = 0; extra_count = 0; missing_sample = []; extra_sample = [] }
 
-(* Multiset difference by sorted merge: a row appearing m times in
-   [expected] and n times in [actual] contributes max(0, m-n) to missing
-   and max(0, n-m) to extra. *)
+(* Multiset difference by sorted merge over the cached normal forms: a row
+   appearing m times in [expected] and n times in [actual] contributes
+   max(0, m-n) to missing and max(0, n-m) to extra. *)
 let bag_diff ?(samples = 3) expected actual =
-  let ra = List.sort compare_rows expected.rows
-  and rb = List.sort compare_rows actual.rows in
-  let take_sample sample row = if List.length sample < samples then row :: sample else sample in
-  let rec go mc ec ms es = function
-    | [], [] ->
-      { missing_count = mc;
-        extra_count = ec;
-        missing_sample = List.rev ms;
-        extra_sample = List.rev es }
-    | x :: xs, [] -> go (mc + 1) ec (take_sample ms x) es (xs, [])
-    | [], y :: ys -> go mc (ec + 1) ms (take_sample es y) ([], ys)
-    | x :: xs, y :: ys ->
-      let c = compare_rows x y in
-      if c = 0 then go mc ec ms es (xs, ys)
-      else if c < 0 then go (mc + 1) ec (take_sample ms x) es (xs, y :: ys)
-      else go mc (ec + 1) ms (take_sample es y) (x :: xs, ys)
+  let ra = normalized expected and rb = normalized actual in
+  let na = Array.length ra and nb = Array.length rb in
+  let mc = ref 0 and ec = ref 0 in
+  let ms = ref [] and es = ref [] in
+  let take_sample sample row =
+    if List.length !sample < samples then sample := row :: !sample
   in
-  go 0 0 [] [] (ra, rb)
+  let i = ref 0 and j = ref 0 in
+  while !i < na || !j < nb do
+    if !i >= na then (
+      incr ec;
+      take_sample es rb.(!j);
+      incr j)
+    else if !j >= nb then (
+      incr mc;
+      take_sample ms ra.(!i);
+      incr i)
+    else
+      let c = compare_rows ra.(!i) rb.(!j) in
+      if c = 0 then (incr i; incr j)
+      else if c < 0 then (
+        incr mc;
+        take_sample ms ra.(!i);
+        incr i)
+      else (
+        incr ec;
+        take_sample es rb.(!j);
+        incr j)
+  done;
+  { missing_count = !mc;
+    extra_count = !ec;
+    missing_sample = List.rev !ms;
+    extra_sample = List.rev !es }
+
+(* One normalized pass serving both the equality check and the diff —
+   callers previously paid [equal_bag] and then [bag_diff], each of which
+   re-sorted both row lists from scratch. *)
+let diverges ?samples expected actual =
+  if not (same_cols expected actual) then Some (bag_diff ?samples expected actual)
+  else
+    let d = bag_diff ?samples expected actual in
+    if d.missing_count = 0 && d.extra_count = 0 then None else Some d
 
 let row_to_sql row =
   "(" ^ String.concat ", " (Array.to_list (Array.map Value.to_sql row)) ^ ")"
@@ -80,30 +126,27 @@ let diff_summary d =
 let first_difference a b =
   if not (same_cols a b) then Some (None, None)
   else
-    let ra = List.sort compare_rows a.rows and rb = List.sort compare_rows b.rows in
-    let rec go = function
-      | [], [] -> None
-      | x :: _, [] -> Some (Some x, None)
-      | [], y :: _ -> Some (None, Some y)
-      | x :: xs, y :: ys ->
-        if compare_rows x y = 0 then go (xs, ys) else Some (Some x, Some y)
+    let ra = normalized a and rb = normalized b in
+    let na = Array.length ra and nb = Array.length rb in
+    let rec go i =
+      if i >= na && i >= nb then None
+      else if i >= nb then Some (Some ra.(i), None)
+      else if i >= na then Some (None, Some rb.(i))
+      else if compare_rows ra.(i) rb.(i) = 0 then go (i + 1)
+      else Some (Some ra.(i), Some rb.(i))
     in
-    go (ra, rb)
+    go 0
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>%s  (%d rows)"
     (String.concat ", "
        (Array.to_list (Array.map Relalg.Ident.to_sql t.cols)))
     (row_count t);
-  let rec take n = function
-    | [] -> []
-    | _ when n = 0 -> []
-    | x :: xs -> x :: take (n - 1) xs
-  in
-  List.iter
-    (fun row ->
-      Format.fprintf fmt "@,(%s)"
-        (String.concat ", " (Array.to_list (Array.map Value.to_sql row))))
-    (take 20 t.rows);
+  let shown = min 20 (Array.length t.rows) in
+  for i = 0 to shown - 1 do
+    Format.fprintf fmt "@,(%s)"
+      (String.concat ", "
+         (Array.to_list (Array.map Value.to_sql t.rows.(i))))
+  done;
   if row_count t > 20 then Format.fprintf fmt "@,...";
   Format.fprintf fmt "@]"

@@ -1,20 +1,34 @@
 (** Query results and the bag comparison used for correctness validation
     (§2.3: "check if the results of executing the two plans are
-    identical"). *)
+    identical").
 
-type t = {
-  cols : Relalg.Ident.t array;
-  rows : Storage.Value.t array list;
-}
+    The type is abstract: rows live in an array, and the sorted normal
+    form used by every bag comparison is computed once and cached on the
+    value, so comparing one baseline against many rule-off variants sorts
+    the baseline a single time. The cache makes values logically
+    immutable but physically mutable — share a result across domains only
+    after forcing {!normalized} on the owning domain. *)
 
+type t
+
+val make : Relalg.Ident.t array -> Storage.Value.t array array -> t
+(** [make cols rows] takes ownership of [rows] in the sense that the
+    array must not be mutated afterwards; it is never mutated here. *)
+
+val cols : t -> Relalg.Ident.t array
+val rows : t -> Storage.Value.t array array
 val row_count : t -> int
 
 val compare_rows : Storage.Value.t array -> Storage.Value.t array -> int
 (** Lexicographic total order on rows ({!Storage.Value.compare_total} per
     column; NULL first). *)
 
-val normalize : t -> t
-(** Rows sorted by {!compare_rows} — the canonical form. *)
+val normalized : t -> Storage.Value.t array array
+(** Rows sorted by {!compare_rows} — the canonical form. Computed on
+    first use and cached; the returned array must not be mutated. *)
+
+val same_cols : t -> t -> bool
+(** Same column identifiers in the same order. *)
 
 val equal_bag : t -> t -> bool
 (** Same column identifiers in the same order, and the same multiset of
@@ -36,6 +50,11 @@ val bag_diff : ?samples:int -> t -> t -> diff
     the first and [n] times in the second contributes [max 0 (m-n)] to
     missing and [max 0 (n-m)] to extra. At most [samples] (default 3)
     example rows are retained per side. Columns are not compared. *)
+
+val diverges : ?samples:int -> t -> t -> diff option
+(** [None] iff the two results are bag-equal (same columns, same row
+    multiset); otherwise the {!bag_diff}. One pass over the cached normal
+    forms — use this instead of [equal_bag] followed by [bag_diff]. *)
 
 val row_to_sql : Storage.Value.t array -> string
 (** One row as a parenthesised tuple of SQL literals. *)

@@ -82,6 +82,62 @@ let op_name = function
 
 let equal (a : t) (b : t) = a = b
 
+(* Full-depth structural hash (the plan analogue of [Logical.hash]):
+   every constructor contributes a distinct tag and every payload —
+   scalars, identifiers, aggregates, join kinds, sort keys — is folded
+   in, so plans differing only deep inside an expression still get
+   distinct fingerprints. Agrees with [equal] by construction. *)
+let fingerprint t =
+  let ( ** ) = Scalar.hash_combine in
+  let hash_idents h ids = List.fold_left (fun h i -> h ** Ident.hash i) h ids in
+  let rec go t =
+    match t with
+    | TableScan { table; alias } ->
+      (1 ** Hashtbl.hash table) ** Hashtbl.hash alias
+    | FilterOp { pred; child } -> (2 ** Scalar.hash pred) ** go child
+    | ComputeScalar { cols; child } ->
+      List.fold_left
+        (fun h (id, e) -> (h ** Ident.hash id) ** Scalar.hash e)
+        3 cols
+      ** go child
+    | NestedLoopsJoin { kind; pred; left; right } ->
+      (((4 ** Hashtbl.hash kind) ** Scalar.hash pred) ** go left) ** go right
+    | HashJoin { kind; left_keys; right_keys; residual; left; right } ->
+      (hash_idents (hash_idents (5 ** Hashtbl.hash kind) left_keys) right_keys
+      ** Scalar.hash residual)
+      ** go left ** go right
+    | MergeJoin { left_keys; right_keys; residual; left; right } ->
+      (hash_idents (hash_idents 6 left_keys) right_keys
+      ** Scalar.hash residual)
+      ** go left ** go right
+    | HashAggregate { keys; aggs; child } -> agg 7 keys aggs child
+    | StreamAggregate { keys; aggs; child } -> agg 8 keys aggs child
+    | SortOp { keys; child } ->
+      List.fold_left
+        (fun h (id, dir) -> (h ** Ident.hash id) ** Hashtbl.hash dir)
+        9 keys
+      ** go child
+    | Concat (a, b) -> (10 ** go a) ** go b
+    | HashUnion (a, b) -> (11 ** go a) ** go b
+    | HashIntersect (a, b) -> (12 ** go a) ** go b
+    | HashExcept (a, b) -> (13 ** go a) ** go b
+    | HashDistinct a -> 14 ** go a
+    | LimitOp { count; child } -> (15 ** count) ** go child
+  and agg tag keys aggs child =
+    List.fold_left
+      (fun h (id, a) -> (h ** Ident.hash id) ** Aggregate.hash a)
+      (hash_idents tag keys) aggs
+    ** go child
+  in
+  go t land max_int
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = fingerprint
+end)
+
 let detail = function
   | TableScan { table; alias } -> Printf.sprintf "(%s AS %s)" table alias
   | FilterOp { pred; _ } -> Printf.sprintf "(%s)" (Scalar.to_sql pred)

@@ -48,5 +48,16 @@ val children : t -> t list
 val size : t -> int
 val op_name : t -> string
 val equal : t -> t -> bool
+
+val fingerprint : t -> int
+(** Full-depth structural hash — the plan analogue of
+    {!Relalg.Logical.hash}. Consistent with {!equal}; non-negative.
+    Folds in every constructor tag and payload (scalars, identifiers,
+    aggregates, join kinds, sort directions), so plans differing only
+    deep inside an expression hash apart. Keys the executor's
+    result cache. *)
+
+(** Hashtable keyed by plans: {!equal} equality, {!fingerprint} hash. *)
+module Tbl : Hashtbl.S with type key = t
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -21,14 +21,16 @@ type t = {
   detail : string;
 }
 
-let classify ~(expected : RS.t) ~(actual : RS.t) =
-  let diff = RS.bag_diff expected actual in
+let of_diff ~(expected : RS.t) ~(actual : RS.t) diff =
   let er = RS.row_count expected and ar = RS.row_count actual in
   { kind = (if er <> ar then Row_count else Row_content);
     expected_rows = er;
     actual_rows = ar;
     diff;
     detail = RS.diff_summary diff }
+
+let classify ~expected ~actual =
+  of_diff ~expected ~actual (RS.bag_diff expected actual)
 
 let of_bug (b : Core.Correctness.bug) =
   { kind = (if b.expected_rows <> b.actual_rows then Row_count else Row_content);

@@ -19,6 +19,15 @@ type t = {
   detail : string;  (** human-readable summary *)
 }
 
+val of_diff :
+  expected:Executor.Resultset.t ->
+  actual:Executor.Resultset.t ->
+  Executor.Resultset.diff ->
+  t
+(** Classify from an already computed bag-diff (one
+    {!Executor.Resultset.diverges} pass serves both the equality check
+    and the report). *)
+
 val classify : expected:Executor.Resultset.t -> actual:Executor.Resultset.t -> t
 (** Bag-diff the two results and classify. Only call on results that are
     not bag-equal. *)

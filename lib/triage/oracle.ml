@@ -44,15 +44,19 @@ let check t q =
         | Ok variant ->
           if Optimizer.Physical.equal base.plan variant.plan then Agrees
           else (
+            (* Logical executions: counted whether or not the run is
+               served from the per-domain result cache, so reported
+               totals match across [--jobs] settings. *)
             t.executions <- t.executions + 2;
             Obs.Metrics.add exec_c 2;
-            match Executor.Exec.run cat base.plan with
+            match Executor.Cache.run cat base.plan with
             | Error e -> Invalid ("baseline exec: " ^ e)
             | Ok expected -> (
-              match Executor.Exec.run cat variant.plan with
+              match Executor.Cache.run cat variant.plan with
               | Error e ->
                 Diverges
                   (Divergence.exec_error ~expected_rows:(RS.row_count expected) e)
-              | Ok actual ->
-                if RS.equal_bag expected actual then Agrees
-                else Diverges (Divergence.classify ~expected ~actual)))))
+              | Ok actual -> (
+                match RS.diverges expected actual with
+                | None -> Agrees
+                | Some diff -> Diverges (Divergence.of_diff ~expected ~actual diff))))))

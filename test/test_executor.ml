@@ -94,7 +94,8 @@ let test_cross_join () =
 let test_outer_join_padding () =
   let res = run (nlj L.LeftOuter) in
   let padded =
-    List.filter (fun row -> Value.is_null row.(2) && Value.is_null row.(3)) res.rows
+    Array.to_list (RS.rows res)
+    |> List.filter (fun row -> Value.is_null row.(2) && Value.is_null row.(3))
   in
   check int_t "two padded rows" 2 (List.length padded)
 
@@ -124,15 +125,15 @@ let test_compute () =
   let res = run plan in
   check int_t "rows preserved" 4 (RS.row_count res);
   check bool_t "null propagates" true
-    (List.exists (fun row -> Value.is_null row.(0)) res.rows);
+    (Array.exists (fun row -> Value.is_null row.(0)) (RS.rows res));
   check bool_t "doubled" true
-    (List.exists (fun row -> Value.equal row.(0) (Value.Int 4)) res.rows)
+    (Array.exists (fun row -> Value.equal row.(0) (Value.Int 4)) (RS.rows res))
 
 let gid = Ident.make "g" "out"
 
 let test_aggregates () =
   let agg a = P.HashAggregate { keys = []; aggs = [ (gid, a) ]; child = scan_l } in
-  let single plan = List.hd (run plan).rows in
+  let single plan = (RS.rows (run plan)).(0) in
   check bool_t "count star" true (Value.equal (single (agg A.CountStar)).(0) (Value.Int 4));
   check bool_t "count skips null" true
     (Value.equal (single (agg (A.Count (S.col lk)))).(0) (Value.Int 3));
@@ -149,13 +150,13 @@ let test_group_by_keys () =
   (* groups: 1, 2, NULL -> NULLs group together *)
   check int_t "three groups" 3 (RS.row_count res);
   check bool_t "null group counted" true
-    (List.exists
+    (Array.exists
        (fun row -> Value.is_null row.(0) && Value.equal row.(1) (Value.Int 1))
-       res.rows);
+       (RS.rows res));
   check bool_t "group of two" true
-    (List.exists
+    (Array.exists
        (fun row -> Value.equal row.(0) (Value.Int 2) && Value.equal row.(1) (Value.Int 2))
-       res.rows)
+       (RS.rows res))
 
 let test_global_agg_on_empty () =
   let empty = P.FilterOp { pred = S.Const (Value.Bool false); child = scan_l } in
@@ -166,7 +167,7 @@ let test_global_agg_on_empty () =
   in
   let res = run plan in
   check int_t "one fabricated row" 1 (RS.row_count res);
-  let row = List.hd res.rows in
+  let row = (RS.rows res).(0) in
   check bool_t "count 0" true (Value.equal row.(0) (Value.Int 0));
   check bool_t "sum NULL" true (Value.is_null row.(1));
   (* ...but grouped aggregation over empty input is empty. *)
@@ -186,10 +187,10 @@ let test_stream_equals_hash_agg () =
 let test_sort_and_limit () =
   let sorted = P.SortOp { keys = [ (lk, L.Asc) ]; child = scan_l } in
   let res = run sorted in
-  check bool_t "nulls first ascending" true (Value.is_null (List.hd res.rows).(0));
+  check bool_t "nulls first ascending" true (Value.is_null (RS.rows res).(0).(0));
   let desc = P.SortOp { keys = [ (lk, L.Desc) ]; child = scan_l } in
   check bool_t "desc starts at 2" true
-    (Value.equal (List.hd (run desc).rows).(0) (Value.Int 2));
+    (Value.equal (RS.rows (run desc)).(0).(0) (Value.Int 2));
   check int_t "limit" 2 (rows (P.LimitOp { count = 2; child = sorted }));
   check int_t "limit beyond size" 4 (rows (P.LimitOp { count = 99; child = scan_l }))
 
@@ -219,7 +220,103 @@ let test_resultset_diff () =
   check bool_t "bag equality reflexive" true (RS.equal_bag r1 r1);
   check bool_t "different sizes differ" false (RS.equal_bag r1 r2);
   check bool_t "first difference found" true (RS.first_difference r1 r2 <> None);
-  check bool_t "no diff for equal" true (RS.first_difference r1 r1 = None)
+  check bool_t "no diff for equal" true (RS.first_difference r1 r1 = None);
+  check bool_t "diverges None iff equal" true (RS.diverges r1 r1 = None);
+  (match RS.diverges r1 r2 with
+  | None -> Alcotest.fail "expected a diff"
+  | Some d ->
+    check int_t "missing rows" 1 d.missing_count;
+    check int_t "extra rows" 0 d.extra_count)
+
+(* Every operator family once: the compiled path must agree with the
+   interpreter row-for-row (as bags). *)
+let agreement_plans =
+  List.map (fun (k, _) -> nlj k) expected
+  @ List.map (fun (k, _) -> hj k) expected
+  @ [ P.FilterOp { pred = S.Cmp (S.Gt, S.col lk, S.int 1); child = scan_l };
+      P.ComputeScalar
+        { cols = [ (Ident.make "p" "t", S.Arith (S.Mul, S.col lk, S.int 2)) ];
+          child = scan_l };
+      P.HashAggregate
+        { keys = [ lk ];
+          aggs = [ (gid, A.Sum (S.col lk)); (Ident.make "g" "a", A.Avg (S.col lk)) ];
+          child = scan_l };
+      P.HashAggregate { keys = []; aggs = [ (gid, A.CountStar) ]; child = scan_l };
+      P.StreamAggregate
+        { keys = [ lk ]; aggs = [ (gid, A.CountStar) ];
+          child = P.SortOp { keys = [ (lk, L.Asc) ]; child = scan_l } };
+      P.SortOp { keys = [ (lk, L.Desc); (lv, L.Asc) ]; child = scan_l };
+      P.Concat (left_k, right_k);
+      P.HashUnion (left_k, right_k);
+      P.HashIntersect (left_k, right_k);
+      P.HashExcept (left_k, right_k);
+      P.HashDistinct left_k;
+      P.LimitOp { count = 2; child = P.SortOp { keys = [ (lk, L.Asc) ]; child = scan_l } }
+    ]
+
+let test_compiled_equals_interpreted () =
+  List.iteri
+    (fun i plan ->
+      let compiled = Result.get_ok (Executor.Exec.run cat plan) in
+      let interpreted = Result.get_ok (Executor.Exec.run_interpreted cat plan) in
+      check bool_t (Printf.sprintf "plan %d agrees" i) true
+        (RS.equal_bag compiled interpreted))
+    agreement_plans
+
+(* Unknown columns are a compile-time error: the compiled path reports
+   them before producing a single row, even when the input is empty and
+   the interpreter would therefore never notice. *)
+let test_compile_time_unknown_column () =
+  let empty = P.FilterOp { pred = S.Const (Value.Bool false); child = scan_l } in
+  let bad =
+    P.FilterOp { pred = S.IsNull (S.col (Ident.make "q" "zzz")); child = empty }
+  in
+  check bool_t "interpreter never evaluates the bad column" true
+    (Result.is_ok (Executor.Exec.run_interpreted cat bad));
+  check bool_t "compiled path rejects the plan" true
+    (Result.is_error (Executor.Exec.run cat bad));
+  (* And the error is raised by Compile.plan itself, before any row. *)
+  check bool_t "raised at Compile.plan" true
+    (match Executor.Compile.plan cat bad with
+    | exception Executor.Compile.Compile_error _ -> true
+    | _ -> false)
+
+let test_fingerprint () =
+  let fp = P.fingerprint in
+  check bool_t "equal plans, equal fingerprints" true
+    (fp (nlj L.Inner) = fp (nlj L.Inner));
+  check bool_t "join kind distinguishes" true
+    (fp (nlj L.Inner) <> fp (nlj L.LeftOuter));
+  check bool_t "deep scalar change distinguishes" true
+    (fp (P.FilterOp { pred = S.Cmp (S.Gt, S.col lk, S.int 1); child = scan_l })
+    <> fp (P.FilterOp { pred = S.Cmp (S.Gt, S.col lk, S.int 2); child = scan_l }));
+  check bool_t "non-negative" true (fp (hj L.FullOuter) >= 0)
+
+let test_result_cache () =
+  Executor.Cache.clear ();
+  let plan = nlj L.Inner in
+  let r1 = Result.get_ok (Executor.Cache.run cat plan) in
+  let r2 = Result.get_ok (Executor.Cache.run cat plan) in
+  check bool_t "hit returns the memoized result" true (r1 == r2);
+  let cold = Result.get_ok (Executor.Exec.run cat plan) in
+  check bool_t "hit is bag-identical to a cold run" true (RS.equal_bag r2 cold);
+  (* A different catalog invalidates: same structural plan, other data. *)
+  let cat2 =
+    let open Schema in
+    let lt =
+      make "l" [ column ~nullable:true "k" Datatype.TInt; column "v" Datatype.TString ]
+    in
+    let rt =
+      make "r" [ column ~nullable:true "k" Datatype.TInt; column "w" Datatype.TString ]
+    in
+    Catalog.of_tables
+      [ Table.create lt [| [| Value.Int 7; Value.Str "q" |] |];
+        Table.create rt [| [| Value.Int 7; Value.Str "r" |] |] ]
+  in
+  let other = Result.get_ok (Executor.Cache.run cat2 plan) in
+  check bool_t "catalog change misses" true (not (RS.equal_bag other r2));
+  check int_t "fresh catalog result" 1 (RS.row_count other);
+  Executor.Cache.clear ()
 
 let suite =
   [ ( "executor.joins",
@@ -242,4 +339,11 @@ let suite =
       [ Alcotest.test_case "sort and limit" `Quick test_sort_and_limit;
         Alcotest.test_case "set operations" `Quick test_set_operations;
         Alcotest.test_case "errors" `Quick test_exec_errors;
-        Alcotest.test_case "result comparison" `Quick test_resultset_diff ] ) ]
+        Alcotest.test_case "result comparison" `Quick test_resultset_diff ] );
+    ( "executor.compile",
+      [ Alcotest.test_case "compiled = interpreted" `Quick
+          test_compiled_equals_interpreted;
+        Alcotest.test_case "unknown column at compile time" `Quick
+          test_compile_time_unknown_column;
+        Alcotest.test_case "plan fingerprint" `Quick test_fingerprint;
+        Alcotest.test_case "result cache" `Quick test_result_cache ] ) ]

@@ -122,7 +122,7 @@ let prop_plan_columns_match_schema =
             List.map (fun (c : Relalg.Props.col_info) -> c.id)
               (Relalg.Props.schema_exn cat t)
           in
-          let got = Array.to_list res.cols in
+          let got = Array.to_list (Executor.Resultset.cols res) in
           got = expected
           || QCheck.Test.fail_reportf "columns [%s] vs [%s]"
                (String.concat ", " (List.map Relalg.Ident.to_sql got))
@@ -154,6 +154,87 @@ let prop_rule_off_same_results =
               || QCheck.Test.fail_reportf "results differ disabling %s on\n%s" rule
                    (L.to_string t)
             | Error e, _ | _, Error e -> QCheck.Test.fail_reportf "exec: %s" e))))
+
+(* The compiled scalar evaluator (column references resolved to array
+   offsets, operators dispatched once) must agree with the per-row AST
+   interpreter on random expressions over random rows — including NULL
+   (Kleene) logic and type errors, where both sides must fail alike. *)
+let scalar_cols = [| Relalg.Ident.make "t" "a"; Relalg.Ident.make "t" "b" |]
+
+let random_value g =
+  match Prng.int g 6 with
+  | 0 -> Value.Null
+  | 1 | 2 -> Value.Int (Prng.int_in g (-3) 3)
+  | 3 -> Value.Bool (Prng.bool g)
+  | 4 -> Value.Float (Prng.float g 4.0 -. 2.0)
+  | _ -> Value.Str (Prng.pick g [ "x"; "y" ])
+
+let rec random_scalar g depth : Relalg.Scalar.t =
+  let module S = Relalg.Scalar in
+  if depth = 0 || Prng.chance g 0.3 then
+    match Prng.int g 4 with
+    | 0 -> S.Const (random_value g)
+    | 1 -> S.col scalar_cols.(0)
+    | _ -> S.col scalar_cols.(1)
+  else
+    let sub () = random_scalar g (depth - 1) in
+    match Prng.int g 8 with
+    | 0 -> S.Neg (sub ())
+    | 1 -> S.Arith (Prng.pick g [ S.Add; S.Sub; S.Mul; S.Div ], sub (), sub ())
+    | 2 -> S.Cmp (Prng.pick g [ S.Eq; S.Ne; S.Lt; S.Le; S.Gt; S.Ge ], sub (), sub ())
+    | 3 -> S.And (sub (), sub ())
+    | 4 -> S.Or (sub (), sub ())
+    | 5 -> S.Not (sub ())
+    | 6 -> S.IsNull (sub ())
+    | _ -> S.IsNotNull (sub ())
+
+let prop_compiled_scalar_agrees =
+  QCheck.Test.make ~name:"compiled scalar evaluator agrees with Eval.scalar"
+    ~count:500 seed_arb (fun seed ->
+      let g = Prng.create seed in
+      let e = random_scalar g 4 in
+      let compiled = Executor.Compile.scalar scalar_cols e in
+      List.for_all
+        (fun row ->
+          let env id =
+            if Relalg.Ident.equal id scalar_cols.(0) then row.(0) else row.(1)
+          in
+          let attempt f = try Ok (f ()) with Invalid_argument m -> Error m in
+          match
+            ( attempt (fun () -> Executor.Eval.scalar env e),
+              attempt (fun () -> compiled row) )
+          with
+          | Ok a, Ok b ->
+            Value.compare_total a b = 0
+            || QCheck.Test.fail_reportf "%s vs %s on %s" (Value.to_sql a)
+                 (Value.to_sql b)
+                 (Relalg.Scalar.to_sql e)
+          | Error a, Error b ->
+            a = b
+            || QCheck.Test.fail_reportf "errors differ: %s vs %s" a b
+          | Ok v, Error m | Error m, Ok v ->
+            QCheck.Test.fail_reportf "one path failed (%s), the other gave %s on %s"
+              m (Value.to_sql v) (Relalg.Scalar.to_sql e))
+        (List.init 8 (fun _ -> [| random_value g; random_value g |])))
+
+(* Whole-plan differential check: compiled execution vs the row-at-a-time
+   interpreter on optimized random queries. *)
+let prop_compiled_plan_agrees =
+  QCheck.Test.make ~name:"compiled execution equals interpretation" ~count:15
+    seed_arb (fun seed ->
+      let t = random_tree cat ~max_ops:6 seed in
+      match Optimizer.Engine.optimize ~options:quick_options cat t with
+      | Error _ -> true
+      | Ok r -> (
+        match
+          (Executor.Exec.run cat r.plan, Executor.Exec.run_interpreted cat r.plan)
+        with
+        | Ok a, Ok b ->
+          Executor.Resultset.equal_bag a b
+          || QCheck.Test.fail_reportf "results differ on\n%s" (L.to_string t)
+        | Error _, Error _ -> true
+        | Error e, Ok _ -> QCheck.Test.fail_reportf "compiled failed: %s" e
+        | Ok _, Error e -> QCheck.Test.fail_reportf "interpreter failed: %s" e))
 
 let prop_refresh_labels_disjoint =
   QCheck.Test.make ~name:"refreshed copies share no labels" ~count:100 seed_arb
@@ -290,6 +371,8 @@ let suite =
         to_alco prop_cost_monotone;
         to_alco prop_plan_columns_match_schema;
         to_alco prop_rule_off_same_results;
+        to_alco prop_compiled_scalar_agrees;
+        to_alco prop_compiled_plan_agrees;
         to_alco prop_refresh_labels_disjoint;
         to_alco prop_pad_grows;
         to_alco prop_memoized_engine_equivalent;
