@@ -36,10 +36,80 @@ let timings : (string * float) list ref = ref []
 let details : (string * Obs.Json.t) list ref = ref []
 let detail name obj = details := (name, obj) :: !details
 
+(* Provenance stamped on every JSON emission, so a results file (and the
+   history line derived from it) identifies the commit and machine it
+   came from. All best-effort: a missing .git or an odd platform yields
+   "unknown", never a failure. *)
+let git_sha () =
+  let read_line_of f =
+    let ic = open_in f in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> String.trim (input_line ic))
+  in
+  try
+    let head = read_line_of ".git/HEAD" in
+    match String.index_opt head ' ' with
+    | None -> head (* detached HEAD: the sha itself *)
+    | Some i -> (
+      let r = String.sub head (i + 1) (String.length head - i - 1) in
+      try read_line_of (Filename.concat ".git" r)
+      with _ ->
+        (* ref not loose — scan packed-refs for "<sha> <ref>" *)
+        let ic = open_in ".git/packed-refs" in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            let rec scan () =
+              let line = input_line ic in
+              match String.index_opt line ' ' with
+              | Some j when String.sub line (j + 1) (String.length line - j - 1) = r
+                ->
+                String.sub line 0 j
+              | _ -> scan ()
+            in
+            try scan () with End_of_file -> "unknown"))
+  with _ -> "unknown"
+
+let meta_json () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Obs.Json.Obj
+    [ ("git_sha", Obs.Json.String (git_sha ()));
+      ( "timestamp",
+        Obs.Json.String
+          (Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+             (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+             tm.Unix.tm_sec) );
+      ("hostname", Obs.Json.String (try Unix.gethostname () with _ -> "unknown"));
+      ("recommended_domains", Obs.Json.Int (Domain.recommended_domain_count ()));
+      ("ocaml", Obs.Json.String Sys.ocaml_version) ]
+
+(* One line per bench run: provenance + the regression gate's key
+   metrics, flattened to path/value pairs. Append-only, so the file is a
+   trajectory of this machine's runs that bench-diff thresholds can be
+   tuned against. *)
+let append_history ~meta ~doc path =
+  let metrics = Obs.Benchcmp.extract doc in
+  let record =
+    Obs.Json.Obj
+      [ ("meta", meta);
+        ("scale", Obs.Json.Float scale);
+        ("max_trees", Obs.Json.Int bench_options.max_trees);
+        ( "metrics",
+          Obs.Json.Obj (List.map (fun (p, v) -> (p, Obs.Json.Float v)) metrics) ) ]
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc (Obs.Json.to_string record);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "appended %d key metric(s) to %s\n%!" (List.length metrics) path
+
 let write_json ~full path =
+  let meta = meta_json () in
   let json =
     Obs.Json.Obj
-      [ ("scale", Obs.Json.Float scale);
+      [ ("meta", meta);
+        ("scale", Obs.Json.Float scale);
         ("max_trees", Obs.Json.Int bench_options.max_trees);
         ("full", Obs.Json.Bool full);
         ( "experiment_seconds",
@@ -51,7 +121,8 @@ let write_json ~full path =
   output_string oc (Obs.Json.to_string json);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "\nwrote %s\n%!" path
+  Printf.printf "\nwrote %s\n%!" path;
+  append_history ~meta ~doc:json "BENCH_history.jsonl"
 
 (* ------------------------------------------------------------------ *)
 (* Figure 8: trials per singleton rule, RANDOM vs PATTERN               *)
@@ -558,9 +629,130 @@ let parallel_bench ~full =
         (jobs, gs, ms, vs, speedup, identical, oversubscribed))
       runs
   in
+  (* Attribution: run the jobs-4 workload once untraced and once with
+     metrics + the span profiler on. Two claims are checked downstream
+     (bench-diff gates both): the pool's named buckets plus the
+     profiled sequential remainder account for ~all of wall x jobs, and
+     the telemetry itself is nearly free. *)
+  let attr_jobs = 4 in
+  let run_workload () =
+    let pool = Par.Pool.create ~jobs:attr_jobs () in
+    let g = Prng.create 4321 in
+    let gsuite =
+      Su.generate ~extra_ops:2 ~pool framework g ~targets:gen_targets ~k:4
+    in
+    ignore (C.topk ~pool framework suite);
+    ignore (Core.Correctness.run ~pool framework gsuite (C.topk ~pool framework gsuite))
+  in
+  (* Untraced baseline: the jobs-4 row of the scaling runs above is the
+     same three phases, so reuse its wall time instead of a fourth run. *)
+  let plain_s =
+    List.fold_left
+      (fun acc (jobs, gs, ms, vs, _, _, _) ->
+        if jobs = attr_jobs then gs +. ms +. vs else acc)
+      nan rows
+  in
+  (* Overhead of the span profiler alone (the claim under test): metrics
+     stay off, so mutex-protected histogram updates from four domains do
+     not pollute the measurement. *)
+  Obs.Profile.enable ();
+  let t0 = now () in
+  run_workload ();
+  let prof_s = now () -. t0 in
+  Obs.Profile.disable ();
+  (* Separate fully-instrumented run for the bucket readback (metrics +
+     profiler — what `qtr profile --jobs 4` enables). *)
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  Obs.Profile.enable ();
+  let t1 = now () in
+  run_workload ();
+  let instr_s = now () -. t1 in
+  Obs.Profile.disable ();
+  Obs.Metrics.set_enabled false;
+  let wlabel w = Printf.sprintf "w%d" w in
+  let bucket name w =
+    float_of_int (Obs.Metrics.counter_total ~label:(wlabel w) name)
+  in
+  let workers =
+    List.init attr_jobs (fun w ->
+        ( w,
+          bucket "par.pool.busy_ns" w,
+          bucket "par.pool.steal_ns" w,
+          bucket "par.pool.idle_ns" w,
+          bucket "par.pool.merge_wait_ns" w,
+          bucket "par.pool.wall_ns" w,
+          Obs.Metrics.counter_total ~label:(wlabel w) "par.pool.tasks" ))
+  in
+  let covered_pool =
+    List.fold_left (fun acc (_, b, s, i, m, _, _) -> acc +. b +. s +. i +. m) 0.0
+      workers
+  in
+  let wall_ns = instr_s *. 1e9 in
+  (* Outside parallel maps only the calling domain runs (helpers do not
+     exist); that remainder is covered by the profiler's spans on domain
+     0. Time budget = wall x jobs, so helper non-existence during
+     sequential stretches is the honest uncovered residue. *)
+  let wall_in_maps = bucket "par.pool.wall_ns" 0 in
+  let seq_rem = Float.max 0.0 (wall_ns -. wall_in_maps) in
+  let coverage =
+    Float.min 1.0
+      ((covered_pool +. seq_rem) /. Float.max 1e-9 (wall_ns *. float_of_int attr_jobs))
+  in
+  let overhead = (prof_s -. plain_s) /. Float.max 1e-9 plain_s in
+  Printf.printf
+    "  attribution @ jobs=%d: untraced %.2fs, profiled %.2fs (overhead %+.1f%%), \
+     fully instrumented %.2fs\n"
+    attr_jobs plain_s prof_s (100.0 *. overhead) instr_s;
+  List.iter
+    (fun (w, b, s, i, m, wall, tasks) ->
+      let p x = 100.0 *. x /. Float.max 1e-9 wall in
+      Printf.printf
+        "    w%d: busy %5.1f%% steal %4.1f%% idle %5.1f%% merge %4.1f%% (%d tasks)\n"
+        w (p b) (p s) (p i) (p m) tasks)
+    workers;
+  Printf.printf "  named buckets cover %.1f%% of wall x %d domains\n%!"
+    (100.0 *. coverage) attr_jobs;
+  let attribution =
+    Obs.Json.Obj
+      [ ("jobs", Obs.Json.Int attr_jobs);
+        ("untraced_seconds", Obs.Json.Float plain_s);
+        ("profiled_seconds", Obs.Json.Float prof_s);
+        ("instrumented_seconds", Obs.Json.Float instr_s);
+        ("profile_overhead", Obs.Json.Float overhead);
+        ("coverage", Obs.Json.Float coverage);
+        ("wall_in_maps_ns", Obs.Json.Float wall_in_maps);
+        ("sequential_ns", Obs.Json.Float seq_rem);
+        ( "workers",
+          Obs.Json.List
+            (List.map
+               (fun (w, b, s, i, m, wall, tasks) ->
+                 Obs.Json.Obj
+                   [ ("worker", Obs.Json.Int w);
+                     ("busy_ns", Obs.Json.Float b);
+                     ("steal_ns", Obs.Json.Float s);
+                     ("idle_ns", Obs.Json.Float i);
+                     ("merge_wait_ns", Obs.Json.Float m);
+                     ("wall_ns", Obs.Json.Float wall);
+                     ("tasks", Obs.Json.Int tasks) ])
+               workers) );
+        ( "profile_top",
+          Obs.Json.List
+            (List.filteri
+               (fun i _ -> i < 8)
+               (List.map
+                  (fun (r : Obs.Profile.row) ->
+                    Obs.Json.Obj
+                      [ ("span", Obs.Json.String r.name);
+                        ("count", Obs.Json.Int r.count);
+                        ("self_ns", Obs.Json.Float r.self_ns);
+                        ("total_ns", Obs.Json.Float r.total_ns) ])
+                  (Obs.Profile.rows ()))) ) ]
+  in
   detail "parallel"
     (Obs.Json.Obj
        [ ("recommended_domains", Obs.Json.Int recommended);
+         ("attribution", attribution);
          ( "runs",
            Obs.Json.List
              (List.map

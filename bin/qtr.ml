@@ -12,11 +12,13 @@
                                        minimize + dedup + persist reproducers
      qtr replay --corpus corpus/       re-execute the regression corpus
      qtr stats                         per-rule optimizer metrics table
+     qtr profile --jobs 4              in-process span profile of a workload
+     qtr report --rules 10 --k 3       one-shot campaign summary (text/JSON)
+     qtr bench-diff OLD NEW            regression-gate two bench result files
 
    Every subcommand accepts --trace FILE to record a Chrome trace-event
-   JSONL trace (which also turns metrics collection on); optimize,
-   coverage, compress and stats accept --json for machine-readable
-   output. *)
+   JSONL trace (which also turns metrics collection on); most accept
+   --json for machine-readable output. *)
 
 open Cmdliner
 open Storage
@@ -83,6 +85,116 @@ let make_fw ?rules scale budget =
   let cat = Datagen.tpch ~scale () in
   let options = { Optimizer.Engine.default_options with max_trees = budget } in
   Core.Framework.create ~options ?rules cat
+
+(* ------------------------------------------------------------------ *)
+(* Attribution rendering (shared by stats / profile / report)          *)
+(* ------------------------------------------------------------------ *)
+
+let counter_cell = function Some (Obs.Metrics.Counter c) -> c | _ -> 0
+
+(* Per-worker wall-time decomposition accumulated by [Par.Pool] maps
+   since metrics were enabled. Rows with zero wall (labels belonging to
+   other metric families) are dropped. *)
+type worker_util = {
+  wu_worker : string;
+  wu_busy : float;
+  wu_steal : float;
+  wu_idle : float;
+  wu_merge : float;
+  wu_wall : float;
+  wu_tasks : int;
+}
+
+let pool_utilization () =
+  Obs.Report.label_table
+    [ "par.pool.busy_ns"; "par.pool.steal_ns"; "par.pool.idle_ns";
+      "par.pool.merge_wait_ns"; "par.pool.wall_ns"; "par.pool.tasks" ]
+  |> List.filter_map (fun (label, values) ->
+         match values with
+         | [ b; s; i; m; w; t ] ->
+           let wall = float_of_int (counter_cell w) in
+           if wall <= 0.0 then None
+           else
+             Some
+               { wu_worker = label;
+                 wu_busy = float_of_int (counter_cell b);
+                 wu_steal = float_of_int (counter_cell s);
+                 wu_idle = float_of_int (counter_cell i);
+                 wu_merge = float_of_int (counter_cell m);
+                 wu_wall = wall;
+                 wu_tasks = counter_cell t }
+         | _ -> None)
+  |> List.sort (fun a b ->
+         let num u =
+           try int_of_string (String.sub u.wu_worker 1 (String.length u.wu_worker - 1))
+           with _ -> max_int
+         in
+         compare (num a) (num b))
+
+let cache_attribution () =
+  Obs.Report.label_table
+    [ "executor.result_cache.hits"; "executor.result_cache.misses" ]
+  |> List.filter_map (fun (site, values) ->
+         match values with
+         | [ h; m ] ->
+           let hits = counter_cell h and misses = counter_cell m in
+           if hits + misses = 0 then None else Some (site, hits, misses)
+         | _ -> None)
+
+let pct part whole = if whole <= 0.0 then 0.0 else 100.0 *. part /. whole
+
+let print_pool_utilization () =
+  match pool_utilization () with
+  | [] -> print_endline "pool: no parallel maps recorded (run with --jobs 2+)"
+  | rows ->
+    List.iter
+      (fun u ->
+        Printf.printf
+          "pool %-4s busy %5.1f%% | steal %4.1f%% | idle %5.1f%% | merge %4.1f%% | \
+           %5d tasks | wall %.2fs\n"
+          u.wu_worker (pct u.wu_busy u.wu_wall) (pct u.wu_steal u.wu_wall)
+          (pct u.wu_idle u.wu_wall) (pct u.wu_merge u.wu_wall) u.wu_tasks
+          (u.wu_wall /. 1e9))
+      rows
+
+let print_cache_attribution () =
+  match cache_attribution () with
+  | [] -> ()
+  | rows ->
+    let cells =
+      List.map
+        (fun (site, h, m) ->
+          Printf.sprintf "%s %d/%d (%.0f%%)" site h (h + m)
+            (pct (float_of_int h) (float_of_int (h + m))))
+        rows
+    in
+    Printf.printf "result cache by site (hits/lookups): %s\n"
+      (String.concat " | " cells)
+
+let pool_utilization_json () =
+  Obs.Json.List
+    (List.map
+       (fun u ->
+         Obs.Json.Obj
+           [ ("worker", Obs.Json.String u.wu_worker);
+             ("busy_ns", Obs.Json.Float u.wu_busy);
+             ("steal_ns", Obs.Json.Float u.wu_steal);
+             ("idle_ns", Obs.Json.Float u.wu_idle);
+             ("merge_wait_ns", Obs.Json.Float u.wu_merge);
+             ("wall_ns", Obs.Json.Float u.wu_wall);
+             ("tasks", Obs.Json.Int u.wu_tasks);
+             ("busy_share", Obs.Json.Float (pct u.wu_busy u.wu_wall /. 100.0)) ])
+       (pool_utilization ()))
+
+let cache_attribution_json () =
+  Obs.Json.List
+    (List.map
+       (fun (site, h, m) ->
+         Obs.Json.Obj
+           [ ("site", Obs.Json.String site);
+             ("hits", Obs.Json.Int h);
+             ("misses", Obs.Json.Int m) ])
+       (cache_attribution ()))
 
 (* ------------------------------------------------------------------ *)
 (* qtr rules                                                           *)
@@ -604,27 +716,41 @@ let stats_cmd =
           ~doc:"Sort column: $(b,attempts), $(b,rewrites), $(b,rate), $(b,mean) \
                 (latency) or $(b,total) (time).")
   in
-  let run scale budget seed queries sort trace json =
+  let run scale budget seed queries sort jobs trace json =
     with_telemetry trace @@ fun () ->
     Obs.Metrics.set_enabled true;
+    let pool = pool_of jobs in
     let fw = make_fw scale budget in
     let cat = Core.Framework.catalog fw in
     let ctx = { Core.Arggen.g = Prng.create seed; cat } in
+    (* Queries are generated sequentially (one PRNG stream), then
+       optimized as one task each with its own fresh-name range — the
+       per-rule table is identical for every --jobs, and a parallel run
+       additionally populates the pool-utilization lines below. *)
+    let qs =
+      Array.init queries (fun _ -> Core.Random_gen.generate ~min_ops:3 ~max_ops:8 ctx)
+    in
+    let outcomes =
+      Par.Pool.map_array pool
+        (fun (i, q) ->
+          Relalg.Ident.set_fresh ((i + 1) * 100_000);
+          Core.Framework.optimize fw q)
+        (Array.mapi (fun i q -> (i, q)) qs)
+    in
     let exhausted = ref 0 in
     let plans = ref [] in
-    for _ = 1 to queries do
-      let q = Core.Random_gen.generate ~min_ops:3 ~max_ops:8 ctx in
-      match Core.Framework.optimize fw q with
-      | Ok r ->
-        plans := r.plan :: !plans;
-        if r.budget_exhausted then incr exhausted
-      | Error _ -> ()
-    done;
+    Array.iter
+      (function
+        | Ok r ->
+          plans := r.Optimizer.Engine.plan :: !plans;
+          if r.Optimizer.Engine.budget_exhausted then incr exhausted
+        | Error _ -> ())
+      outcomes;
     (* Execute the winning plans twice: the second pass is served by the
        plan-fingerprint result cache, so the executor line below reports
        a live compile latency, throughput, and hit rate. *)
-    List.iter (fun p -> ignore (Executor.Cache.run cat p)) (List.rev !plans);
-    List.iter (fun p -> ignore (Executor.Cache.run cat p)) (List.rev !plans);
+    List.iter (fun p -> ignore (Executor.Cache.run ~site:"stats" cat p)) (List.rev !plans);
+    List.iter (fun p -> ignore (Executor.Cache.run ~site:"stats" cat p)) (List.rev !plans);
     if json then print_endline (Obs.Json.to_string (Obs.Report.metrics_json ()))
     else begin
       let counter_of = function Some (Obs.Metrics.Counter c) -> c | _ -> 0 in
@@ -714,7 +840,9 @@ let stats_cmd =
          cache hit rate %.1f%% (%d/%d)\n"
         (Obs.Clock.ns_to_us
            (Obs.Metrics.hist_mean (Obs.Metrics.histogram "executor.compile_ns")))
-        rows_per_sec (rate ex_hits ex_misses) ex_hits (ex_hits + ex_misses)
+        rows_per_sec (rate ex_hits ex_misses) ex_hits (ex_hits + ex_misses);
+      print_cache_attribution ();
+      print_pool_utilization ()
     end
   in
   Cmd.v
@@ -723,8 +851,298 @@ let stats_cmd =
          "Optimize a stochastic TPC-H workload with metrics on and print a sorted \
           per-rule attempt/success/latency table")
     Term.(
-      const run $ scale_arg $ budget_arg $ seed_arg $ queries_arg $ sort_arg $ trace_arg
-      $ json_arg)
+      const run $ scale_arg $ budget_arg $ seed_arg $ queries_arg $ sort_arg $ jobs_arg
+      $ trace_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* qtr profile                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let profile_cmd =
+  let queries_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "queries" ] ~docv:"N"
+          ~doc:"Number of stochastic TPC-H queries to optimize and execute.")
+  in
+  let folded =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:
+            "Also write folded call stacks (one $(i,path;to;span self_us) line per \
+             distinct span path) to $(docv) — the input format of flamegraph.pl and \
+             speedscope.")
+  in
+  let by_domain =
+    Arg.(
+      value & flag
+      & info [ "by-domain" ] ~doc:"Also print a per-domain breakdown of the profile.")
+  in
+  let run scale budget seed queries jobs folded by_domain trace json =
+    with_telemetry trace @@ fun () ->
+    Obs.Metrics.set_enabled true;
+    Obs.Profile.enable ();
+    let pool = pool_of jobs in
+    let fw = make_fw scale budget in
+    let cat = Core.Framework.catalog fw in
+    let ctx = { Core.Arggen.g = Prng.create seed; cat } in
+    let qs =
+      Array.init queries (fun _ -> Core.Random_gen.generate ~min_ops:3 ~max_ops:8 ctx)
+    in
+    let outcomes =
+      Par.Pool.map_array pool
+        (fun (i, q) ->
+          Relalg.Ident.set_fresh ((i + 1) * 100_000);
+          match Core.Framework.optimize fw q with
+          | Ok r ->
+            Result.is_ok (Executor.Cache.run ~site:"profile" cat r.Optimizer.Engine.plan)
+          | Error _ -> false)
+        (Array.mapi (fun i q -> (i, q)) qs)
+    in
+    let ok = Array.fold_left (fun n b -> if b then n + 1 else n) 0 outcomes in
+    (match folded with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Obs.Profile.write_folded oc);
+      if not json then Printf.printf "folded stacks written to %s\n" path);
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [ ("queries", Obs.Json.Int queries);
+                ("executed_ok", Obs.Json.Int ok);
+                ("jobs", Obs.Json.Int (Par.Pool.jobs pool));
+                ("profile", Obs.Profile.to_json ());
+                ("pool", pool_utilization_json ());
+                ("result_cache", cache_attribution_json ()) ]))
+    else begin
+      Printf.printf
+        "%d stochastic TPC-H queries optimized + executed (%d ok, scale %g, budget \
+         %d, jobs %d)\n\n"
+        queries ok scale budget (Par.Pool.jobs pool);
+      Format.printf "%a@." Obs.Profile.pp ();
+      if by_domain then
+        List.iter
+          (fun (dom, rows) ->
+            Printf.printf "\ndomain %d:\n" dom;
+            List.iter
+              (fun (r : Obs.Profile.row) ->
+                Printf.printf "  %-40s %7dx self %9.2fms total %9.2fms\n" r.name
+                  r.count (r.self_ns /. 1e6) (r.total_ns /. 1e6))
+              rows)
+          (Obs.Profile.rows_by_domain ());
+      print_pool_utilization ();
+      print_cache_attribution ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Optimize a stochastic workload with the in-process span profiler enabled \
+          and print self/total time, call counts and percentiles per span")
+    Term.(
+      const run $ scale_arg $ budget_arg $ seed_arg $ queries_arg $ jobs_arg $ folded
+      $ by_domain $ trace_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* qtr report                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let report_cmd =
+  let inject =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"RULE"
+          ~doc:
+            "Inject the buggy variant of RULE (one of the Faults registry) so the \
+             validation and triage sections are exercised.")
+  in
+  let run scale budget seed n k inject jobs trace json =
+    with_telemetry trace @@ fun () ->
+    Obs.Metrics.set_enabled true;
+    Obs.Profile.enable ();
+    let t0 = Obs.Clock.now_ns () in
+    let pool = pool_of jobs in
+    let rules_override = Option.map Core.Faults.inject inject in
+    let fw = make_fw ?rules:rules_override scale budget in
+    let g = Prng.create seed in
+    let rules = List.filteri (fun i _ -> i < n) Optimizer.Rules.names in
+    let targets = List.map (fun r -> Core.Suite.Single r) rules in
+    if not json then
+      Printf.printf "campaign: %d targets x k=%d, scale %g, budget %d, jobs %d%s\n%!"
+        (List.length targets) k scale budget (Par.Pool.jobs pool)
+        (match inject with None -> "" | Some r -> ", fault " ^ r);
+    let suite = Core.Suite.generate ~extra_ops:2 ~pool fw g ~targets ~k in
+    let shortfalls = Core.Suite.shortfall suite in
+    let baseline : Core.Compress.solution = Core.Compress.baseline ~pool fw suite in
+    let sol : Core.Compress.solution = Core.Compress.topk ~pool fw suite in
+    let correctness = Core.Correctness.run ~pool fw suite sol in
+    let triaged = Triage.Pipeline.triage ~pool fw correctness in
+    let wall_s = Obs.Clock.ns_between t0 (Obs.Clock.now_ns ()) /. 1e9 in
+    let covered = List.length targets - List.length shortfalls in
+    let ratio =
+      if baseline.total_cost <= 0.0 then 1.0 else sol.total_cost /. baseline.total_cost
+    in
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [ ("targets", Obs.Json.Int (List.length targets));
+                ("k", Obs.Json.Int k);
+                ("jobs", Obs.Json.Int (Par.Pool.jobs pool));
+                ( "fault",
+                  match inject with
+                  | None -> Obs.Json.Null
+                  | Some r -> Obs.Json.String r );
+                ("wall_seconds", Obs.Json.Float wall_s);
+                ( "coverage",
+                  Obs.Json.Obj
+                    [ ("fully_covered", Obs.Json.Int covered);
+                      ("shortfalls", Obs.Json.Int (List.length shortfalls));
+                      ( "distinct_queries",
+                        Obs.Json.Int (Array.length suite.entries) ) ] );
+                ( "compression",
+                  Obs.Json.Obj
+                    [ ("baseline_cost", Obs.Json.Float baseline.total_cost);
+                      ("topk_cost", Obs.Json.Float sol.total_cost);
+                      ("cost_ratio", Obs.Json.Float ratio);
+                      ("invocations", Obs.Json.Int sol.invocations);
+                      ( "under_covered",
+                        Obs.Json.Int (List.length sol.under_covered) ) ] );
+                ( "validation",
+                  Obs.Json.Obj
+                    [ ("pairs_checked", Obs.Json.Int correctness.pairs_checked);
+                      ("executions", Obs.Json.Int correctness.executions);
+                      ( "skipped_identical",
+                        Obs.Json.Int correctness.skipped_identical );
+                      ("bugs", Obs.Json.Int (List.length correctness.bugs));
+                      ("errors", Obs.Json.Int (List.length correctness.errors)) ] );
+                ( "triage",
+                  Obs.Json.Obj
+                    [ ( "distinct_signatures",
+                        Obs.Json.Int (List.length triaged.cases) );
+                      ("duplicates", Obs.Json.Int triaged.duplicates);
+                      ("irreducible", Obs.Json.Int (List.length triaged.irreducible));
+                      ("oracle_checks", Obs.Json.Int triaged.checks);
+                      ("executions", Obs.Json.Int triaged.executions) ] );
+                ("profile", Obs.Profile.to_json ());
+                ("pool", pool_utilization_json ());
+                ("result_cache", cache_attribution_json ());
+                ("metrics", Obs.Report.metrics_json ()) ]))
+    else begin
+      Printf.printf
+        "coverage:    %d/%d targets fully covered at k=%d, %d distinct queries\n"
+        covered (List.length targets) k (Array.length suite.entries);
+      Printf.printf
+        "compression: TOPK cost %.1f vs BASELINE %.1f (x%.2f) | %d optimizer \
+         invocations | %d under-covered\n"
+        sol.total_cost baseline.total_cost ratio sol.invocations
+        (List.length sol.under_covered);
+      Printf.printf
+        "validation:  %d pairs checked | %d executed | %d skipped (identical plans) \
+         | %d bug(s) | %d error(s)\n"
+        correctness.pairs_checked correctness.executions correctness.skipped_identical
+        (List.length correctness.bugs)
+        (List.length correctness.errors);
+      Printf.printf
+        "triage:      %d distinct signature(s) | %d duplicate(s) | %d irreducible | \
+         %d oracle checks\n\n"
+        (List.length triaged.cases) triaged.duplicates
+        (List.length triaged.irreducible)
+        triaged.checks;
+      Format.printf "%a@." Obs.Profile.pp ();
+      print_pool_utilization ();
+      print_cache_attribution ();
+      Printf.printf "wall: %.2fs\n" wall_s
+    end
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "One-shot campaign summary: generate, compress, validate and triage, then \
+          merge profile, pool utilization, cache attribution, coverage, compression \
+          quality and triage counts into one text or JSON report")
+    Term.(
+      const run $ scale_arg $ budget_arg $ seed_arg $ n_rules_arg $ k_arg $ inject
+      $ jobs_arg $ trace_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* qtr bench-diff                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let benchdiff_cmd =
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD" ~doc:"Baseline bench --json result file.")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"Candidate bench --json result file.")
+  in
+  let slack_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "slack" ] ~docv:"X"
+          ~doc:
+            "Multiply every numeric threshold by $(docv); correctness flags stay \
+             zero-tolerance. CI compares runs from different machines with a large \
+             slack so only catastrophic numeric changes (or any flag flip) fire.")
+  in
+  let load path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Obs.Json.of_string s with
+    | Ok doc -> doc
+    | Error e ->
+      Printf.eprintf "%s: %s\n" path e;
+      exit 2
+  in
+  let run old_path new_path slack json =
+    let old_doc = load old_path in
+    let new_doc = load new_path in
+    let findings = Obs.Benchcmp.compare_results ~slack ~old_doc ~new_doc () in
+    let regressions = Obs.Benchcmp.regressions findings in
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [ ("old", Obs.Json.String old_path);
+                ("new", Obs.Json.String new_path);
+                ("slack", Obs.Json.Float slack);
+                ("findings", Obs.Benchcmp.findings_json findings);
+                ("regressions", Obs.Json.Int (List.length regressions)) ]))
+    else begin
+      List.iter (fun f -> Format.printf "%a@." Obs.Benchcmp.pp_finding f) findings;
+      let count st =
+        List.length
+          (List.filter (fun (f : Obs.Benchcmp.finding) -> f.status = st) findings)
+      in
+      Printf.printf
+        "%d metric(s) compared: %d passed, %d improved, %d new, %d regressed\n"
+        (List.length findings) (count Obs.Benchcmp.Passed)
+        (count Obs.Benchcmp.Improved)
+        (count Obs.Benchcmp.Missing_old)
+        (List.length regressions)
+    end;
+    if regressions <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two bench --json result files metric by metric against regression \
+          thresholds; exit 1 when any gated metric regressed")
+    Term.(const run $ old_arg $ new_arg $ slack_arg $ json_arg)
 
 let () =
   let doc = "testing framework for query transformation rules (SIGMOD'09 reproduction)" in
@@ -733,4 +1151,5 @@ let () =
        (Cmd.group
           (Cmd.info "qtr" ~version:"1.0.0" ~doc)
           [ rules_cmd; optimize_cmd; generate_cmd; coverage_cmd; compress_cmd;
-            validate_cmd; reduce_cmd; replay_cmd; stats_cmd ]))
+            validate_cmd; reduce_cmd; replay_cmd; stats_cmd; profile_cmd; report_cmd;
+            benchdiff_cmd ]))

@@ -52,7 +52,7 @@ let run ?(pool = Par.Pool.sequential) fw (suite : Suite.t)
         match Framework.optimize fw suite.entries.(q).query with
         | Error e -> (q, 0, Error e)
         | Ok res -> (
-          match Executor.Cache.run cat res.plan with
+          match Executor.Cache.run ~site:"validate" cat res.plan with
           | Error e -> (q, 1, Error e)
           | Ok rows -> (q, 1, Ok (res.plan, rows))))
       distinct_picked
@@ -92,7 +92,7 @@ let run ?(pool = Par.Pool.sequential) fw (suite : Suite.t)
                 if Optimizer.Physical.equal res.plan base_plan then incr skipped
                 else begin
                   incr execs;
-                  match Executor.Cache.run cat res.plan with
+                  match Executor.Cache.run ~site:"validate" cat res.plan with
                   | Error e -> errors := (context, "variant exec: " ^ e) :: !errors
                   | Ok actual -> (
                     match RS.diverges expected actual with

@@ -24,11 +24,19 @@ let key =
 let hits_c = Obs.Metrics.counter "executor.result_cache.hits"
 let miss_c = Obs.Metrics.counter "executor.result_cache.misses"
 
+(* Per-site attribution: the same totals, additionally keyed by which
+   caller asked (validate vs triage-oracle vs replay ...), so `qtr
+   stats`/`qtr report` can say who benefits from the cache and who only
+   fills it. Sites are a small closed set of short strings, so the
+   labeled-counter registry stays tiny. *)
+let site_hit site = Obs.Metrics.counter ~label:site "executor.result_cache.hits"
+let site_miss site = Obs.Metrics.counter ~label:site "executor.result_cache.misses"
+
 (* Safety valve against unbounded growth in very long sessions; far
    above what a validate or reduce run touches. *)
 let max_entries = 8192
 
-let run catalog plan =
+let run ?(site = "adhoc") catalog plan =
   let s = Domain.DLS.get key in
   (match s.catalog with
   | Some c when c == catalog -> ()
@@ -38,9 +46,11 @@ let run catalog plan =
   match PTbl.find_opt s.tbl plan with
   | Some r ->
     Obs.Metrics.incr hits_c;
+    Obs.Metrics.incr (site_hit site);
     r
   | None ->
     Obs.Metrics.incr miss_c;
+    Obs.Metrics.incr (site_miss site);
     let r = Exec.run catalog plan in
     (* Pre-sort on the owning domain so a cached result handed to later
        bag comparisons is already normalized (and never mutated by a

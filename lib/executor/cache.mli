@@ -15,11 +15,15 @@
     (physical identity). *)
 
 val run :
+  ?site:string ->
   Storage.Catalog.t -> Optimizer.Physical.t -> (Resultset.t, string) result
 (** {!Exec.run} with memoization. Cached [Ok] results are pre-normalized
     (see {!Resultset.normalized}) on the executing domain, so sharing
     them read-only across domains is safe. Records
-    [executor.result_cache.hits]/[.misses] when metrics are enabled. *)
+    [executor.result_cache.hits]/[.misses] when metrics are enabled —
+    both the unlabeled totals and a per-[site] labeled pair attributing
+    the traffic to its caller ([validate], [triage-oracle], [replay],
+    [stats]; default [adhoc]). *)
 
 val clear : unit -> unit
 (** Drop the calling domain's cache (test isolation, fresh

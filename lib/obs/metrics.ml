@@ -163,6 +163,20 @@ let snapshot () =
     entries
   |> List.sort (fun (n1, l1, _) (n2, l2, _) -> compare (n1, l1) (n2, l2))
 
+let find ?label name =
+  let inst =
+    Mutex.protect registry_lock @@ fun () ->
+    Hashtbl.find_opt registry (name, label)
+  in
+  match inst with
+  | Some (C c) -> Some (Counter (Atomic.get c))
+  | Some (G g) -> Some (Gauge (Atomic.get g))
+  | Some (H h) -> Some (Histogram (hist_snapshot h))
+  | None -> None
+
+let counter_total ?label name =
+  match find ?label name with Some (Counter c) -> c | _ -> 0
+
 let reset () =
   Mutex.protect registry_lock @@ fun () ->
   Hashtbl.iter

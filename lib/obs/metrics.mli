@@ -77,6 +77,13 @@ val snapshot : unit -> (string * string option * value) list
 (** Every registered instrument as [(name, label, value)], sorted by
     name then label. Zero-valued instruments are included. *)
 
+val find : ?label:string -> string -> value option
+(** Current value of one instrument, [None] if never registered —
+    reporting sugar that avoids scanning {!snapshot}. *)
+
+val counter_total : ?label:string -> string -> int
+(** [find] specialized to counters; 0 when absent or another kind. *)
+
 val reset : unit -> unit
 (** Zero every instrument's value. Registrations (and references held by
     instrumented code) stay valid. *)

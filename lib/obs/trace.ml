@@ -1,72 +1,156 @@
-type sink = { write : string -> unit; close : unit -> unit }
+type event =
+  | Begin of { name : string; cat : string option; args : (string * Json.t) list }
+  | End of { name : string }
+  | Instant of { name : string; cat : string option; args : (string * Json.t) list }
+  | Counter of { name : string; values : (string * float) list }
 
-let sink : sink option ref = ref None
-let t0 : int64 ref = ref 0L
+type consumer = {
+  cname : string;
+  handle : ts_ns:int64 -> tid:int -> event -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;
+}
+
+(* The consumer list is read on every span entry, so it lives in an
+   atomic the hot path loads without a lock; mutation (rare: enabling a
+   sink or the profiler) goes through [consumers_lock]. *)
+let consumers : consumer list Atomic.t = Atomic.make []
+let consumers_lock = Mutex.create ()
 let open_spans = Atomic.make 0
+
+let enabled () = Atomic.get consumers <> []
+let depth () = Atomic.get open_spans
+
+let flush () = List.iter (fun c -> c.flush ()) (Atomic.get consumers)
+
+let remove_consumer cname =
+  let removed =
+    Mutex.protect consumers_lock @@ fun () ->
+    let gone, kept = List.partition (fun c -> c.cname = cname) (Atomic.get consumers) in
+    Atomic.set consumers kept;
+    if kept = [] then Atomic.set open_spans 0;
+    gone
+  in
+  List.iter (fun c -> c.close ()) removed
+
+let add_consumer c =
+  remove_consumer c.cname;
+  Mutex.protect consumers_lock @@ fun () ->
+  Atomic.set consumers (Atomic.get consumers @ [ c ])
+
+let consumer_installed cname =
+  List.exists (fun c -> c.cname = cname) (Atomic.get consumers)
+
+let shutdown () =
+  let all =
+    Mutex.protect consumers_lock @@ fun () ->
+    let cs = Atomic.get consumers in
+    Atomic.set consumers [];
+    Atomic.set open_spans 0;
+    cs
+  in
+  List.iter (fun c -> c.close ()) all
+
+(* A crash mid-campaign must not lose the tail of the trace — that is
+   the part that explains the crash. Consumers flush per line already;
+   the uncaught-exception hook covers anything they still buffer. *)
+let () =
+  at_exit shutdown;
+  Printexc.set_uncaught_exception_handler (fun e bt ->
+      (try flush () with _ -> ());
+      Printexc.default_uncaught_exception_handler e bt)
+
+(* ------------------------------------------------------------------ *)
+(* The JSONL writer: the Chrome trace-event sink, as one consumer       *)
+(* ------------------------------------------------------------------ *)
+
+let writer_name = "jsonl-writer"
 
 (* Serializes whole JSONL lines: spans emitted from parallel workers
    interleave per line, never mid-line. The per-domain [tid] field keeps
    them separable in trace viewers. *)
-let write_lock = Mutex.create ()
+let make_writer ~write ~flush ~close =
+  let t0 = Clock.now_ns () in
+  let lock = Mutex.create () in
+  let handle ~ts_ns ~tid ev =
+    let ts = Clock.ns_to_us (Clock.ns_between t0 ts_ns) in
+    let base ~ph ~name ~cat =
+      [ ("name", Json.String name);
+        ("cat", Json.String (Option.value cat ~default:"qtr"));
+        ("ph", Json.String ph);
+        ("ts", Json.Float ts);
+        ("pid", Json.Int 1);
+        ("tid", Json.Int tid) ]
+    in
+    let with_args fields = function
+      | [] -> fields
+      | args -> fields @ [ ("args", Json.Obj args) ]
+    in
+    let fields =
+      match ev with
+      | Begin { name; cat; args } -> with_args (base ~ph:"B" ~name ~cat) args
+      | End { name } -> base ~ph:"E" ~name ~cat:None
+      | Instant { name; cat; args } -> with_args (base ~ph:"i" ~name ~cat) args
+      | Counter { name; values } ->
+        with_args
+          (base ~ph:"C" ~name ~cat:None)
+          (List.map (fun (k, v) -> (k, Json.Float v)) values)
+    in
+    let buf = Buffer.create 128 in
+    Json.to_buffer buf (Json.Obj fields);
+    Buffer.add_char buf '\n';
+    Mutex.protect lock (fun () -> write (Buffer.contents buf))
+  in
+  { cname = writer_name; handle; flush; close }
 
-let enabled () = !sink <> None
-let depth () = Atomic.get open_spans
-
-let stop () =
-  match !sink with
-  | None -> ()
-  | Some s ->
-    sink := None;
-    Atomic.set open_spans 0;
-    s.close ()
-
-let () = at_exit stop
-
-let install s =
-  stop ();
-  t0 := Clock.now_ns ();
-  sink := Some s
+let stop () = remove_consumer writer_name
 
 let start path =
   let oc = open_out path in
-  install { write = (fun line -> output_string oc line); close = (fun () -> close_out oc) }
+  (* Flush per line: a crash loses at most the line being written, not
+     the whole tail of the trace. *)
+  add_consumer
+    (make_writer
+       ~write:(fun line ->
+         output_string oc line;
+         Stdlib.flush oc)
+       ~flush:(fun () -> Stdlib.flush oc)
+       ~close:(fun () -> close_out oc))
 
 let start_buffer buf =
-  install { write = Buffer.add_string buf; close = ignore }
+  add_consumer
+    (make_writer ~write:(Buffer.add_string buf) ~flush:ignore ~close:ignore)
 
-let ts_us () = Clock.ns_to_us (Clock.ns_between !t0 (Clock.now_ns ()))
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
 
-let emit s ~ph ~name ~cat ~args =
-  let fields =
-    [ ("name", Json.String name);
-      ("cat", Json.String (Option.value cat ~default:"qtr"));
-      ("ph", Json.String ph);
-      ("ts", Json.Float (ts_us ()));
-      ("pid", Json.Int 1);
-      ("tid", Json.Int ((Domain.self () :> int) + 1)) ]
-  in
-  let fields = match args with [] -> fields | _ -> fields @ [ ("args", Json.Obj args) ] in
-  let buf = Buffer.create 128 in
-  Json.to_buffer buf (Json.Obj fields);
-  Buffer.add_char buf '\n';
-  Mutex.protect write_lock (fun () -> s.write (Buffer.contents buf))
+let dispatch cs ev =
+  let ts_ns = Clock.now_ns () in
+  let tid = (Domain.self () :> int) + 1 in
+  List.iter (fun c -> c.handle ~ts_ns ~tid ev) cs
 
 let with_span ?cat ?(args = []) name f =
-  match !sink with
-  | None -> f ()
-  | Some s ->
-    emit s ~ph:"B" ~name ~cat ~args;
+  match Atomic.get consumers with
+  | [] -> f ()
+  | cs ->
+    dispatch cs (Begin { name; cat; args });
     Atomic.incr open_spans;
     Fun.protect
       ~finally:(fun () ->
         Atomic.decr open_spans;
-        (* The sink may have been stopped while the span was open. *)
-        match !sink with
-        | Some s -> emit s ~ph:"E" ~name ~cat ~args:[]
-        | None -> ())
+        (* Consumers may have been stopped while the span was open. *)
+        match Atomic.get consumers with
+        | [] -> ()
+        | cs -> dispatch cs (End { name }))
       f
 
 let instant ?cat ?(args = []) name =
-  match !sink with
-  | None -> ()
-  | Some s -> emit s ~ph:"i" ~name ~cat ~args
+  match Atomic.get consumers with
+  | [] -> ()
+  | cs -> dispatch cs (Instant { name; cat; args })
+
+let counter name values =
+  match Atomic.get consumers with
+  | [] -> ()
+  | cs -> dispatch cs (Counter { name; values })

@@ -1,39 +1,87 @@
-(** Span-based tracing in the Chrome trace-event format, one JSON object
-    per line (JSONL).
+(** Span-based tracing fanned out to pluggable consumers.
 
-    Each span becomes a ["B"]/["E"] duration-event pair; one-off
-    occurrences become ["i"] instant events. Timestamps are microseconds
-    on the monotonic clock, relative to {!start}. The stream loads in
-    [chrome://tracing] / Perfetto after wrapping the lines in a JSON
-    array (['jq -s . t.jsonl']), and every individual line is a complete
-    JSON document, so the file doubles as a machine-readable log.
+    Every instrumentation point ({!with_span}, {!instant}, {!counter})
+    produces one {!event} that is dispatched, with a nanosecond
+    timestamp and the emitting domain's id, to every installed
+    {!consumer}. Two consumers ship with the library:
 
-    With no sink installed (the default) every entry point is one branch
-    and returns immediately. The sink is global, like the metrics
-    registry, and domain-safe: each line is written under a mutex (no
-    mid-line interleaving) and carries the emitting domain's id as
-    [tid], so parallel workers show up as separate tracks in trace
-    viewers. *)
+    - the Chrome trace-event JSONL writer ({!start} / {!start_buffer} /
+      {!stop}), which renders each event as one JSON object per line —
+      ["B"]/["E"] duration pairs for spans, ["i"] instants, ["C"]
+      counter samples. Timestamps are microseconds on the monotonic
+      clock relative to the writer's installation. The stream loads in
+      [chrome://tracing] / Perfetto after wrapping in a JSON array
+      (['jq -s . t.jsonl']), and every line is a complete JSON document,
+      so the file doubles as a machine-readable log. The file writer
+      flushes per line, so a crash mid-campaign loses at most the line
+      being written;
+    - the in-process profiler ({!Profile}), which aggregates the same
+      span stream into a self/total-time profile without writing
+      anything to disk.
+
+    With no consumer installed (the default) every entry point is one
+    atomic load and returns immediately. The consumer list is global,
+    like the metrics registry, and domain-safe: the JSONL writer
+    serializes whole lines under a mutex (no mid-line interleaving), and
+    events carry the emitting domain's id as [tid], so parallel workers
+    show up as separate tracks in trace viewers. *)
+
+type event =
+  | Begin of { name : string; cat : string option; args : (string * Json.t) list }
+  | End of { name : string }
+  | Instant of { name : string; cat : string option; args : (string * Json.t) list }
+  | Counter of { name : string; values : (string * float) list }
+
+type consumer = {
+  cname : string;  (** unique key; adding a consumer replaces its namesake *)
+  handle : ts_ns:int64 -> tid:int -> event -> unit;
+      (** called synchronously on the emitting domain; must be
+          domain-safe *)
+  flush : unit -> unit;
+  close : unit -> unit;  (** called once when the consumer is removed *)
+}
+
+val add_consumer : consumer -> unit
+(** Install a consumer; a previous consumer with the same [cname] is
+    closed and replaced. *)
+
+val remove_consumer : string -> unit
+(** Remove (and close) the consumer registered under this name. No-op if
+    absent. *)
+
+val consumer_installed : string -> bool
 
 val start : string -> unit
-(** Open [path] (truncating) and start emitting. Replaces any previous
-    sink. *)
+(** Open [path] (truncating) and start the JSONL writer, replacing any
+    previous writer. The underlying channel is flushed after every line
+    and on {!flush}/{!stop}, so an interrupted run keeps its tail. *)
 
 val start_buffer : Buffer.t -> unit
-(** Emit into a buffer instead of a file — used by tests. *)
+(** JSONL writer into a buffer instead of a file — used by tests. *)
 
 val stop : unit -> unit
-(** Flush and close the sink; subsequent events are dropped. Safe to
-    call twice. Also registered via [at_exit], so a trace is not lost
-    when the process exits mid-stream. *)
+(** Flush and close the JSONL writer; other consumers (e.g. the
+    profiler) keep running. Safe to call twice. *)
+
+val flush : unit -> unit
+(** Flush every consumer. Invoked automatically from the
+    uncaught-exception handler, and all consumers are closed on
+    [at_exit], so a trace is not lost when the process dies
+    mid-stream. *)
 
 val enabled : unit -> bool
+(** At least one consumer is installed. *)
 
 val with_span : ?cat:string -> ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
 (** [with_span name f] runs [f] inside a [name] span. The end event is
     emitted even when [f] raises. [args] lands on the begin event. *)
 
 val instant : ?cat:string -> ?args:(string * Json.t) list -> string -> unit
+
+val counter : string -> (string * float) list -> unit
+(** [counter name values] emits a Chrome ["C"] counter sample — trace
+    viewers render these as stacked area charts per [tid] (used for
+    pool queue depth). *)
 
 val depth : unit -> int
 (** Number of currently open spans (0 at top level) — exposed so tests

@@ -198,6 +198,24 @@ let explore ~options ~rules catalog t0 : exploration =
   let truncated = !truncated || not (Queue.is_empty queue) in
   Obs.Metrics.add explored_counter !count;
   Obs.Metrics.gauge_set hashcons_gauge (float_of_int (H.live_nodes ()));
+  if Obs.Metrics.enabled () then begin
+    (* Occupancy gauges: table *shape*, sampled once per explore (both
+       snapshots scan buckets, so keep them off the rewrite loop). *)
+    let occ = H.occupancy () in
+    Obs.Metrics.gauge_set
+      (Obs.Metrics.gauge "relalg.hashcons.load_factor")
+      occ.H.load_factor;
+    Obs.Metrics.gauge_max
+      (Obs.Metrics.gauge "relalg.hashcons.longest_chain")
+      (float_of_int occ.H.longest_chain);
+    Obs.Metrics.gauge_max
+      (Obs.Metrics.gauge "optimizer.rewrite_memo.entries")
+      (float_of_int (Hashtbl.length rw.rw_memo));
+    let ms = Hashtbl.stats rw.rw_memo in
+    Obs.Metrics.gauge_max
+      (Obs.Metrics.gauge "optimizer.rewrite_memo.longest_chain")
+      (float_of_int ms.Hashtbl.max_bucket_length)
+  end;
   if truncated then begin
     Obs.Metrics.incr exhausted_counter;
     Obs.Trace.instant "explore.budget_exhausted"

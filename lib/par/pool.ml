@@ -13,6 +13,54 @@ let jobs t = t.n_jobs
 let tasks_c = lazy (Obs.Metrics.counter "par.tasks")
 let spawns_c = lazy (Obs.Metrics.counter "par.domains_spawned")
 
+(* ------------------------------------------------------------------ *)
+(* Attribution                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Each worker's share of a map's wall time decomposes into named
+   buckets: [busy] (running tasks), [steal] (claiming task indices from
+   the shared cursor), [merge_wait] (the caller joining helpers), and
+   [idle] (the residual: spawn latency, waiting for the slowest worker,
+   scheduler gaps). Per worker busy + steal + idle (+ merge_wait) equals
+   the map's wall clock by construction, so the buckets always account
+   for 100% of jobs x wall — the point is how the non-busy share splits.
+
+   One record per worker, written only by that worker before its domain
+   is joined and read only after — same plain-write discipline as the
+   result slots. *)
+type worker_stats = {
+  mutable busy_ns : float;
+  mutable steal_ns : float;
+  mutable tasks : int;
+}
+
+let worker_label w = "w" ^ string_of_int w
+
+let record_attribution stats ~t_start ~t_end ~merge_wait_ns =
+  let wall = Obs.Clock.ns_between t_start t_end in
+  Array.iteri
+    (fun w (st : worker_stats) ->
+      let merge = if w = 0 then merge_wait_ns else 0.0 in
+      let idle = Float.max 0.0 (wall -. st.busy_ns -. st.steal_ns -. merge) in
+      if Obs.Metrics.enabled () then begin
+        let c name = Obs.Metrics.counter ~label:(worker_label w) name in
+        Obs.Metrics.add (c "par.pool.busy_ns") (int_of_float st.busy_ns);
+        Obs.Metrics.add (c "par.pool.steal_ns") (int_of_float st.steal_ns);
+        Obs.Metrics.add (c "par.pool.idle_ns") (int_of_float idle);
+        Obs.Metrics.add (c "par.pool.merge_wait_ns") (int_of_float merge);
+        Obs.Metrics.add (c "par.pool.wall_ns") (int_of_float wall);
+        Obs.Metrics.add (c "par.pool.tasks") st.tasks
+      end;
+      Obs.Trace.instant "par.worker"
+        ~args:
+          [ ("w", Obs.Json.Int w);
+            ("tasks", Obs.Json.Int st.tasks);
+            ("busy_ns", Obs.Json.Float st.busy_ns);
+            ("steal_ns", Obs.Json.Float st.steal_ns);
+            ("idle_ns", Obs.Json.Float idle);
+            ("merge_wait_ns", Obs.Json.Float merge) ])
+    stats
+
 (* One slot per task; each slot is written by exactly one domain (the
    atomic cursor hands out indices uniquely) and read only after every
    domain has been joined, so plain (word-sized) writes suffice. *)
@@ -26,26 +74,43 @@ let map_array pool f arr =
     Obs.Metrics.add (Lazy.force tasks_c) n;
     let results = Array.make n None in
     let cursor = Atomic.make 0 in
-    let run_tasks () =
+    let helpers = min (pool.n_jobs - 1) (n - 1) in
+    let stats =
+      Array.init (helpers + 1) (fun _ ->
+          { busy_ns = 0.0; steal_ns = 0.0; tasks = 0 })
+    in
+    let t_start = Obs.Clock.now_ns () in
+    let run_tasks w () =
+      let st = stats.(w) in
       let rec loop () =
+        let t0 = Obs.Clock.now_ns () in
         let i = Atomic.fetch_and_add cursor 1 in
+        let t1 = Obs.Clock.now_ns () in
+        st.steal_ns <- st.steal_ns +. Obs.Clock.ns_between t0 t1;
         if i < n then begin
+          Obs.Trace.counter "par.queue_depth"
+            [ ("pending", float_of_int (max 0 (n - i - 1))) ];
           let r =
             match f arr.(i) with
             | v -> Ok v
             | exception e -> Error (e, Printexc.get_raw_backtrace ())
           in
+          st.busy_ns <- st.busy_ns +. Obs.Clock.ns_between t1 (Obs.Clock.now_ns ());
+          st.tasks <- st.tasks + 1;
           results.(i) <- Some r;
           loop ()
         end
       in
       loop ()
     in
-    let helpers = min (pool.n_jobs - 1) (n - 1) in
     Obs.Metrics.add (Lazy.force spawns_c) helpers;
-    let domains = Array.init helpers (fun _ -> Domain.spawn run_tasks) in
-    run_tasks ();
+    let domains = Array.init helpers (fun h -> Domain.spawn (run_tasks (h + 1))) in
+    run_tasks 0 ();
+    let t_join = Obs.Clock.now_ns () in
     Array.iter Domain.join domains;
+    let t_end = Obs.Clock.now_ns () in
+    record_attribution stats ~t_start ~t_end
+      ~merge_wait_ns:(Obs.Clock.ns_between t_join t_end);
     (* Merge in task order; a failure surfaces as the lowest-index
        exception, independent of which domain hit it first. *)
     Array.map

@@ -14,7 +14,23 @@
 
     With [jobs = 1] every combinator runs inline on the calling domain —
     no domains are spawned, so a sequential pool is also the reference
-    semantics parallel runs must reproduce byte for byte. *)
+    semantics parallel runs must reproduce byte for byte.
+
+    {b Attribution.} Every parallel map decomposes each worker's share
+    of its wall time into named buckets — [busy] (running tasks),
+    [steal] (claiming indices from the shared cursor), [merge_wait]
+    (the caller joining helpers; worker 0 only), and [idle] (the
+    residual: spawn latency, tail-waiting on the slowest worker) — and,
+    when metrics are enabled, accumulates them into
+    [par.pool.{busy,steal,idle,merge_wait,wall}_ns] and
+    [par.pool.tasks] counters labeled by worker index ([w0] is the
+    calling domain). Per worker the buckets sum exactly to the map's
+    wall clock. When tracing, each task claim also emits a
+    [par.queue_depth] counter sample and each worker a [par.worker]
+    instant with its buckets. Timing reads the monotonic clock a few
+    times per task; tasks are coarse (whole optimizer runs), so this is
+    noise — and none of it feeds back into results, preserving
+    [--jobs N] ≡ [--jobs 1] byte-identity. *)
 
 type t
 

@@ -139,6 +139,22 @@ let live_nodes () = Tbl.length (state ()).table
 let hits () = (state ()).hit_count
 let misses () = (state ()).miss_count
 
+type occupancy = {
+  entries : int;
+  buckets : int;
+  load_factor : float;
+  longest_chain : int;
+}
+
+let occupancy () =
+  let s = Tbl.stats (state ()).table in
+  { entries = s.Hashtbl.num_bindings;
+    buckets = s.Hashtbl.num_buckets;
+    load_factor =
+      (if s.Hashtbl.num_buckets = 0 then 0.0
+       else float_of_int s.Hashtbl.num_bindings /. float_of_int s.Hashtbl.num_buckets);
+    longest_chain = s.Hashtbl.max_bucket_length }
+
 let clear () =
   let st = state () in
   Tbl.reset st.table;

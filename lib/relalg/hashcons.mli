@@ -54,5 +54,17 @@ val live_nodes : unit -> int
 val hits : unit -> int
 val misses : unit -> int
 
+type occupancy = {
+  entries : int;  (** distinct interned nodes (= {!live_nodes}) *)
+  buckets : int;  (** current bucket-array length of the table *)
+  load_factor : float;  (** entries / buckets; > 1 means chains *)
+  longest_chain : int;  (** worst-case probe length right now *)
+}
+
+val occupancy : unit -> occupancy
+(** Table-shape snapshot for the calling domain — how full the interning
+    table is, not just how many nodes it holds. Costs a full bucket scan
+    ([Hashtbl.stats]); call at phase boundaries, not per intern. *)
+
 val clear : unit -> unit
 (** Drop the table (test isolation). Ids are not reused. *)

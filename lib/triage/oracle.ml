@@ -12,12 +12,18 @@ type t = {
   fw : F.t;
   target : Core.Suite.target;
   disabled : string list;
+  site : string;
   mutable checks : int;
   mutable executions : int;
 }
 
-let create fw target =
-  { fw; target; disabled = Core.Suite.rules_of target; checks = 0; executions = 0 }
+let create ?(site = "triage-oracle") fw target =
+  { fw;
+    target;
+    disabled = Core.Suite.rules_of target;
+    site;
+    checks = 0;
+    executions = 0 }
 
 let target t = t.target
 let checks t = t.checks
@@ -49,10 +55,10 @@ let check t q =
                totals match across [--jobs] settings. *)
             t.executions <- t.executions + 2;
             Obs.Metrics.add exec_c 2;
-            match Executor.Cache.run cat base.plan with
+            match Executor.Cache.run ~site:t.site cat base.plan with
             | Error e -> Invalid ("baseline exec: " ^ e)
             | Ok expected -> (
-              match Executor.Cache.run cat variant.plan with
+              match Executor.Cache.run ~site:t.site cat variant.plan with
               | Error e ->
                 Diverges
                   (Divergence.exec_error ~expected_rows:(RS.row_count expected) e)

@@ -16,9 +16,11 @@ type verdict =
 
 type t
 
-val create : Core.Framework.t -> Core.Suite.target -> t
+val create : ?site:string -> Core.Framework.t -> Core.Suite.target -> t
 (** The framework carries the rule registry under test (inject faults via
-    [Framework.create ~rules:(Faults.inject ...)]). *)
+    [Framework.create ~rules:(Faults.inject ...)]). [site] labels this
+    oracle's result-cache traffic for attribution (default
+    ["triage-oracle"]; replay passes ["replay"]). *)
 
 val check : t -> Relalg.Logical.t -> verdict
 (** One oracle evaluation: up to two optimizer invocations and two plan

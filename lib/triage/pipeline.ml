@@ -162,7 +162,7 @@ let replay ?(reinject = false) ?budget ?(pool = Par.Pool.sequential) ~dir () =
         match Relalg.Sql_parser.parse cat case.sql with
         | Error e -> Failed ("parse: " ^ e)
         | Ok q -> (
-          match Oracle.check (Oracle.create fw target) q with
+          match Oracle.check (Oracle.create ~site:"replay" fw target) q with
           | Oracle.Diverges d -> Reproduced d
           | Oracle.Agrees -> Clean
           | Oracle.Rule_not_fired -> Not_fired
