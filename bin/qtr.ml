@@ -68,6 +68,29 @@ let pool_of jobs =
   | None -> Par.Pool.create ()
   | Some j -> Par.Pool.create ~jobs:j ()
 
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persistent warm-start cache directory. Execution results and §5 edge-cost \
+           matrices computed this run are spilled there (atomic, versioned writes) \
+           and reused by later runs over an identical catalog/rule-set/suite; stale \
+           or corrupt entries are silently ignored. Safe to delete at any time.")
+
+(* The disk tiers key everything by the catalog contents, so a cache
+   directory can be shared across scales, seeds and machines: mismatched
+   entries simply miss. *)
+let setup_cache cache_dir cat =
+  match cache_dir with
+  | None -> None
+  | Some dir ->
+    let dc = Diskcache.create ~dir () in
+    Executor.Cache.set_disk
+      (Some (dc, Printf.sprintf "cat-%x" (Catalog.content_hash cat)));
+    Some dc
+
 (* Telemetry is off unless asked for: tracing implies metrics, so the
    per-rule tables under `--json`/`qtr stats` line up with the spans. *)
 let with_telemetry trace f =
@@ -113,7 +136,7 @@ let pool_utilization () =
          match values with
          | [ b; s; i; m; w; t ] ->
            let wall = float_of_int (counter_cell w) in
-           if wall <= 0.0 then None
+           if wall <= 0.0 && counter_cell t = 0 then None
            else
              Some
                { wu_worker = label;
@@ -143,18 +166,28 @@ let cache_attribution () =
 
 let pct part whole = if whole <= 0.0 then 0.0 else 100.0 *. part /. whole
 
+(* Below this the busy/steal/idle shares are quotients of measurement
+   noise — the jobs=1 inline path runs tasks on the caller with
+   essentially no tracked wall, and 100%/0% splits there just mislead. *)
+let wall_noise_ns = 1e4
+
 let print_pool_utilization () =
   match pool_utilization () with
   | [] -> print_endline "pool: no parallel maps recorded (run with --jobs 2+)"
   | rows ->
     List.iter
       (fun u ->
-        Printf.printf
-          "pool %-4s busy %5.1f%% | steal %4.1f%% | idle %5.1f%% | merge %4.1f%% | \
-           %5d tasks | wall %.2fs\n"
-          u.wu_worker (pct u.wu_busy u.wu_wall) (pct u.wu_steal u.wu_wall)
-          (pct u.wu_idle u.wu_wall) (pct u.wu_merge u.wu_wall) u.wu_tasks
-          (u.wu_wall /. 1e9))
+        if u.wu_wall < wall_noise_ns then
+          Printf.printf
+            "pool %-4s utilization n/a (inline execution, wall ~0) | %5d tasks\n"
+            u.wu_worker u.wu_tasks
+        else
+          Printf.printf
+            "pool %-4s busy %5.1f%% | steal %4.1f%% | idle %5.1f%% | merge %4.1f%% | \
+             %5d tasks | wall %.2fs\n"
+            u.wu_worker (pct u.wu_busy u.wu_wall) (pct u.wu_steal u.wu_wall)
+            (pct u.wu_idle u.wu_wall) (pct u.wu_merge u.wu_wall) u.wu_tasks
+            (u.wu_wall /. 1e9))
       rows
 
 let print_cache_attribution () =
@@ -170,6 +203,43 @@ let print_cache_attribution () =
     in
     Printf.printf "result cache by site (hits/lookups): %s\n"
       (String.concat " | " cells)
+
+let global_counter name =
+  match
+    List.find_map
+      (fun (n, l, v) -> if n = name && l = None then Some v else None)
+      (Obs.Metrics.snapshot ())
+  with
+  | Some (Obs.Metrics.Counter c) -> c
+  | _ -> 0
+
+(* Warm-start traffic: the result-cache disk tier plus the spilled
+   edge-cost matrix. Silent when no --cache-dir was given (all zeros). *)
+let print_disk_cache () =
+  let rh = global_counter "executor.result_cache.disk_hits" in
+  let rm = global_counter "executor.result_cache.disk_misses" in
+  let rs = global_counter "executor.result_cache.disk_stores" in
+  let loaded = global_counter "compress.matrix.disk_edges_loaded" in
+  let served = global_counter "compress.matrix.disk_served" in
+  if rh + rm + rs + loaded + served > 0 then
+    Printf.printf
+      "disk cache: results %d hit / %d miss / %d stored | matrix %d edge(s) loaded, \
+       %d served warm\n"
+      rh rm rs loaded served
+
+let disk_cache_json () =
+  Obs.Json.Obj
+    [ ("result_hits", Obs.Json.Int (global_counter "executor.result_cache.disk_hits"));
+      ( "result_misses",
+        Obs.Json.Int (global_counter "executor.result_cache.disk_misses") );
+      ( "result_stores",
+        Obs.Json.Int (global_counter "executor.result_cache.disk_stores") );
+      ( "matrix_edges_loaded",
+        Obs.Json.Int (global_counter "compress.matrix.disk_edges_loaded") );
+      ( "matrix_served_warm",
+        Obs.Json.Int (global_counter "compress.matrix.disk_served") );
+      ( "matrix_edges_computed",
+        Obs.Json.Int (global_counter "compress.edge_cost.computed") ) ]
 
 let pool_utilization_json () =
   Obs.Json.List
@@ -436,10 +506,11 @@ let pairs_flag =
   Arg.(value & flag & info [ "pairs" ] ~doc:"Target rule pairs instead of singletons.")
 
 let compress_cmd =
-  let run scale budget seed n k pairs jobs trace json =
+  let run scale budget seed n k pairs jobs cache_dir trace json =
     with_telemetry trace @@ fun () ->
     let pool = pool_of jobs in
     let fw = make_fw scale budget in
+    let disk = setup_cache cache_dir (Core.Framework.catalog fw) in
     let g = Prng.create seed in
     let rules = List.filteri (fun i _ -> i < n) Optimizer.Rules.names in
     let targets =
@@ -454,10 +525,10 @@ let compress_cmd =
         (Array.length suite.entries)
         (List.length (Core.Suite.shortfall suite));
     let algos =
-      [ ("BASELINE", Core.Compress.baseline ~pool fw suite);
-        ("SMC", Core.Compress.smc ~pool fw suite);
-        ("TOPK", Core.Compress.topk ~pool fw suite);
-        ("TOPK+mono", Core.Compress.topk ~exploit_monotonicity:true fw suite) ]
+      [ ("BASELINE", Core.Compress.baseline ~pool ?disk fw suite);
+        ("SMC", Core.Compress.smc ~pool ?disk fw suite);
+        ("TOPK", Core.Compress.topk ~pool ?disk fw suite);
+        ("TOPK+mono", Core.Compress.topk ~exploit_monotonicity:true ?disk fw suite) ]
     in
     if json then begin
       let doc =
@@ -504,7 +575,7 @@ let compress_cmd =
     (Cmd.info "compress" ~doc:"Test-suite compression: BASELINE vs SMC vs TOPK")
     Term.(
       const run $ scale_arg $ budget_arg $ seed_arg $ n_rules_arg $ k_arg $ pairs_flag
-      $ jobs_arg $ trace_arg $ json_arg)
+      $ jobs_arg $ cache_dir_arg $ trace_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* qtr validate                                                        *)
@@ -520,11 +591,12 @@ let validate_cmd =
             "Inject the buggy variant of RULE (one of the Faults registry) before \
              validating.")
   in
-  let run scale budget seed n k inject jobs trace =
+  let run scale budget seed n k inject jobs cache_dir trace =
     with_telemetry trace @@ fun () ->
     let pool = pool_of jobs in
     let rules_override = Option.map Core.Faults.inject inject in
     let fw = make_fw ?rules:rules_override scale budget in
+    let disk = setup_cache cache_dir (Core.Framework.catalog fw) in
     let g = Prng.create seed in
     let rules =
       match inject with
@@ -534,7 +606,7 @@ let validate_cmd =
     let targets = List.map (fun r -> Core.Suite.Single r) rules in
     Printf.printf "generating suite: %d rules x k=%d...\n%!" (List.length targets) k;
     let suite = Core.Suite.generate ~extra_ops:2 ~pool fw g ~targets ~k in
-    let sol = Core.Compress.topk ~pool fw suite in
+    let sol = Core.Compress.topk ~pool ?disk fw suite in
     List.iter
       (fun (t, d) ->
         Printf.printf "warning: target %s under-covered (missing %d of k=%d)\n%!"
@@ -549,7 +621,7 @@ let validate_cmd =
        ~doc:"Execute a compressed correctness suite (optionally with a fault injected)")
     Term.(
       const run $ scale_arg $ budget_arg $ seed_arg $ n_rules_arg $ k_arg $ inject
-      $ jobs_arg $ trace_arg)
+      $ jobs_arg $ cache_dir_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* qtr reduce                                                          *)
@@ -578,12 +650,13 @@ let reduce_cmd =
       & info [ "max-checks" ] ~docv:"N"
           ~doc:"Oracle-evaluation budget per bug during delta reduction.")
   in
-  let run scale budget seed n k inject corpus max_checks jobs trace json =
+  let run scale budget seed n k inject corpus max_checks jobs cache_dir trace json =
     with_telemetry trace @@ fun () ->
     if json then Obs.Metrics.set_enabled true;
     let pool = pool_of jobs in
     let rules_override = Option.map Core.Faults.inject inject in
     let fw = make_fw ?rules:rules_override scale budget in
+    let disk = setup_cache cache_dir (Core.Framework.catalog fw) in
     let g = Prng.create seed in
     let rules =
       match inject with
@@ -594,7 +667,7 @@ let reduce_cmd =
     if not json then
       Printf.printf "generating suite: %d rules x k=%d...\n%!" (List.length targets) k;
     let suite = Core.Suite.generate ~extra_ops:2 ~pool fw g ~targets ~k in
-    let sol = Core.Compress.topk ~pool fw suite in
+    let sol = Core.Compress.topk ~pool ?disk fw suite in
     let report = Core.Correctness.run ~pool fw suite sol in
     if not json then Format.printf "%a@." Core.Correctness.pp_report report;
     let triaged = Triage.Pipeline.triage ~max_checks ~pool fw report in
@@ -627,7 +700,7 @@ let reduce_cmd =
           signature, and optionally persist the regression corpus")
     Term.(
       const run $ scale_arg $ budget_arg $ seed_arg $ n_rules_arg $ k_arg $ inject
-      $ corpus $ max_checks $ jobs_arg $ trace_arg $ json_arg)
+      $ corpus $ max_checks $ jobs_arg $ cache_dir_arg $ trace_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* qtr replay                                                          *)
@@ -716,12 +789,13 @@ let stats_cmd =
           ~doc:"Sort column: $(b,attempts), $(b,rewrites), $(b,rate), $(b,mean) \
                 (latency) or $(b,total) (time).")
   in
-  let run scale budget seed queries sort jobs trace json =
+  let run scale budget seed queries sort jobs cache_dir trace json =
     with_telemetry trace @@ fun () ->
     Obs.Metrics.set_enabled true;
     let pool = pool_of jobs in
     let fw = make_fw scale budget in
     let cat = Core.Framework.catalog fw in
+    ignore (setup_cache cache_dir cat : Diskcache.t option);
     let ctx = { Core.Arggen.g = Prng.create seed; cat } in
     (* Queries are generated sequentially (one PRNG stream), then
        optimized as one task each with its own fresh-name range — the
@@ -842,6 +916,7 @@ let stats_cmd =
            (Obs.Metrics.hist_mean (Obs.Metrics.histogram "executor.compile_ns")))
         rows_per_sec (rate ex_hits ex_misses) ex_hits (ex_hits + ex_misses);
       print_cache_attribution ();
+      print_disk_cache ();
       print_pool_utilization ()
     end
   in
@@ -852,7 +927,7 @@ let stats_cmd =
           per-rule attempt/success/latency table")
     Term.(
       const run $ scale_arg $ budget_arg $ seed_arg $ queries_arg $ sort_arg $ jobs_arg
-      $ trace_arg $ json_arg)
+      $ cache_dir_arg $ trace_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* qtr profile                                                         *)
@@ -963,7 +1038,7 @@ let report_cmd =
             "Inject the buggy variant of RULE (one of the Faults registry) so the \
              validation and triage sections are exercised.")
   in
-  let run scale budget seed n k inject jobs trace json =
+  let run scale budget seed n k inject jobs cache_dir trace json =
     with_telemetry trace @@ fun () ->
     Obs.Metrics.set_enabled true;
     Obs.Profile.enable ();
@@ -971,6 +1046,7 @@ let report_cmd =
     let pool = pool_of jobs in
     let rules_override = Option.map Core.Faults.inject inject in
     let fw = make_fw ?rules:rules_override scale budget in
+    let disk = setup_cache cache_dir (Core.Framework.catalog fw) in
     let g = Prng.create seed in
     let rules = List.filteri (fun i _ -> i < n) Optimizer.Rules.names in
     let targets = List.map (fun r -> Core.Suite.Single r) rules in
@@ -980,8 +1056,8 @@ let report_cmd =
         (match inject with None -> "" | Some r -> ", fault " ^ r);
     let suite = Core.Suite.generate ~extra_ops:2 ~pool fw g ~targets ~k in
     let shortfalls = Core.Suite.shortfall suite in
-    let baseline : Core.Compress.solution = Core.Compress.baseline ~pool fw suite in
-    let sol : Core.Compress.solution = Core.Compress.topk ~pool fw suite in
+    let baseline : Core.Compress.solution = Core.Compress.baseline ~pool ?disk fw suite in
+    let sol : Core.Compress.solution = Core.Compress.topk ~pool ?disk fw suite in
     let correctness = Core.Correctness.run ~pool fw suite sol in
     let triaged = Triage.Pipeline.triage ~pool fw correctness in
     let wall_s = Obs.Clock.ns_between t0 (Obs.Clock.now_ns ()) /. 1e9 in
@@ -1034,6 +1110,7 @@ let report_cmd =
                 ("profile", Obs.Profile.to_json ());
                 ("pool", pool_utilization_json ());
                 ("result_cache", cache_attribution_json ());
+                ("disk_cache", disk_cache_json ());
                 ("metrics", Obs.Report.metrics_json ()) ]))
     else begin
       Printf.printf
@@ -1059,6 +1136,7 @@ let report_cmd =
       Format.printf "%a@." Obs.Profile.pp ();
       print_pool_utilization ();
       print_cache_attribution ();
+      print_disk_cache ();
       Printf.printf "wall: %.2fs\n" wall_s
     end
   in
@@ -1070,7 +1148,7 @@ let report_cmd =
           quality and triage counts into one text or JSON report")
     Term.(
       const run $ scale_arg $ budget_arg $ seed_arg $ n_rules_arg $ k_arg $ inject
-      $ jobs_arg $ trace_arg $ json_arg)
+      $ jobs_arg $ cache_dir_arg $ trace_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* qtr bench-diff                                                      *)

@@ -10,9 +10,73 @@ type edge_costs = {
   mutable calls : int;
   computed_c : Obs.Metrics.counter;
   memo_hit_c : Obs.Metrics.counter;
+  (* Warm-start tier: edges loaded from a prior run's spilled matrix.
+     Serving an edge from here still counts into [calls] — the paper's
+     abstract unit of optimizer work, and the [invocations] field every
+     solution reports — so cold and warm runs produce byte-identical
+     solutions; only the *concrete* work (explorations, costing passes,
+     wall time) collapses. *)
+  warm : (int * int, float) Hashtbl.t;
+  disk : (Storage.Diskcache.t * string) option;
+  disk_served_c : Obs.Metrics.counter;
 }
 
-let edge_costs ?(share_exploration = true) fw (suite : Suite.t) =
+let matrix_ns = "matrix"
+
+(* The spill key ties a matrix to everything its costs depend on: the
+   catalog (schema + data), the rule set, and the suite's exact queries,
+   targets, and shape (k). Any drift — new seed, new scale, edited rule,
+   regenerated suite — changes the key and the old entry is ignored. *)
+let matrix_key fw (suite : Suite.t) =
+  let combine h k = ((h * 65599) + k) land max_int in
+  let h = Storage.Catalog.content_hash (Framework.catalog fw) in
+  let h =
+    List.fold_left
+      (fun h (r : Optimizer.Rule.t) -> combine h (Hashtbl.hash r.name))
+      h (Framework.rules fw)
+  in
+  let h = combine h suite.k in
+  let h =
+    List.fold_left
+      (fun h t -> combine h (Hashtbl.hash (Suite.target_name t)))
+      h suite.targets
+  in
+  let h =
+    Array.fold_left
+      (fun h (e : Suite.entry) ->
+        combine (combine h (Relalg.Logical.hash e.query))
+          (Hashtbl.hash e.cost))
+      h suite.entries
+  in
+  let h =
+    List.fold_left
+      (fun h (t, picks) ->
+        List.fold_left combine (combine h (Hashtbl.hash (Suite.target_name t)))
+          picks)
+      h suite.per_target
+  in
+  Printf.sprintf "matrix-%x" h
+
+let disk_loaded_c = Obs.Metrics.counter "compress.matrix.disk_edges_loaded"
+
+let edge_costs ?(share_exploration = true) ?disk fw (suite : Suite.t) =
+  let warm = Hashtbl.create 256 in
+  let disk =
+    match disk with
+    | None -> None
+    | Some dc ->
+      let key = matrix_key fw suite in
+      (match
+         (Storage.Diskcache.load dc ~ns:matrix_ns ~key
+           : ((int * int) * float) array option)
+       with
+      | Some edges ->
+        Array.iter (fun (p, c) -> Hashtbl.replace warm p c) edges;
+        if Obs.Metrics.enabled () then
+          Obs.Metrics.add disk_loaded_c (Array.length edges)
+      | None -> ());
+      Some (dc, key)
+  in
   { fw;
     suite;
     targets = Array.of_list suite.targets;
@@ -21,7 +85,25 @@ let edge_costs ?(share_exploration = true) fw (suite : Suite.t) =
     shared = Array.make (Array.length suite.entries) None;
     calls = 0;
     computed_c = Obs.Metrics.counter "compress.edge_cost.computed";
-    memo_hit_c = Obs.Metrics.counter "compress.edge_cost.memo_hits" }
+    memo_hit_c = Obs.Metrics.counter "compress.edge_cost.memo_hits";
+    warm;
+    disk;
+    disk_served_c = Obs.Metrics.counter "compress.matrix.disk_served" }
+
+(* Spill every known edge (computed this run or inherited warm) back to
+   disk. Last-writer-wins under the same key is benign: both writers
+   computed the same costs. *)
+let save_matrix ec =
+  match ec.disk with
+  | None -> ()
+  | Some (dc, key) ->
+    let union = Hashtbl.copy ec.memo in
+    Hashtbl.iter
+      (fun p c -> if not (Hashtbl.mem union p) then Hashtbl.replace union p c)
+      ec.warm;
+    ignore
+      (Storage.Diskcache.store dc ~ns:matrix_ns ~key
+         (Array.of_seq (Hashtbl.to_seq union)))
 
 let shared_for ec query_idx =
   match ec.shared.(query_idx) with
@@ -40,33 +122,40 @@ let edge_cost ec ~target_idx ~query_idx =
   | Some c ->
     Obs.Metrics.incr ec.memo_hit_c;
     c
-  | None ->
+  | None -> (
     (* [calls] counts computed edges — the paper's abstract unit of
        optimizer work (Figure 14) — regardless of how an edge is served:
-       a full [Cost(q, negated R)] optimization, or a filtered re-costing
-       pass over the query's one shared exploration. The concrete
-       invocation count is [Framework.invocations]. *)
+       a full [Cost(q, negated R)] optimization, a filtered re-costing
+       pass over the query's one shared exploration, or a warm edge
+       loaded from a prior run's spilled matrix. The concrete invocation
+       count is [Framework.invocations]. *)
     ec.calls <- ec.calls + 1;
-    Obs.Metrics.incr ec.computed_c;
-    let disabled = Suite.rules_of ec.targets.(target_idx) in
-    let query = ec.suite.entries.(query_idx).query in
-    let per_call () =
-      match Framework.cost ec.fw ~disabled query with
-      | Ok c -> c
-      | Error _ -> Float.infinity
-    in
-    let c =
-      if ec.share then
-        match shared_for ec query_idx with
-        | Some sh -> (
-          match Framework.shared_cost ec.fw ~disabled sh with
-          | Ok c -> c
-          | Error _ -> Float.infinity)
-        | None -> per_call ()
-      else per_call ()
-    in
-    Hashtbl.replace ec.memo (target_idx, query_idx) c;
-    c
+    match Hashtbl.find_opt ec.warm (target_idx, query_idx) with
+    | Some c ->
+      Obs.Metrics.incr ec.disk_served_c;
+      Hashtbl.replace ec.memo (target_idx, query_idx) c;
+      c
+    | None ->
+      Obs.Metrics.incr ec.computed_c;
+      let disabled = Suite.rules_of ec.targets.(target_idx) in
+      let query = ec.suite.entries.(query_idx).query in
+      let per_call () =
+        match Framework.cost ec.fw ~disabled query with
+        | Ok c -> c
+        | Error _ -> Float.infinity
+      in
+      let c =
+        if ec.share then
+          match shared_for ec query_idx with
+          | Some sh -> (
+            match Framework.shared_cost ec.fw ~disabled sh with
+            | Ok c -> c
+            | Error _ -> Float.infinity)
+          | None -> per_call ()
+        else per_call ()
+      in
+      Hashtbl.replace ec.memo (target_idx, query_idx) c;
+      c)
 
 let invocations_used ec = ec.calls
 
@@ -88,11 +177,20 @@ let prefetch ?(pool = Par.Pool.sequential) ec pairs =
         (not (Hashtbl.mem ec.memo (ti, qi))) && not (Hashtbl.mem seen (ti, qi))
       then begin
         Hashtbl.replace seen (ti, qi) ();
-        match Hashtbl.find_opt cols qi with
-        | Some l -> l := ti :: !l
-        | None ->
-          Hashtbl.replace cols qi (ref [ ti ]);
-          order := qi :: !order
+        match Hashtbl.find_opt ec.warm (ti, qi) with
+        | Some c ->
+          (* Warm edge: merge straight into the memo — no task, no
+             exploration — with the same logical-work accounting a
+             computed edge gets. *)
+          ec.calls <- ec.calls + 1;
+          Obs.Metrics.incr ec.disk_served_c;
+          Hashtbl.replace ec.memo (ti, qi) c
+        | None -> (
+          match Hashtbl.find_opt cols qi with
+          | Some l -> l := ti :: !l
+          | None ->
+            Hashtbl.replace cols qi (ref [ ti ]);
+            order := qi :: !order)
       end)
     pairs;
   let columns =
@@ -206,9 +304,9 @@ let solution_cost (suite : Suite.t) sol =
 (* without sharing Plan(q) runs across targets.                         *)
 (* ------------------------------------------------------------------ *)
 
-let baseline ?share_exploration ?pool fw (suite : Suite.t) =
+let baseline ?share_exploration ?pool ?disk fw (suite : Suite.t) =
   algo_span "baseline" suite @@ fun () ->
-  let ec = edge_costs ?share_exploration fw suite in
+  let ec = edge_costs ?share_exploration ?disk fw suite in
   let tindex =
     List.mapi (fun i (t, _) -> (t, i)) suite.per_target
   in
@@ -235,6 +333,7 @@ let baseline ?share_exploration ?pool fw (suite : Suite.t) =
           acc picks)
       0.0 assignment
   in
+  save_matrix ec;
   { assignment;
     total_cost = total;
     invocations = invocations_used ec;
@@ -244,7 +343,7 @@ let baseline ?share_exploration ?pool fw (suite : Suite.t) =
 (* Greedy Constrained Set-Multicover (Figure 5)                         *)
 (* ------------------------------------------------------------------ *)
 
-let smc ?share_exploration ?pool fw (suite : Suite.t) =
+let smc ?share_exploration ?pool ?disk fw (suite : Suite.t) =
   algo_span "smc" suite @@ fun () ->
   let iterations_c = Obs.Metrics.counter "compress.smc.iterations" in
   let targets = Array.of_list suite.targets in
@@ -295,7 +394,7 @@ let smc ?share_exploration ?pool fw (suite : Suite.t) =
   done;
   (* SMC never looks at edge costs while choosing; they are computed once
      afterwards to evaluate the solution, as when executing it. *)
-  let ec = edge_costs ?share_exploration fw suite in
+  let ec = edge_costs ?share_exploration ?disk fw suite in
   prefetch ?pool ec
     (List.concat
        (Array.to_list
@@ -312,6 +411,7 @@ let smc ?share_exploration ?pool fw (suite : Suite.t) =
                picks ))
          assignment)
   in
+  save_matrix ec;
   let sol =
     { assignment;
       total_cost = 0.0;
@@ -349,11 +449,11 @@ module Kqueue = struct
   let contents q = List.rev_map (fun (c, i) -> (i, c)) q.items
 end
 
-let topk ?(exploit_monotonicity = false) ?share_exploration ?pool fw
+let topk ?(exploit_monotonicity = false) ?share_exploration ?pool ?disk fw
     (suite : Suite.t) =
   algo_span (if exploit_monotonicity then "topk_mono" else "topk") suite @@ fun () ->
   let pruned_c = Obs.Metrics.counter "compress.topk.pruned_edges" in
-  let ec = edge_costs ?share_exploration fw suite in
+  let ec = edge_costs ?share_exploration ?disk fw suite in
   let targets = Array.of_list suite.targets in
   (* The naive variant computes every (target, covering query) edge, so
      the whole matrix can be prefetched in parallel. The monotonicity
@@ -408,6 +508,7 @@ let topk ?(exploit_monotonicity = false) ?share_exploration ?pool fw
            (target, Kqueue.contents queue))
          targets)
   in
+  save_matrix ec;
   let sol =
     { assignment;
       total_cost = 0.0;

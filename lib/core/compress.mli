@@ -27,9 +27,28 @@ type edge_costs
     restores one full [Cost(q, ¬R)] optimization per edge (the reference
     path, kept for equivalence tests and benchmarks). *)
 
-val edge_costs : ?share_exploration:bool -> Framework.t -> Suite.t -> edge_costs
+val edge_costs :
+  ?share_exploration:bool ->
+  ?disk:Storage.Diskcache.t ->
+  Framework.t ->
+  Suite.t ->
+  edge_costs
+(** With [?disk], the service warm-starts from a previously spilled
+    edge-cost matrix, keyed by a hash of the catalog contents, the rule
+    set, and the suite (queries, targets, [k], per-target picks) — any
+    drift invalidates the entry. A warm-served edge still counts into
+    {!invocations_used} (so warm and cold runs produce byte-identical
+    solutions) but skips the exploration/costing work; the extra
+    counters [compress.matrix.disk_edges_loaded] and
+    [compress.matrix.disk_served] record the savings. *)
+
 val edge_cost : edge_costs -> target_idx:int -> query_idx:int -> float
 (** Infinity when no plan exists with the rules disabled. *)
+
+val save_matrix : edge_costs -> unit
+(** Spill every known edge (computed this run or inherited warm) back to
+    the attached disk cache; no-op without [?disk]. The algorithms below
+    call this before returning. *)
 
 val prefetch : ?pool:Par.Pool.t -> edge_costs -> (int * int) list -> unit
 (** [prefetch ?pool ec pairs] fills the memo for the given
@@ -60,18 +79,32 @@ type solution = {
 }
 
 (** The optional [pool] parallelizes the edge-cost matrix fill via
-    {!prefetch}; solutions are identical for any pool size. *)
+    {!prefetch}; solutions are identical for any pool size. The optional
+    [disk] warm-starts the edge-cost service from a spilled matrix and
+    spills the filled matrix back on completion (see {!edge_costs});
+    solutions are identical warm or cold. *)
 
 val baseline :
-  ?share_exploration:bool -> ?pool:Par.Pool.t -> Framework.t -> Suite.t -> solution
+  ?share_exploration:bool ->
+  ?pool:Par.Pool.t ->
+  ?disk:Storage.Diskcache.t ->
+  Framework.t ->
+  Suite.t ->
+  solution
 
 val smc :
-  ?share_exploration:bool -> ?pool:Par.Pool.t -> Framework.t -> Suite.t -> solution
+  ?share_exploration:bool ->
+  ?pool:Par.Pool.t ->
+  ?disk:Storage.Diskcache.t ->
+  Framework.t ->
+  Suite.t ->
+  solution
 
 val topk :
   ?exploit_monotonicity:bool ->
   ?share_exploration:bool ->
   ?pool:Par.Pool.t ->
+  ?disk:Storage.Diskcache.t ->
   Framework.t ->
   Suite.t ->
   solution

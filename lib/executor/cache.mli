@@ -25,6 +25,17 @@ val run :
     the traffic to its caller ([validate], [triage-oracle], [replay],
     [stats]; default [adhoc]). *)
 
+val set_disk : (Storage.Diskcache.t * string) option -> unit
+(** Attach (or detach) the shared disk tier: memory misses consult the
+    {!Storage.Diskcache} under namespace ["results"], keyed by the given
+    catalog key (callers derive it from {!Storage.Catalog.content_hash})
+    plus the plan fingerprint; computed results are written back
+    (atomic, versioned). Entries carry the full plan and are served only
+    on structural {!Optimizer.Physical.equal}, so collisions degrade to
+    misses. Configure once at startup, before spawning worker domains.
+    Records [executor.result_cache.disk_hits]/[.disk_misses]/
+    [.disk_stores]. *)
+
 val clear : unit -> unit
 (** Drop the calling domain's cache (test isolation, fresh
-    measurements). *)
+    measurements). The disk tier, when configured, is unaffected. *)

@@ -317,3 +317,8 @@ let rec node catalog (p : P.t) : t =
 
 let plan catalog p = node catalog p
 let execute t = Resultset.make t.cols (t.gen ())
+
+(* Constructor for alternate compilation strategies ({!Batch}) that
+   produce the same executable shape. *)
+let v cols gen = { cols; gen }
+let column_index = index_of

@@ -38,3 +38,14 @@ val plan : Storage.Catalog.t -> Optimizer.Physical.t -> t
 val execute : t -> Resultset.t
 (** Run the compiled plan. Raises {!Relops.Exec_error} or
     [Invalid_argument] only for value-dependent failures. *)
+
+(** {2 Shared with the batch compiler ({!Batch})} *)
+
+val v : Relalg.Ident.t array -> (unit -> Storage.Value.t array array) -> t
+(** Wrap output columns and a row generator as a compiled plan. *)
+
+val column_index : Relalg.Ident.t array -> Relalg.Ident.t -> int
+(** Offset of a column in a row layout. Raises {!Compile_error} on
+    unknown columns. *)
+
+val key_indices : Relalg.Ident.t array -> Relalg.Ident.t list -> int array

@@ -202,7 +202,7 @@ let run_interpreted catalog plan =
   | Invalid_argument msg -> Error ("execution type error: " ^ msg)
 
 (* ------------------------------------------------------------------ *)
-(* Compiled execution (the default path)                               *)
+(* Compiled execution                                                  *)
 (* ------------------------------------------------------------------ *)
 
 let compile_h = Obs.Metrics.histogram "executor.compile_ns"
@@ -210,12 +210,12 @@ let exec_h = Obs.Metrics.histogram "executor.exec_ns"
 let rows_c = Obs.Metrics.counter "executor.rows"
 let rps_g = Obs.Metrics.gauge "executor.rows_per_sec"
 
-let run catalog plan =
-  Obs.Trace.with_span "exec.run" @@ fun () ->
+let timed_run span compile =
+  Obs.Trace.with_span span @@ fun () ->
   try
     if Obs.Metrics.enabled () then begin
       let t0 = Obs.Clock.now_ns () in
-      let compiled = Compile.plan catalog plan in
+      let compiled = compile () in
       let t1 = Obs.Clock.now_ns () in
       Obs.Metrics.observe compile_h (Obs.Clock.ns_between t0 t1);
       let rs = Compile.execute compiled in
@@ -227,10 +227,22 @@ let run catalog plan =
         Obs.Metrics.gauge_set rps_g (float_of_int (RS.row_count rs) *. 1e9 /. dt);
       Ok rs
     end
-    else Ok (Compile.execute (Compile.plan catalog plan))
+    else Ok (Compile.execute (compile ()))
   with
   | Compile.Compile_error msg | Relops.Exec_error msg -> Error msg
   | Invalid_argument msg -> Error ("execution type error: " ^ msg)
+
+(* The default path: columnar batch kernels ([Batch]), morsel-scheduled
+   through [pool] when one is supplied. Sequential by default — the
+   campaign layers already fan out across queries, and nested domain
+   pools oversubscribe. *)
+let run ?pool ?morsel_rows catalog plan =
+  timed_run "exec.batch" (fun () -> Batch.plan ?pool ?morsel_rows catalog plan)
+
+(* The PR-5 row-at-a-time compiled closures, kept as a differential
+   reference and the batch path's benchmark baseline. *)
+let run_rowwise catalog plan =
+  timed_run "exec.run" (fun () -> Compile.plan catalog plan)
 
 let run_logical ?options catalog tree =
   match Optimizer.Engine.optimize ?options catalog tree with

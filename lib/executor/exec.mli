@@ -12,12 +12,25 @@
     differentially tested and benchmarked against. *)
 
 val run :
+  ?pool:Par.Pool.t ->
+  ?morsel_rows:int ->
+  Storage.Catalog.t ->
+  Optimizer.Physical.t ->
+  (Resultset.t, string) result
+(** Compile then execute, bottom-up and materializing, via the columnar
+    batch path ({!Batch}). Fails (rather than raising) on unknown
+    tables/columns, arity mismatches — reported at compile time, before
+    any row is produced — and on row-time type errors. [pool] schedules
+    morsels across domains (default sequential; results byte-identical
+    either way). When metrics are enabled, records
+    [executor.compile_ns], [executor.exec_ns], [executor.rows], and
+    [executor.rows_per_sec]. *)
+
+val run_rowwise :
   Storage.Catalog.t -> Optimizer.Physical.t -> (Resultset.t, string) result
-(** Compile then execute, bottom-up and materializing. Fails (rather
-    than raising) on unknown tables/columns, arity mismatches — reported
-    at compile time, before any row is produced — and on row-time type
-    errors. When metrics are enabled, records [executor.compile_ns],
-    [executor.exec_ns], [executor.rows], and [executor.rows_per_sec]. *)
+(** The row-at-a-time compiled-closure path ({!Compile}) — the batch
+    path's differential reference and benchmark baseline. Same
+    observable results and errors as {!run}. *)
 
 val run_interpreted :
   Storage.Catalog.t -> Optimizer.Physical.t -> (Resultset.t, string) result

@@ -40,6 +40,38 @@ let filter_rows p rows =
   Array.iter (fun row -> if p row then Vec.push out row) rows;
   Vec.to_array out
 
+(* ------------------------------------------------------------------ *)
+(* Morsels                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixed-size chunking of an operator's input. Empty input yields zero
+   morsels (not one empty morsel), so downstream maps are no-ops. *)
+let morselize ~rows:m arr =
+  if m < 1 then invalid_arg "Relops.morselize: morsel size < 1";
+  let n = Array.length arr in
+  Array.init ((n + m - 1) / m) (fun k ->
+      Array.sub arr (k * m) (min m (n - (k * m))))
+
+let morsels_c = Obs.Metrics.counter "executor.batch.morsels"
+let morsel_rows_c = Obs.Metrics.counter "executor.batch.rows"
+
+(* The morsel scheduler: chunk, map each morsel (through the pool when
+   one is supplied), concatenate in task order. [Par.Pool.map_array]
+   merges result slots by task index and re-raises the lowest failing
+   task's exception, so both the output *and* the error surfaced are
+   byte-identical to a sequential left-to-right scan for any jobs
+   count. *)
+let map_morsels pool ~rows f arr =
+  let chunks = morselize ~rows arr in
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.add morsels_c (Array.length chunks);
+    Obs.Metrics.add morsel_rows_c (Array.length arr)
+  end;
+  match chunks with
+  | [||] -> [||]
+  | [| only |] -> f only
+  | chunks -> Array.concat (Array.to_list (Par.Pool.map_array pool f chunks))
+
 let take_rows n rows = Array.sub rows 0 (min n (Array.length rows))
 
 (* ------------------------------------------------------------------ *)
@@ -224,9 +256,10 @@ let nested_loops_matches (pred : Value.t array -> bool)
 
 (* Equi-join by hashing the right side on its key columns. NULL keys
    never match (skipped on both sides); [residual] — when present — is
-   checked over the combined row. *)
-let hash_matches ~lidx ~ridx ~(residual : (Value.t array -> bool) option)
-    (larr : Value.t array array) (rarr : Value.t array array) =
+   checked over the combined row. Build and probe are split so the batch
+   path can build once sequentially and probe left-side morsels in
+   parallel. *)
+let hash_build ~ridx (rarr : Value.t array array) : int list ref RowTbl.t =
   let table : int list ref RowTbl.t = RowTbl.create 64 in
   Array.iteri
     (fun ri rrow ->
@@ -236,20 +269,26 @@ let hash_matches ~lidx ~ridx ~(residual : (Value.t array -> bool) option)
         | Some cell -> cell := ri :: !cell
         | None -> RowTbl.add table key (ref [ ri ]))
     rarr;
-  let check_residual lrow ri =
+  table
+
+let hash_probe_row table ~lidx ~(residual : (Value.t array -> bool) option)
+    (rarr : Value.t array array) lrow =
+  let check_residual ri =
     match residual with
     | None -> true
     | Some p -> p (Array.append lrow rarr.(ri))
   in
-  Array.map
-    (fun lrow ->
-      let key = extract_key lidx lrow in
-      if key_has_null key then []
-      else
-        match RowTbl.find_opt table key with
-        | None -> []
-        | Some cell -> List.filter (check_residual lrow) (List.rev !cell))
-    larr
+  let key = extract_key lidx lrow in
+  if key_has_null key then []
+  else
+    match RowTbl.find_opt table key with
+    | None -> []
+    | Some cell -> List.filter check_residual (List.rev !cell)
+
+let hash_matches ~lidx ~ridx ~(residual : (Value.t array -> bool) option)
+    (larr : Value.t array array) (rarr : Value.t array array) =
+  let table = hash_build ~ridx rarr in
+  Array.map (hash_probe_row table ~lidx ~residual rarr) larr
 
 (* Inner merge join over inputs already sorted on their keys. Rows with
    NULL keys sort first and can never match; they are skipped. *)

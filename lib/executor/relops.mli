@@ -35,6 +35,17 @@ val extract_key : int array -> Value.t array -> Value.t array
 val filter_rows : (Value.t array -> bool) -> Value.t array array -> Value.t array array
 val take_rows : int -> Value.t array array -> Value.t array array
 
+val morselize : rows:int -> 'a array -> 'a array array
+(** Fixed-size chunks in input order; the last may be short; empty input
+    yields zero morsels. Raises [Invalid_argument] when [rows < 1]. *)
+
+val map_morsels :
+  Par.Pool.t -> rows:int -> ('a array -> 'b array) -> 'a array -> 'b array
+(** Chunk, map each morsel through the pool, concatenate in task order —
+    output (and any raised exception: the lowest morsel's) is identical
+    for every pool size. Counts [executor.batch.morsels] /
+    [executor.batch.rows] when metrics are on. *)
+
 val make_agg :
   (Relalg.Scalar.t -> Value.t array -> Value.t) ->
   Relalg.Aggregate.t ->
@@ -91,6 +102,20 @@ val nested_loops_matches :
   int list array
 (** Predicate over the combined row, every pair tested. *)
 
+val hash_build : ridx:int array -> Value.t array array -> int list ref RowTbl.t
+(** Build side of {!hash_matches}: right-row indices by key, NULL keys
+    skipped. *)
+
+val hash_probe_row :
+  int list ref RowTbl.t ->
+  lidx:int array ->
+  residual:(Value.t array -> bool) option ->
+  Value.t array array ->
+  Value.t array ->
+  int list
+(** Probe one left row: matching right indices in right-input order,
+    residual-filtered. Pure per row, so probes parallelize by morsel. *)
+
 val hash_matches :
   lidx:int array ->
   ridx:int array ->
@@ -99,7 +124,8 @@ val hash_matches :
   Value.t array array ->
   int list array
 (** Equi-join by hashing the right side; NULL keys never match;
-    [residual] (over the combined row) filters matches when present. *)
+    [residual] (over the combined row) filters matches when present.
+    [hash_build] + [hash_probe_row] per left row. *)
 
 val merge_matches :
   lidx:int array ->

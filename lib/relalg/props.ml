@@ -25,6 +25,12 @@ let caches_key =
         schema_cache = Logical.Tbl.create 4096;
         keys_cache = Logical.Tbl.create 4096 })
 
+let clear () =
+  let cs = Domain.DLS.get caches_key in
+  cs.owner <- None;
+  Logical.Tbl.reset cs.schema_cache;
+  Logical.Tbl.reset cs.keys_cache
+
 let with_cache cat select compute t =
   let cs = Domain.DLS.get caches_key in
   let flush = match cs.owner with Some c -> not (c == cat) | None -> true in

@@ -11,6 +11,12 @@ type col_info = {
   nullable : bool;
 }
 
+val clear : unit -> unit
+(** Drop the calling domain's schema/keys memo tables. The caches flush
+    themselves when the catalog changes; [clear] is for long-lived
+    processes (benchmarks, tests) that want to release the retained
+    trees between phases. *)
+
 val schema :
   Storage.Catalog.t -> Logical.t -> (col_info list, string) result
 (** Output columns of a tree, in order. Fails when the tree is ill-formed

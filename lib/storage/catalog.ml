@@ -12,6 +12,28 @@ let table_names t = SMap.bindings t |> List.map fst
 let tables t = SMap.bindings t |> List.map snd
 let schemas t = tables t |> List.map (fun (tb : Table.t) -> tb.schema)
 
+(* Content fingerprint over schemas *and* data, used to key the on-disk
+   warm-start caches: two catalogs with the same tables, columns, and
+   rows (in order) hash equal, anything else — regenerated data, a new
+   column, a different scale — invalidates every dependent cache entry.
+   Same multiplier discipline as [Relalg.Scalar.hash_combine]: every row
+   contributes, since [Hashtbl.hash] alone would sample a prefix. *)
+let content_hash t =
+  let combine h k = ((h * 65599) + k) land max_int in
+  SMap.fold
+    (fun name (tb : Table.t) h ->
+      let h = combine h (Hashtbl.hash name) in
+      let h =
+        List.fold_left
+          (fun h (c : Schema.column) -> combine h (Hashtbl.hash (c.col_name, c.col_type)))
+          h tb.schema.columns
+      in
+      Array.fold_left
+        (fun h row ->
+          Array.fold_left (fun h v -> combine h (Value.hash v)) (combine h 7) row)
+        h tb.rows)
+    t 17
+
 let referenced_key t (fk : Schema.foreign_key) =
   Option.map (fun (tb : Table.t) -> tb.schema) (find t fk.fk_table)
 

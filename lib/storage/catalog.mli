@@ -22,4 +22,10 @@ val schemas : t -> Schema.t list
 val referenced_key : t -> Schema.foreign_key -> Schema.t option
 (** The schema a foreign key points at, when present in the catalog. *)
 
+val content_hash : t -> int
+(** Structural fingerprint of the whole catalog — table names, column
+    names and types, and every row in order. Keys the on-disk caches
+    ({!Diskcache}): equal catalogs hash equal, any data or schema change
+    invalidates dependent entries. Non-negative. *)
+
 val pp : Format.formatter -> t -> unit

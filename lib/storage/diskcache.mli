@@ -1,0 +1,39 @@
+(** Versioned on-disk key/value store backing the warm-start caches
+    (executor result cache, §5 edge-cost matrices).
+
+    Entries are [Marshal]ed payloads under a header carrying a magic
+    string, a format version (including [Sys.ocaml_version] and a
+    caller-supplied salt), the full key, and an MD5 of the payload
+    bytes. Every mismatch — missing file, stale version, truncated or
+    bit-flipped payload, filename collision — loads as [None], never as
+    an error: a bad cache behaves like an empty one. Writes are
+    write-to-temp-then-rename in the target directory, so concurrent
+    writers and crashed runs can't leave a partial entry visible.
+
+    Type safety is the caller's contract: a [(ns, key)] pair must always
+    be written and read at one type (the version salt is the lever —
+    bump it whenever the stored type changes shape). *)
+
+type t
+
+val create : ?version:string -> dir:string -> unit -> t
+(** Opens (creating directories as needed) a cache rooted at [dir].
+    [version] salts the on-disk version string; entries written under a
+    different salt load as misses. *)
+
+val dir : t -> string
+
+val path : t -> ns:string -> key:string -> string
+(** The file an entry lives at — exposed for tests and diagnostics. *)
+
+val store : t -> ns:string -> key:string -> 'a -> bool
+(** Atomically persists [v] under [(ns, key)]. [false] on I/O failure
+    (unwritable directory, full disk) — callers treat this as
+    "cache unavailable", not as an error. *)
+
+val load : t -> ns:string -> key:string -> 'a option
+(** [None] unless a complete, digest-verified entry written by the same
+    format/compiler/salt under exactly this key exists. *)
+
+val entries : t -> ns:string -> int
+(** Number of entries currently stored under [ns]. *)

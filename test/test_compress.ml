@@ -86,6 +86,31 @@ let smc_sol = C.smc fw suite6
 let topk_sol = C.topk fw suite6
 let topk_mono_sol = C.topk ~exploit_monotonicity:true fw suite6
 
+(* Warm-start determinism: a run that loads every edge from a spilled
+   matrix must produce the same solution, the same logical invocation
+   count — and do (almost) no optimizer work. *)
+let test_warm_matrix_identical () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qtr-test-matrix-%d" (Unix.getpid ()))
+  in
+  let dc = Storage.Diskcache.create ~dir () in
+  let i0 = F.invocations fw in
+  let cold = C.topk ~disk:dc fw suite6 in
+  let i1 = F.invocations fw in
+  check bool_t "cold run spills the matrix" true
+    (Storage.Diskcache.entries dc ~ns:"matrix" > 0);
+  let warm = C.topk ~disk:dc fw suite6 in
+  let i2 = F.invocations fw in
+  check bool_t "identical assignment" true (cold.assignment = warm.assignment);
+  check bool_t "identical cost" true (cold.total_cost = warm.total_cost);
+  check int_t "identical logical invocations" cold.invocations warm.invocations;
+  check bool_t "matches the disk-free solution" true
+    (topk_sol.assignment = warm.assignment
+    && topk_sol.total_cost = warm.total_cost);
+  check bool_t "cold run did optimizer work" true (i1 - i0 > 0);
+  check int_t "warm run did none" 0 (i2 - i1)
+
 let test_baseline () =
   check bool_t "covers" true
     (List.for_all
@@ -310,6 +335,8 @@ let suite =
         Alcotest.test_case "topk picks cheapest" `Slow test_topk;
         Alcotest.test_case "monotonicity sound and cheaper" `Slow
           test_monotonicity_sound_and_cheaper;
+        Alcotest.test_case "warm matrix identical" `Slow
+          test_warm_matrix_identical;
         Alcotest.test_case "compression beats baseline" `Slow
           test_compression_beats_baseline ] );
     ("core.matching", [ Alcotest.test_case "exact no-sharing variant" `Slow test_matching ]);

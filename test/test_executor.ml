@@ -292,6 +292,133 @@ let test_fingerprint () =
     <> fp (P.FilterOp { pred = S.Cmp (S.Gt, S.col lk, S.int 2); child = scan_l }));
   check bool_t "non-negative" true (fp (hj L.FullOuter) >= 0)
 
+(* Morsel scheduling must be invisible: for every operator family the
+   batch path must reproduce the row-compiled results whatever the
+   morsel boundaries — a one-row morsel, a size that straddles the
+   4-row tables, one larger than any input — and whatever the pool
+   size. "Identical" here is ordered, not bag: byte-for-byte output is
+   the [--jobs N] contract. *)
+let rows_identical a b =
+  RS.same_cols a b
+  && RS.row_count a = RS.row_count b
+  && Array.for_all2
+       (fun x y -> RS.compare_rows x y = 0)
+       (RS.rows a) (RS.rows b)
+
+let test_batch_morsel_boundaries () =
+  List.iteri
+    (fun i plan ->
+      let want = Result.get_ok (Executor.Exec.run_rowwise cat plan) in
+      List.iter
+        (fun mr ->
+          let got = Result.get_ok (Executor.Exec.run ~morsel_rows:mr cat plan) in
+          check bool_t (Printf.sprintf "plan %d @ morsel_rows %d" i mr) true
+            (rows_identical want got))
+        [ 1; 3; 9999 ])
+    agreement_plans
+
+let test_batch_pool_identical () =
+  let pool = Par.Pool.create ~jobs:2 () in
+  List.iteri
+    (fun i plan ->
+      let seq = Result.get_ok (Executor.Exec.run cat plan) in
+      let par =
+        Result.get_ok (Executor.Exec.run ~pool ~morsel_rows:2 cat plan)
+      in
+      check bool_t (Printf.sprintf "plan %d pooled = sequential" i) true
+        (rows_identical seq par))
+    agreement_plans
+
+let test_batch_empty_input () =
+  let empty = P.FilterOp { pred = S.Const (Value.Bool false); child = scan_l } in
+  let plans =
+    [ P.FilterOp { pred = S.IsNull (S.col lk); child = empty };
+      P.ComputeScalar
+        { cols = [ (Ident.make "p" "t", S.Arith (S.Mul, S.col lk, S.int 2)) ];
+          child = empty };
+      P.SortOp { keys = [ (lk, L.Asc) ]; child = empty };
+      P.HashDistinct empty;
+      P.LimitOp { count = 5; child = empty };
+      P.HashJoin
+        { kind = L.Inner; left_keys = [ lk ]; right_keys = [ rk ];
+          residual = S.true_; left = empty; right = scan_r } ]
+  in
+  List.iteri
+    (fun i plan ->
+      List.iter
+        (fun mr ->
+          check int_t (Printf.sprintf "empty plan %d @ %d" i mr) 0
+            (RS.row_count
+               (Result.get_ok (Executor.Exec.run ~morsel_rows:mr cat plan))))
+        [ 1; 1024 ])
+    plans;
+  (* Global aggregate over empty input still fabricates its one row. *)
+  let agg =
+    P.HashAggregate { keys = []; aggs = [ (gid, A.CountStar) ]; child = empty }
+  in
+  check int_t "empty global agg" 1
+    (RS.row_count (Result.get_ok (Executor.Exec.run ~morsel_rows:1 cat agg)))
+
+(* Batch kernels must fail like a sequential row scan: same message,
+   and the *lowest* erroring row's message, independent of morsel size.
+   [l.v + 1] errors on every row; guarding it behind [l.k = 2] errors
+   only on rows 1 and 3 (0-based), so the reported error must be row
+   1's — even when each row is its own morsel. *)
+let test_batch_error_agreement () =
+  let bad_all =
+    P.FilterOp
+      { pred = S.Cmp (S.Gt, S.Arith (S.Add, S.col lv, S.int 1), S.int 0);
+        child = scan_l }
+  in
+  let bad_some =
+    P.FilterOp
+      { pred =
+          S.And
+            ( S.Cmp (S.Eq, S.col lk, S.int 2),
+              S.Cmp (S.Gt, S.Arith (S.Add, S.col lv, S.int 1), S.int 0) );
+        child = scan_l }
+  in
+  List.iteri
+    (fun i plan ->
+      match Executor.Exec.run_rowwise cat plan with
+      | Ok _ -> Alcotest.fail "rowwise unexpectedly succeeded"
+      | Error want ->
+        List.iter
+          (fun mr ->
+            match Executor.Exec.run ~morsel_rows:mr cat plan with
+            | Ok _ -> Alcotest.fail "batch unexpectedly succeeded"
+            | Error got ->
+              check Alcotest.string
+                (Printf.sprintf "error %d @ morsel_rows %d" i mr) want got)
+          [ 1; 2; 1024 ])
+    [ bad_all; bad_some ]
+
+(* The disk tier behind the fingerprint result cache: a store on miss,
+   a bag-identical serve once the memory tier is gone. *)
+let test_result_cache_disk () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qtr-test-rcache-%d" (Unix.getpid ()))
+  in
+  let dc = Storage.Diskcache.create ~dir () in
+  Executor.Cache.clear ();
+  Executor.Cache.set_disk (Some (dc, "testcat"));
+  Fun.protect
+    ~finally:(fun () ->
+      Executor.Cache.set_disk None;
+      Executor.Cache.clear ())
+    (fun () ->
+      let plan = nlj L.Inner in
+      let r1 = Result.get_ok (Executor.Cache.run cat plan) in
+      check bool_t "stored on disk" true
+        (Storage.Diskcache.entries dc ~ns:"results" > 0);
+      Executor.Cache.clear ();
+      (* memory tier gone *)
+      let r2 = Result.get_ok (Executor.Cache.run cat plan) in
+      check bool_t "disk hit bag-identical" true (RS.equal_bag r1 r2);
+      let cold = Result.get_ok (Executor.Exec.run cat plan) in
+      check bool_t "disk hit matches cold run" true (RS.equal_bag r2 cold))
+
 let test_result_cache () =
   Executor.Cache.clear ();
   let plan = nlj L.Inner in
@@ -346,4 +473,14 @@ let suite =
         Alcotest.test_case "unknown column at compile time" `Quick
           test_compile_time_unknown_column;
         Alcotest.test_case "plan fingerprint" `Quick test_fingerprint;
-        Alcotest.test_case "result cache" `Quick test_result_cache ] ) ]
+        Alcotest.test_case "result cache" `Quick test_result_cache;
+        Alcotest.test_case "result cache disk tier" `Quick
+          test_result_cache_disk ] );
+    ( "executor.batch",
+      [ Alcotest.test_case "morsel boundaries" `Quick
+          test_batch_morsel_boundaries;
+        Alcotest.test_case "pool output identical" `Quick
+          test_batch_pool_identical;
+        Alcotest.test_case "empty input" `Quick test_batch_empty_input;
+        Alcotest.test_case "error agreement" `Quick
+          test_batch_error_agreement ] ) ]

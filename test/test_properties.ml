@@ -217,6 +217,81 @@ let prop_compiled_scalar_agrees =
               m (Value.to_sql v) (Relalg.Scalar.to_sql e))
         (List.init 8 (fun _ -> [| random_value g; random_value g |])))
 
+(* The batch kernels are a third evaluator for the same scalar language:
+   a whole morsel at a time, with unboxed fast paths, selection
+   transformers and per-morsel CSE underneath. They must agree with both
+   row paths on values *and* on errors — same message, and the lowest
+   erroring row's message (what a sequential scan would have raised). *)
+let prop_batch_scalar_agrees =
+  QCheck.Test.make
+    ~name:"batch kernels agree with Eval.scalar (values and errors)" ~count:500
+    seed_arb (fun seed ->
+      let g = Prng.create seed in
+      let e = random_scalar g 4 in
+      let rows =
+        Array.init 8 (fun _ -> [| random_value g; random_value g |])
+      in
+      let attempt f = try Ok (f ()) with Invalid_argument m -> Error m in
+      let by_row =
+        Array.map
+          (fun row ->
+            let env id =
+              if Relalg.Ident.equal id scalar_cols.(0) then row.(0)
+              else row.(1)
+            in
+            attempt (fun () -> Executor.Eval.scalar env e))
+          rows
+      in
+      let compiled = Executor.Compile.scalar scalar_cols e in
+      Array.iteri
+        (fun i row ->
+          match (by_row.(i), attempt (fun () -> compiled row)) with
+          | Ok a, Ok b when Value.compare_total a b = 0 -> ()
+          | Error a, Error b when a = b -> ()
+          | _ ->
+            QCheck.Test.fail_reportf "compiled differs from Eval on row %d of %s"
+              i (Relalg.Scalar.to_sql e))
+        rows;
+      let kernel = Executor.Batch.scalar scalar_cols e in
+      (match
+         ( attempt (fun () -> Executor.Batch.eval_column kernel rows),
+           Array.find_opt Result.is_error by_row )
+       with
+      | Ok col, None ->
+        Array.iteri
+          (fun i v ->
+            let want = Result.get_ok by_row.(i) in
+            if Value.compare_total want v <> 0 then
+              QCheck.Test.fail_reportf "batch %s vs row %s at %d on %s"
+                (Value.to_sql v) (Value.to_sql want) i
+                (Relalg.Scalar.to_sql e))
+          col
+      | Ok _, Some (Error m) ->
+        QCheck.Test.fail_reportf "batch succeeded, rows fail with %s on %s" m
+          (Relalg.Scalar.to_sql e)
+      | Error m, None ->
+        QCheck.Test.fail_reportf "batch failed with %s, rows succeed on %s" m
+          (Relalg.Scalar.to_sql e)
+      | Error got, Some (Error want) ->
+        (* the batch error must be the *first* erroring row's *)
+        if got <> want then
+          QCheck.Test.fail_reportf "batch error %S, first row error %S on %s"
+            got want (Relalg.Scalar.to_sql e)
+      | _, Some (Ok _) -> assert false);
+      (* ...and morsel size must be invisible: a one-row morsel per row
+         gives the same column (or the same per-row error). *)
+      Array.iteri
+        (fun i row ->
+          let single = attempt (fun () -> Executor.Batch.eval_column kernel [| row |]) in
+          match (by_row.(i), single) with
+          | Ok a, Ok [| b |] when Value.compare_total a b = 0 -> ()
+          | Error a, Error b when a = b -> ()
+          | _ ->
+            QCheck.Test.fail_reportf "singleton morsel differs at row %d on %s"
+              i (Relalg.Scalar.to_sql e))
+        rows;
+      true)
+
 (* Whole-plan differential check: compiled execution vs the row-at-a-time
    interpreter on optimized random queries. *)
 let prop_compiled_plan_agrees =
@@ -372,6 +447,7 @@ let suite =
         to_alco prop_plan_columns_match_schema;
         to_alco prop_rule_off_same_results;
         to_alco prop_compiled_scalar_agrees;
+        to_alco prop_batch_scalar_agrees;
         to_alco prop_compiled_plan_agrees;
         to_alco prop_refresh_labels_disjoint;
         to_alco prop_pad_grows;

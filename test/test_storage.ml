@@ -260,6 +260,90 @@ let test_micro () =
   check int_t "three tables" 3 (List.length (Catalog.table_names cat));
   check bool_t "t1 has rows" true (Table.row_count (Catalog.find_exn cat "t1") > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Diskcache                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_cache_dir tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "qtr-test-dc-%s-%d" tag (Unix.getpid ()))
+
+let test_diskcache_roundtrip () =
+  let dc = Diskcache.create ~dir:(fresh_cache_dir "rt") () in
+  check bool_t "store" true (Diskcache.store dc ~ns:"t" ~key:"k1" [ 1; 2; 3 ]);
+  check bool_t "load back" true
+    (Diskcache.load dc ~ns:"t" ~key:"k1" = Some [ 1; 2; 3 ]);
+  check bool_t "missing key" true
+    (Diskcache.load dc ~ns:"t" ~key:"absent" = (None : int list option));
+  check bool_t "missing namespace" true
+    (Diskcache.load dc ~ns:"other" ~key:"k1" = (None : int list option));
+  check int_t "one entry" 1 (Diskcache.entries dc ~ns:"t");
+  (* Overwrite wins; long/hostile keys are hashed into safe filenames. *)
+  check bool_t "overwrite" true (Diskcache.store dc ~ns:"t" ~key:"k1" [ 9 ]);
+  check bool_t "overwritten value" true
+    (Diskcache.load dc ~ns:"t" ~key:"k1" = Some [ 9 ]);
+  let wild = String.concat "/" (List.init 40 (fun _ -> "..")) in
+  check bool_t "hostile key stores" true (Diskcache.store dc ~ns:"t" ~key:wild 7);
+  check bool_t "hostile key loads" true
+    (Diskcache.load dc ~ns:"t" ~key:wild = Some 7)
+
+(* Every corruption mode must load as a miss, never as an error or —
+   worse — a wrong value: the MD5 is verified before Marshal sees a
+   single byte. *)
+let test_diskcache_corruption () =
+  let dc = Diskcache.create ~dir:(fresh_cache_dir "corrupt") () in
+  let store () = Diskcache.store dc ~ns:"n" ~key:"k" "payload" |> ignore in
+  let path = Diskcache.path dc ~ns:"n" ~key:"k" in
+  let rewrite f =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let b = Bytes.create len in
+    really_input ic b 0 len;
+    close_in ic;
+    let b = f b in
+    let oc = open_out_bin path in
+    output_bytes oc b;
+    close_out oc
+  in
+  let load () : string option = Diskcache.load dc ~ns:"n" ~key:"k" in
+  store ();
+  check bool_t "intact" true (load () = Some "payload");
+  (* bit flip in the payload (last byte is past every header field) *)
+  rewrite (fun b ->
+      let i = Bytes.length b - 1 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+      b);
+  check bool_t "bit flip" true (load () = None);
+  store ();
+  (* truncation *)
+  rewrite (fun b -> Bytes.sub b 0 (Bytes.length b / 2));
+  check bool_t "truncated" true (load () = None);
+  store ();
+  (* clobbered magic *)
+  rewrite (fun b ->
+      Bytes.set b 0 'X';
+      b);
+  check bool_t "bad magic" true (load () = None);
+  (* unreadable garbage *)
+  let oc = open_out_bin path in
+  output_string oc "not a cache entry";
+  close_out oc;
+  check bool_t "garbage file" true (load () = None);
+  (* and a corrupt entry is recoverable by storing again *)
+  store ();
+  check bool_t "restored" true (load () = Some "payload")
+
+let test_diskcache_version_mismatch () =
+  let dir = fresh_cache_dir "ver" in
+  let v1 = Diskcache.create ~version:"a" ~dir () in
+  check bool_t "store under a" true (Diskcache.store v1 ~ns:"n" ~key:"k" 42);
+  let v2 = Diskcache.create ~version:"b" ~dir () in
+  check bool_t "other salt misses" true
+    (Diskcache.load v2 ~ns:"n" ~key:"k" = (None : int option));
+  let v1' = Diskcache.create ~version:"a" ~dir () in
+  check bool_t "same salt hits" true
+    (Diskcache.load v1' ~ns:"n" ~key:"k" = Some 42)
+
 let suite =
   [ ( "storage.prng",
       [ Alcotest.test_case "determinism" `Quick test_prng_determinism;
@@ -287,4 +371,10 @@ let suite =
         Alcotest.test_case "determinism" `Quick test_tpch_determinism;
         Alcotest.test_case "primary keys unique" `Quick test_tpch_pk_unique;
         Alcotest.test_case "foreign keys valid" `Quick test_tpch_fk_integrity;
-        Alcotest.test_case "micro catalog" `Quick test_micro ] ) ]
+        Alcotest.test_case "micro catalog" `Quick test_micro ] );
+    ( "storage.diskcache",
+      [ Alcotest.test_case "round trip" `Quick test_diskcache_roundtrip;
+        Alcotest.test_case "corruption is a miss" `Quick
+          test_diskcache_corruption;
+        Alcotest.test_case "version mismatch is a miss" `Quick
+          test_diskcache_version_mismatch ] ) ]
