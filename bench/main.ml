@@ -495,6 +495,56 @@ let reduce_bench () =
          ("per_fault", Obs.Json.Obj (List.rev !faults)) ])
 
 (* ------------------------------------------------------------------ *)
+(* Rule-discovery experiment (lib/discovery end to end)                 *)
+(* ------------------------------------------------------------------ *)
+
+let discover_bench ~disk () =
+  print_endline "discover: mine, validate, rank and promote rewrite rules";
+  hr ();
+  (* Firing counters feed the ranker; restore the disabled default so
+     the other experiments keep their uninstrumented fast path. *)
+  Obs.Metrics.set_enabled true;
+  let t0 = now () in
+  let report = Discovery.Driver.run ?disk Discovery.Driver.default_config in
+  let secs = now () -. t0 in
+  Obs.Metrics.set_enabled false;
+  Printf.printf
+    "%d candidates (%d raw): %d survived, %d refuted (%d/%d seeded), %d \
+     inconclusive in %d checks\n"
+    report.candidates report.raw_candidates report.survived report.refuted
+    (List.length report.seeded_refuted)
+    (List.length report.seeded_refuted + List.length report.seeded_survived)
+    report.inconclusive report.checks;
+  Printf.printf
+    "rediscovered %d known-sound; ranked over %d suite queries (%d optimizer \
+     runs); promoted %d/%d (%d demoted)\n"
+    (List.length report.rediscovered)
+    report.suite_queries report.scoring_optimizer_runs
+    (List.length report.promotion.promoted)
+    (List.length report.promotion.attempted)
+    (List.length report.promotion.demoted);
+  Printf.printf "  %.1fs\n%!" secs;
+  detail "discover"
+    (Obs.Json.Obj
+       [ ("raw_candidates", Obs.Json.Int report.raw_candidates);
+         ("candidates", Obs.Json.Int report.candidates);
+         ("survived", Obs.Json.Int report.survived);
+         ("refuted", Obs.Json.Int report.refuted);
+         ("inconclusive", Obs.Json.Int report.inconclusive);
+         ("checks", Obs.Json.Int report.checks);
+         ("rediscovered", Obs.Json.Int (List.length report.rediscovered));
+         ("seeded_refuted", Obs.Json.Int (List.length report.seeded_refuted));
+         ("seeded_survived", Obs.Json.Int (List.length report.seeded_survived));
+         ( "seeded_all_refuted",
+           Obs.Json.Bool
+             (report.seeded_survived = [] && report.seeded_refuted <> []) );
+         ("promoted", Obs.Json.Int (List.length report.promotion.promoted));
+         ("demoted", Obs.Json.Int (List.length report.promotion.demoted));
+         ( "scoring_optimizer_runs",
+           Obs.Json.Int report.scoring_optimizer_runs );
+         ("seconds", Obs.Json.Float secs) ])
+
+(* ------------------------------------------------------------------ *)
 (* Engine speedup experiments (hash-consing / memoized exploration)     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1290,17 +1340,18 @@ let () =
     | "parallel" -> parallel_bench ~full ~jobs_list
     | "execute" -> execute_bench ~full
     | "reduce" -> reduce_bench ()
+    | "discover" -> discover_bench ~disk ()
     | "micro" -> micro ()
     | "all" ->
       (* `execute` goes first: see the pacing note in [timed]. *)
       List.iter timed
         [ "execute"; "fig8"; "fig9"; "fig11"; "fig12"; "fig13"; "fig14";
-          "matching"; "correctness"; "explore"; "matrix"; "parallel";
-          "reduce"; "micro" ]
+          "matching"; "correctness"; "discover"; "explore"; "matrix";
+          "parallel"; "reduce"; "micro" ]
     | other ->
       Printf.eprintf
         "unknown experiment %s (expected fig8..fig14, matching, correctness, \
-         explore, matrix, parallel, execute, reduce, micro, all)\n"
+         explore, matrix, parallel, execute, reduce, discover, micro, all)\n"
         other;
       exit 2
   and timed name =

@@ -11,6 +11,7 @@
      qtr reduce --inject SelectMerge --corpus corpus/
                                        minimize + dedup + persist reproducers
      qtr replay --corpus corpus/       re-execute the regression corpus
+     qtr discover --alphabet setops    mine/validate/rank/promote rewrite rules
      qtr stats                         per-rule optimizer metrics table
      qtr profile --jobs 4              in-process span profile of a workload
      qtr report --rules 10 --k 3       one-shot campaign summary (text/JSON)
@@ -754,10 +755,31 @@ let replay_cmd =
         Printf.printf "%d/%d case(s) reproduced their divergence\n%!" reproduced
           (List.length results)
       end;
+      (* Differential (discovery) cases carry their own right-hand side:
+         the divergence is intrinsic to the query pair, not to the rule
+         registry, so they must reproduce in BOTH modes — a clean one
+         means the counterexample went stale. Rule-regression cases keep
+         the original polarity: reproduce under --reinject, stay clean
+         against the current registry. *)
+      let differential, regression =
+        List.partition
+          (fun (r : Triage.Pipeline.replayed) -> r.case.meta.rhs_sql <> None)
+          results
+      in
+      let reproduced_of l =
+        List.length
+          (List.filter
+             (fun (r : Triage.Pipeline.replayed) ->
+               match r.outcome with Triage.Pipeline.Reproduced _ -> true | _ -> false)
+             l)
+      in
       if reinject then begin
         if reproduced < List.length results then exit 1
       end
-      else if reproduced > 0 then exit 1
+      else if
+        reproduced_of regression > 0
+        || reproduced_of differential < List.length differential
+      then exit 1
   in
   Cmd.v
     (Cmd.info "replay"
@@ -779,15 +801,15 @@ let stats_cmd =
   in
   let sort_arg =
     let options =
-      [ ("attempts", `Attempts); ("rewrites", `Rewrites); ("rate", `Rate);
-        ("mean", `Mean); ("total", `Total) ]
+      [ ("attempts", `Attempts); ("rewrites", `Rewrites); ("fired", `Fired);
+        ("rate", `Rate); ("mean", `Mean); ("total", `Total) ]
     in
     Arg.(
       value
       & opt (enum options) `Attempts
       & info [ "sort" ] ~docv:"COLUMN"
-          ~doc:"Sort column: $(b,attempts), $(b,rewrites), $(b,rate), $(b,mean) \
-                (latency) or $(b,total) (time).")
+          ~doc:"Sort column: $(b,attempts), $(b,rewrites), $(b,fired), $(b,rate), \
+                $(b,mean) (latency) or $(b,total) (time).")
   in
   let run scale budget seed queries sort jobs cache_dir trace json =
     with_telemetry trace @@ fun () ->
@@ -833,26 +855,30 @@ let stats_cmd =
         List.map
           (fun (rule, values) ->
             match values with
-            | [ a; r ] ->
-              let attempts = counter_of a and rewrites = counter_of r in
+            | [ a; r; f ] ->
+              let attempts = counter_of a
+              and rewrites = counter_of r
+              and fired = counter_of f in
               let h = hist_of rule in
               let snap = Obs.Metrics.hist_snapshot h in
               let rate =
                 if attempts = 0 then 0.0
                 else 100.0 *. float_of_int rewrites /. float_of_int attempts
               in
-              ( rule, attempts, rewrites, rate,
+              ( rule, attempts, rewrites, fired, rate,
                 Obs.Clock.ns_to_us (Obs.Metrics.hist_mean h),
                 Obs.Clock.ns_to_us (Obs.Metrics.hist_quantile h 0.95),
                 Obs.Clock.ns_to_ms snap.sum )
-            | _ -> (rule, 0, 0, 0.0, 0.0, 0.0, 0.0))
+            | _ -> (rule, 0, 0, 0, 0.0, 0.0, 0.0, 0.0))
           (Obs.Report.label_table
-             [ "optimizer.rule.attempts"; "optimizer.rule.rewrites" ])
+             [ "optimizer.rule.attempts"; "optimizer.rule.rewrites";
+               "optimizer.rule.fired" ])
       in
-      let key (_, a, r, rate, mean, _, total) =
+      let key (_, a, r, fired, rate, mean, _, total) =
         match sort with
         | `Attempts -> float_of_int a
         | `Rewrites -> float_of_int r
+        | `Fired -> float_of_int fired
         | `Rate -> rate
         | `Mean -> mean
         | `Total -> total
@@ -860,15 +886,15 @@ let stats_cmd =
       let rows = List.sort (fun x y -> compare (key y) (key x)) rows in
       Printf.printf "%d stochastic TPC-H queries optimized (scale %g, budget %d)\n\n"
         queries scale budget;
-      Printf.printf "%-34s %9s %9s %6s %9s %9s %9s\n" "rule" "attempts" "rewrites"
-        "hit%" "mean_us" "p95_us" "total_ms";
-      print_endline (String.make 90 '-');
+      Printf.printf "%-34s %9s %9s %9s %6s %9s %9s %9s\n" "rule" "attempts"
+        "rewrites" "fired" "hit%" "mean_us" "p95_us" "total_ms";
+      print_endline (String.make 100 '-');
       List.iter
-        (fun (rule, a, r, rate, mean, p95, total) ->
-          Printf.printf "%-34s %9d %9d %5.1f%% %9.2f %9.2f %9.2f\n" rule a r rate mean
-            p95 total)
+        (fun (rule, a, r, f, rate, mean, p95, total) ->
+          Printf.printf "%-34s %9d %9d %9d %5.1f%% %9.2f %9.2f %9.2f\n" rule a r f
+            rate mean p95 total)
         rows;
-      print_endline (String.make 90 '-');
+      print_endline (String.make 100 '-');
       let cval name =
         match
           List.find_map
@@ -1222,6 +1248,107 @@ let benchdiff_cmd =
           thresholds; exit 1 when any gated metric regressed")
     Term.(const run $ old_arg $ new_arg $ slack_arg $ json_arg)
 
+(* ------------------------------------------------------------------ *)
+(* qtr discover                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let discover_cmd =
+  let alphabet_arg =
+    let parse s =
+      match Discovery.Template.alphabet_of_string s with
+      | Ok a -> Ok a
+      | Error e -> Error (`Msg e)
+    in
+    let print fmt a = Format.fprintf fmt "%s" (Discovery.Template.alphabet_name a) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Discovery.Template.Setops
+      & info [ "alphabet" ] ~docv:"SET"
+          ~doc:
+            "Operator alphabet for template enumeration: $(b,basic) (filter, join, \
+             distinct), $(b,setops) (+ union all, union) or $(b,full) (+ intersect, \
+             except).")
+  in
+  let max_nodes_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "max-nodes" ] ~docv:"N"
+          ~doc:"Per-side operator budget for candidate templates.")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int Discovery.Validate.default_params.trials
+      & info [ "trials" ] ~docv:"N"
+          ~doc:"Differential instantiation attempts per candidate.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"K"
+          ~doc:"Survivors promoted into optimizer rules and pushed through the \
+                generate/compress/validate pipeline.")
+  in
+  let k_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "k" ] ~docv:"K"
+          ~doc:"Queries per target in the ranking and promotion suites.")
+  in
+  let rank_budget_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "rank-budget" ] ~docv:"TREES"
+          ~doc:
+            "Exploration budget for the ranking/promotion frameworks (their \
+             registries carry every surviving candidate).")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Persist minimized counterexamples of refuted candidates there \
+             (replayable with $(b,qtr replay)).")
+  in
+  let run scale seed alphabet max_nodes trials top k rank_budget corpus jobs cache_dir
+      trace json =
+    with_telemetry trace @@ fun () ->
+    (* Firing counters feed the ranker, so metrics are always on here
+       (same stance as `qtr stats`). *)
+    Obs.Metrics.set_enabled true;
+    let pool = pool_of jobs in
+    let config =
+      { Discovery.Driver.default_config with
+        alphabet;
+        max_nodes;
+        params = { Discovery.Validate.default_params with seed; trials };
+        suite_k = k;
+        top_k = top;
+        rank_budget;
+        corpus_dir = corpus;
+        catalog = Triage.Corpus.Tpch scale }
+    in
+    let disk =
+      setup_cache cache_dir (Triage.Corpus.catalog_of_spec config.catalog)
+    in
+    let report = Discovery.Driver.run ~pool ?disk config in
+    if json then
+      print_endline (Obs.Json.to_string (Discovery.Driver.report_json report))
+    else Format.printf "%a@." Discovery.Driver.pp_report report;
+    if report.seeded_survived <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "discover"
+       ~doc:
+         "Mine candidate rewrite rules from bounded templates, refute the unsound \
+          ones differentially (counterexamples land in the corpus), rank the \
+          survivors, and promote the top-K through the framework's own pipeline")
+    Term.(
+      const run $ scale_arg $ seed_arg $ alphabet_arg $ max_nodes_arg $ trials_arg
+      $ top_arg $ k_arg $ rank_budget_arg $ corpus_arg $ jobs_arg $ cache_dir_arg
+      $ trace_arg $ json_arg)
+
 let () =
   let doc = "testing framework for query transformation rules (SIGMOD'09 reproduction)" in
   exit
@@ -1230,4 +1357,4 @@ let () =
           (Cmd.info "qtr" ~version:"1.0.0" ~doc)
           [ rules_cmd; optimize_cmd; generate_cmd; coverage_cmd; compress_cmd;
             validate_cmd; reduce_cmd; replay_cmd; stats_cmd; profile_cmd; report_cmd;
-            benchdiff_cmd ]))
+            discover_cmd; benchdiff_cmd ]))

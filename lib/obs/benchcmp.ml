@@ -111,12 +111,20 @@ let default_specs =
     (* Triage quality. *)
     ratio "details/reduce/median_shrink" ~threshold:0.2 Higher_is_better;
     count "details/reduce/reproducers";
+    (* Discovery: enumeration and validation are fully deterministic, so
+       the counts gate tightly; the seeded-unsound sweep is a
+       zero-tolerance flag. *)
+    flag "details/discover/seeded_all_refuted";
+    count "details/discover/candidates";
+    count "details/discover/rediscovered";
+    count "details/discover/promoted";
     (* Wall clocks, the noisiest tier: per-experiment seconds. *)
     seconds "experiment_seconds/explore";
     seconds "experiment_seconds/matrix";
     seconds "experiment_seconds/parallel";
     seconds "experiment_seconds/execute";
-    seconds "experiment_seconds/reduce" ]
+    seconds "experiment_seconds/reduce";
+    seconds "experiment_seconds/discover" ]
 
 (* ------------------------------------------------------------------ *)
 (* Comparison                                                          *)

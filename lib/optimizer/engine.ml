@@ -45,6 +45,21 @@ let instrument_rule (r : Rule.t) =
     rewritten = Obs.Metrics.counter ~label:r.name "optimizer.rule.rewrites";
     match_ns = Obs.Metrics.histogram ~label:r.name "optimizer.rule.match_ns" }
 
+(* Firing counters: one per rule name, bumped when a rewrite is admitted
+   as a {e novel} tree (attempts and rewrites count applications; fired
+   counts rewrites that actually grew the closure — the signal the
+   discovery ranker consumes). The memo keeps registry lookups out of
+   the admission loop, resolved per explore call like the rest. *)
+let fired_counters () =
+  let memo : (string, Obs.Metrics.counter) Hashtbl.t = Hashtbl.create 16 in
+  fun name ->
+    match Hashtbl.find_opt memo name with
+    | Some c -> c
+    | None ->
+      let c = Obs.Metrics.counter ~label:name "optimizer.rule.fired" in
+      Hashtbl.add memo name c;
+      c
+
 let apply_rule catalog (ir : instrumented_rule) t =
   if Obs.Metrics.enabled () then begin
     Obs.Metrics.incr ir.attempts;
@@ -164,6 +179,7 @@ let explore ~options ~rules catalog t0 : exploration =
   let exhausted_counter = Obs.Metrics.counter "optimizer.explore.budget_exhausted" in
   let hashcons_gauge = Obs.Metrics.gauge "optimizer.hashcons.nodes" in
   let rw = make_rewriter catalog options rules in
+  let fired = fired_counters () in
   let n0 = H.intern t0 in
   let max_size = n0.H.nsize + options.max_growth in
   let seen : (int, unit) Hashtbl.t = Hashtbl.create 256 in
@@ -184,6 +200,7 @@ let explore ~options ~rules catalog t0 : exploration =
             Hashtbl.replace seen n'.H.id ();
             order := n' :: !order;
             Queue.add n' queue;
+            Obs.Metrics.incr (fired name);
             Obs.Metrics.gauge_max queue_depth_gauge
               (float_of_int (Queue.length queue));
             incr count
@@ -570,6 +587,7 @@ let explore_shared ?(options = default_options) ?(rules = Rules.all) catalog t0 
       ~args:[ ("max_trees", Obs.Json.Int options.max_trees) ]
     @@ fun () ->
     let rw = make_rewriter catalog options rules in
+    let fired = fired_counters () in
     let n0 = H.intern t0 in
     let max_size = n0.H.nsize + options.max_growth in
     let tags : (int, SSet.t list ref) Hashtbl.t = Hashtbl.create 256 in
@@ -603,6 +621,7 @@ let explore_shared ?(options = default_options) ?(rules = Rules.all) catalog t0 
                 Hashtbl.replace tags n'.H.id sets;
                 order := n' :: !order;
                 Queue.add n' queue;
+                Obs.Metrics.incr (fired name);
                 incr count
               end
               else truncated := true

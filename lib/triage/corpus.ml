@@ -22,6 +22,7 @@ type meta = {
   checks : int;
   expected_rows : int;
   actual_rows : int;
+  rhs_sql : string option;
 }
 
 type case = { meta : meta; sql : string }
@@ -51,7 +52,8 @@ let meta_json m =
       ("steps", J.Int m.steps);
       ("checks", J.Int m.checks);
       ("expected_rows", J.Int m.expected_rows);
-      ("actual_rows", J.Int m.actual_rows) ]
+      ("actual_rows", J.Int m.actual_rows);
+      ("rhs_sql", match m.rhs_sql with Some s -> J.String s | None -> J.Null) ]
 
 let meta_of_json doc =
   let ( let* ) = Option.bind in
@@ -76,9 +78,11 @@ let meta_of_json doc =
     let* checks = field "checks" J.to_int in
     let* expected_rows = field "expected_rows" J.to_int in
     let* actual_rows = field "actual_rows" J.to_int in
+    (* Absent in corpora written before discovery existed. *)
+    let rhs_sql = field "rhs_sql" J.to_str in
     Some
       { id; target; kind; shape; fault; catalog; budget; original_nodes;
-        reduced_nodes; steps; checks; expected_rows; actual_rows }
+        reduced_nodes; steps; checks; expected_rows; actual_rows; rhs_sql }
   in
   require "corpus: missing or ill-typed metadata field" result
 

@@ -30,6 +30,12 @@ type meta = {
   checks : int;
   expected_rows : int;
   actual_rows : int;
+  rhs_sql : string option;
+      (** present on differential (discovery) cases: SQL of the
+          claimed-equivalent right-hand side. Replay then compares the
+          two queries' executions ({!Differential.check}) instead of a
+          rule-off plan — the divergence is intrinsic to the pair, so
+          such a case must reproduce in both replay modes. *)
 }
 
 type case = { meta : meta; sql : string }

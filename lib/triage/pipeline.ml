@@ -102,7 +102,8 @@ let meta_of_case ~catalog ~budget ~fault (c : case) : Corpus.meta =
     steps = c.stats.steps;
     checks = c.stats.checks;
     expected_rows = c.divergence.expected_rows;
-    actual_rows = c.divergence.actual_rows }
+    actual_rows = c.divergence.actual_rows;
+    rhs_sql = None }
 
 let save_corpus ~dir ~catalog ~budget ?fault cat (r : report) =
   let ( let* ) = Result.bind in
@@ -145,6 +146,27 @@ let replay ?(reinject = false) ?budget ?(pool = Par.Pool.sequential) ~dir () =
   let catalog_for spec = Hashtbl.find catalogs (key_of spec) in
   let replay_one (case : Corpus.case) =
     let outcome =
+      match case.meta.rhs_sql with
+      | Some rhs_sql -> (
+        (* Differential (discovery) case: the divergence is between two
+           queries, not two rule sets — [reinject] is irrelevant. *)
+        let cat = catalog_for case.meta.catalog in
+        match
+          ( Relalg.Sql_parser.parse cat case.sql,
+            Relalg.Sql_parser.parse cat rhs_sql )
+        with
+        | Error e, _ -> Failed ("parse lhs: " ^ e)
+        | _, Error e -> Failed ("parse rhs: " ^ e)
+        | Ok lhs, Ok rhs -> (
+          match
+            Differential.check ~site:"replay"
+              ~budget:(Option.value budget ~default:case.meta.budget)
+              cat lhs rhs
+          with
+          | Ok (Some d) -> Reproduced d
+          | Ok None -> Clean
+          | Error e -> Failed e))
+      | None -> (
       match Corpus.target_of_name case.meta.target with
       | Error e -> Failed e
       | Ok target -> (
@@ -166,7 +188,7 @@ let replay ?(reinject = false) ?budget ?(pool = Par.Pool.sequential) ~dir () =
           | Oracle.Diverges d -> Reproduced d
           | Oracle.Agrees -> Clean
           | Oracle.Rule_not_fired -> Not_fired
-          | Oracle.Invalid e -> Failed e))
+          | Oracle.Invalid e -> Failed e)))
     in
     { case; outcome }
   in
