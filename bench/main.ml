@@ -545,6 +545,62 @@ let discover_bench ~disk () =
          ("seconds", Obs.Json.Float secs) ])
 
 (* ------------------------------------------------------------------ *)
+(* Symbolic oracle experiment (lib/dsl Verify over the registries)      *)
+(* ------------------------------------------------------------------ *)
+
+let verify_bench () =
+  print_endline
+    "verify: bounded symbolic oracle over the DSL registry + discovery sets";
+  hr ();
+  let t0 = now () in
+  let tally rules =
+    List.fold_left
+      (fun (s, r, u) rule ->
+        match Dsl.Rdsl.Verify.verify rule with
+        | Dsl.Rdsl.Verify.Sound_bounded -> (s + 1, r, u)
+        | Dsl.Rdsl.Verify.Refuted _ -> (s, r + 1, u)
+        | Dsl.Rdsl.Verify.Unknown _ -> (s, r, u + 1))
+      (0, 0, 0) rules
+  in
+  let registered = List.map snd Optimizer.Rules.dsl_rules in
+  let rs, rr, ru = tally registered in
+  let known =
+    List.filter_map
+      (fun (n, c) -> Discovery.Template.to_rdsl ~name:n c)
+      Discovery.Template.known_sound
+  in
+  let ks, kr, ku = tally known in
+  let seeded =
+    List.filter_map
+      (fun (n, c) -> Discovery.Template.to_rdsl ~name:n c)
+      Discovery.Template.seeded_unsound
+  in
+  let ss, sr, su = tally seeded in
+  let secs = now () -. t0 in
+  Printf.printf
+    "%d DSL-backed registered rules: %d sound, %d refuted, %d unknown\n"
+    (List.length registered) rs rr ru;
+  Printf.printf "%d known-sound templates: %d sound, %d refuted, %d unknown\n"
+    (List.length known) ks kr ku;
+  Printf.printf "%d seeded-unsound templates: %d refuted, %d missed\n"
+    (List.length seeded) sr (ss + su);
+  Printf.printf "  %.2fs\n%!" secs;
+  detail "verify"
+    (Obs.Json.Obj
+       [ ("registered", Obs.Json.Int (List.length registered));
+         ("sound", Obs.Json.Int rs);
+         ("refuted", Obs.Json.Int rr);
+         ("unknown", Obs.Json.Int ru);
+         ("registered_all_sound", Obs.Json.Bool (rr = 0 && ru = 0));
+         ("known_sound_verified", Obs.Json.Int ks);
+         ( "known_sound_all_sound",
+           Obs.Json.Bool (ks = List.length known && known <> []) );
+         ("seeded_refuted", Obs.Json.Int sr);
+         ( "seeded_all_refuted",
+           Obs.Json.Bool (sr = List.length seeded && seeded <> []) );
+         ("seconds", Obs.Json.Float secs) ])
+
+(* ------------------------------------------------------------------ *)
 (* Engine speedup experiments (hash-consing / memoized exploration)     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1341,17 +1397,18 @@ let () =
     | "execute" -> execute_bench ~full
     | "reduce" -> reduce_bench ()
     | "discover" -> discover_bench ~disk ()
+    | "verify" -> verify_bench ()
     | "micro" -> micro ()
     | "all" ->
       (* `execute` goes first: see the pacing note in [timed]. *)
       List.iter timed
         [ "execute"; "fig8"; "fig9"; "fig11"; "fig12"; "fig13"; "fig14";
-          "matching"; "correctness"; "discover"; "explore"; "matrix";
+          "matching"; "correctness"; "discover"; "verify"; "explore"; "matrix";
           "parallel"; "reduce"; "micro" ]
     | other ->
       Printf.eprintf
         "unknown experiment %s (expected fig8..fig14, matching, correctness, \
-         explore, matrix, parallel, execute, reduce, discover, micro, all)\n"
+         explore, matrix, parallel, execute, reduce, discover, verify, micro, all)\n"
         other;
       exit 2
   and timed name =

@@ -335,7 +335,7 @@ let optimize_cmd =
               [ ("sql", Obs.Json.String sql);
                 ("cost", Obs.Json.Float r.cost);
                 ("trees_explored", Obs.Json.Int r.trees_explored);
-                ("budget_exhausted", Obs.Json.Bool r.budget_exhausted);
+                ("budget_truncated", Obs.Json.Bool r.budget_truncated);
                 ("ruleset", string_set r.exercised);
                 ("impl_ruleset", string_set r.impl_exercised);
                 ( "plan",
@@ -356,7 +356,7 @@ let optimize_cmd =
         else begin
           Format.printf "Plan (cost %.1f, %d trees explored):@.%a@.@." r.cost
             r.trees_explored Optimizer.Physical.pp r.plan;
-          if r.budget_exhausted then
+          if r.budget_truncated then
             Format.printf
               "warning: exploration budget exhausted at %d trees — RuleSet and plan \
                may be incomplete; raise --budget@."
@@ -839,7 +839,7 @@ let stats_cmd =
       (function
         | Ok r ->
           plans := r.Optimizer.Engine.plan :: !plans;
-          if r.Optimizer.Engine.budget_exhausted then incr exhausted
+          if r.Optimizer.Engine.budget_truncated then incr exhausted
         | Error _ -> ())
       outcomes;
     (* Execute the winning plans twice: the second pass is served by the
@@ -1336,6 +1336,16 @@ let discover_cmd =
     if json then
       print_endline (Obs.Json.to_string (Discovery.Driver.report_json report))
     else Format.printf "%a@." Discovery.Driver.pp_report report;
+    if report.candidates = 0 then begin
+      (* An empty run discovers nothing and validates nothing; succeeding
+         silently would let a mis-configured CI invocation pass vacuously. *)
+      Format.eprintf
+        "qtr discover: the %s alphabet produced no candidate templates at \
+         --max-nodes %d; raise --max-nodes or pick a larger alphabet@."
+        (Discovery.Template.alphabet_name alphabet)
+        max_nodes;
+      exit 2
+    end;
     if report.seeded_survived <> [] then exit 1
   in
   Cmd.v
@@ -1349,6 +1359,146 @@ let discover_cmd =
       $ top_arg $ k_arg $ rank_budget_arg $ corpus_arg $ jobs_arg $ cache_dir_arg
       $ trace_arg $ json_arg)
 
+(* ------------------------------------------------------------------ *)
+(* qtr verify-rules                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let verify_rules_cmd =
+  let include_discovered_arg =
+    Arg.(
+      value & flag
+      & info [ "include-discovered" ]
+          ~doc:
+            "Also verify the discovery reference sets: every expressible \
+             known-sound template must verify sound and every seeded-unsound \
+             template must be refuted, or the command fails.")
+  in
+  let max_valuations_arg =
+    Arg.(
+      value
+      & opt int (1 lsl 18)
+      & info [ "max-valuations" ] ~docv:"N"
+          ~doc:
+            "Predicate-valuation budget per symbolic instance; rules exceeding \
+             it come back $(b,unknown) rather than burning unbounded time.")
+  in
+  (* One verification work item. [expect_refuted] flips the failure
+     condition for the seeded-unsound reference set. *)
+  let run include_discovered max_valuations jobs trace json =
+    with_telemetry trace @@ fun () ->
+    let items =
+      List.map
+        (fun (r : Optimizer.Rule.t) ->
+          ("registered", r.name, false, Optimizer.Rules.rdsl_of r.name))
+        Optimizer.Rules.all
+      @ (if not include_discovered then []
+         else
+           List.map
+             (fun (n, c) ->
+               ("known-sound", n, false, Discovery.Template.to_rdsl ~name:n c))
+             Discovery.Template.known_sound
+           @ List.map
+               (fun (n, c) ->
+                 ("seeded-unsound", n, true, Discovery.Template.to_rdsl ~name:n c))
+               Discovery.Template.seeded_unsound)
+    in
+    let pool = pool_of jobs in
+    let t0 = Unix.gettimeofday () in
+    (* [map_array] merges in task order, so both renderings are
+       independent of --jobs (the JSON byte-identically: it carries no
+       timings). *)
+    let verdicts =
+      Par.Pool.map_array pool
+        (fun (_, _, _, dsl) ->
+          Option.map (Dsl.Rdsl.Verify.verify ~max_valuations) dsl)
+        (Array.of_list items)
+    in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let rows = List.combine items (Array.to_list verdicts) in
+    let status_of = function
+      | None -> "unverified"
+      | Some Dsl.Rdsl.Verify.Sound_bounded -> "sound"
+      | Some (Dsl.Rdsl.Verify.Refuted _) -> "refuted"
+      | Some (Dsl.Rdsl.Verify.Unknown _) -> "unknown"
+    in
+    let failed ((_, _, expect_refuted, dsl), v) =
+      match (dsl, v) with
+      | None, _ -> false (* closure-only or outside the DSL fragment *)
+      | Some _, Some (Dsl.Rdsl.Verify.Refuted _) -> not expect_refuted
+      | Some _, _ -> expect_refuted
+    in
+    let failures = List.filter failed rows in
+    let count s =
+      List.length (List.filter (fun (_, v) -> String.equal (status_of v) s) rows)
+    in
+    if json then begin
+      let item_json ((group, name, expect_refuted, _), v) =
+        Obs.Json.Obj
+          ([ ("group", Obs.Json.String group);
+             ("name", Obs.Json.String name);
+             ("status", Obs.Json.String (status_of v));
+             ("expect_refuted", Obs.Json.Bool expect_refuted);
+             ("failed", Obs.Json.Bool (failed ((group, name, expect_refuted, Some ()), v)))
+           ]
+          @
+          (match v with
+          | Some (Dsl.Rdsl.Verify.Refuted c) ->
+            [ ( "counterexample",
+                Obs.Json.Obj
+                  [ ( "instances",
+                      Obs.Json.Obj
+                        (List.map (fun (r, i) -> (r, Obs.Json.String i)) c.instances)
+                    );
+                    ( "valuation",
+                      Obs.Json.List
+                        (List.map (fun s -> Obs.Json.String s) c.valuation) );
+                    ("lhs_rows", Obs.Json.String c.lhs_rows);
+                    ("rhs_rows", Obs.Json.String c.rhs_rows) ] ) ]
+          | Some (Dsl.Rdsl.Verify.Unknown m) -> [ ("reason", Obs.Json.String m) ]
+          | _ -> []))
+      in
+      let doc =
+        Obs.Json.Obj
+          [ ("rules", Obs.Json.List (List.map item_json rows));
+            ( "summary",
+              Obs.Json.Obj
+                [ ("sound", Obs.Json.Int (count "sound"));
+                  ("refuted", Obs.Json.Int (count "refuted"));
+                  ("unknown", Obs.Json.Int (count "unknown"));
+                  ("unverified", Obs.Json.Int (count "unverified"));
+                  ("failures", Obs.Json.Int (List.length failures)) ] ) ]
+      in
+      print_endline (Obs.Json.to_string doc)
+    end
+    else begin
+      List.iter
+        (fun (((group, name, _, _), v) as row) ->
+          Printf.printf "%-15s %-34s %s%s\n" group name (status_of v)
+            (if failed row then "  <-- FAIL" else "");
+          match v with
+          | Some (Dsl.Rdsl.Verify.Refuted _ as vd) when failed row ->
+            Printf.printf "%17s%s\n" "" (Dsl.Rdsl.Verify.verdict_to_string vd)
+          | Some (Dsl.Rdsl.Verify.Unknown m) -> Printf.printf "%17s(%s)\n" "" m
+          | _ -> ())
+        rows;
+      Printf.printf
+        "%d sound, %d refuted, %d unknown, %d unverified (%.2fs); %d failure(s)\n"
+        (count "sound") (count "refuted") (count "unknown") (count "unverified")
+        elapsed (List.length failures)
+    end;
+    if failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify-rules"
+       ~doc:
+         "Check every DSL-backed registered rule against the bounded symbolic \
+          oracle (small-scope set-theoretic semantics over distinguished rows and \
+          NULLs, no executor); closure-only rules are reported unverified. Fails \
+          if any registered rule is refuted")
+    Term.(
+      const run $ include_discovered_arg $ max_valuations_arg $ jobs_arg $ trace_arg
+      $ json_arg)
+
 let () =
   let doc = "testing framework for query transformation rules (SIGMOD'09 reproduction)" in
   exit
@@ -1357,4 +1507,4 @@ let () =
           (Cmd.info "qtr" ~version:"1.0.0" ~doc)
           [ rules_cmd; optimize_cmd; generate_cmd; coverage_cmd; compress_cmd;
             validate_cmd; reduce_cmd; replay_cmd; stats_cmd; profile_cmd; report_cmd;
-            discover_cmd; benchdiff_cmd ]))
+            discover_cmd; verify_rules_cmd; benchdiff_cmd ]))

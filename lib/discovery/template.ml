@@ -389,6 +389,44 @@ let align cat matched built =
   | Ok t -> [ t ]
   | Error _ -> []
 
+(* Bridge into the rewrite DSL, for the symbolic oracle. Join-predicate
+   variables land in a predicate-variable namespace disjoint from the
+   filter predicates'. Candidates using Intersect/Except fall outside the
+   DSL fragment and map to [None]; [qtr verify-rules] reports them as
+   unverified. *)
+let join_pv v = 1000 + v
+
+let to_rdsl ?name c =
+  let c = standardize c in
+  let module R = Dsl.Rdsl in
+  let pexp = function
+    | Pvar i -> R.Pvar i
+    | Pand (i, j) -> R.Pand (R.Pvar i, R.Pvar j)
+  in
+  let rec go = function
+    | Rel i -> Some (R.Var i)
+    | Filter (p, ct) -> Option.map (fun t -> R.Filter (pexp p, t)) (go ct)
+    | Join (v, a, b) -> (
+      match (go a, go b) with
+      | Some a, Some b -> Some (R.Join (L.Inner, R.Pvar (join_pv v), a, b))
+      | _ -> None)
+    | Distinct ct -> Option.map (fun t -> R.Distinct t) (go ct)
+    | UnionAll (a, b) -> (
+      match (go a, go b) with
+      | Some a, Some b -> Some (R.UnionAll (a, b))
+      | _ -> None)
+    | Union (a, b) -> (
+      match (go a, go b) with
+      | Some a, Some b -> Some (R.Union (a, b))
+      | _ -> None)
+    | Intersect _ | Except _ -> None
+  in
+  match (go c.lhs, go c.rhs) with
+  | Some lhs, Some rhs ->
+    let name = match name with Some n -> n | None -> name_of c in
+    Some { R.name; lhs; rhs; sides = [] }
+  | _ -> None
+
 let to_rule ?name c =
   let c = standardize c in
   let name = match name with Some n -> n | None -> name_of c in

@@ -94,6 +94,14 @@ val seeded_name : candidate -> string option
 val to_pattern : candidate -> Optimizer.Pattern.t
 (** Pattern of the standardized lhs ([Any] at relation variables). *)
 
+val to_rdsl : ?name:string -> candidate -> Dsl.Rdsl.rule option
+(** Bridge into the rewrite DSL for the symbolic small-scope oracle:
+    filter/join predicate variables become DSL predicate metavariables
+    (join variables in a disjoint namespace), relation variables become
+    relation metavariables, with no side-conditions. [None] when the
+    candidate uses Intersect/Except, which fall outside the DSL
+    fragment. *)
+
 val to_rule : ?name:string -> candidate -> Optimizer.Rule.t
 (** Bridge into a real optimizer rule: match the lhs template (binding
     relation subtrees and predicates), build the rhs, and re-align the

@@ -1,0 +1,132 @@
+open Relalg
+
+type t = Op of Logical.op_kind * t list | Any
+
+let all_kinds : Logical.op_kind list =
+  [ KGet; KFilter; KProject; KJoin Inner; KJoin Cross; KJoin LeftOuter;
+    KJoin RightOuter; KJoin FullOuter; KJoin Semi; KJoin AntiSemi; KGroupBy;
+    KUnionAll; KUnion; KIntersect; KExcept; KDistinct; KSort; KLimit ]
+
+let kind_of_name name =
+  List.find_opt (fun k -> String.equal (Logical.kind_name k) name) all_kinds
+
+let rec matches p t =
+  match p with
+  | Any -> true
+  | Op (kind, kids) ->
+    Logical.kind t = kind
+    &&
+    let children = Logical.children t in
+    List.length children = List.length kids
+    && List.for_all2 matches kids children
+
+let matches_anywhere p t =
+  Logical.fold (fun acc node -> acc || matches p node) false t
+
+let rec size = function
+  | Any -> 0
+  | Op (_, kids) -> 1 + List.fold_left (fun acc k -> acc + size k) 0 kids
+
+let rec leaves = function
+  | Any -> 1
+  | Op (_, kids) -> List.fold_left (fun acc k -> acc + leaves k) 0 kids
+
+let substitute_leaf p i q =
+  (* Threads a counter through a left-to-right traversal. *)
+  let rec go p i =
+    match p with
+    | Any -> if i = 0 then (Some q, i - 1) else (None, i - 1)
+    | Op (kind, kids) ->
+      let replaced, remaining, kids' =
+        List.fold_left
+          (fun (replaced, i, acc) kid ->
+            if replaced then (true, i, kid :: acc)
+            else
+              match go kid i with
+              | Some kid', i' -> (true, i', kid' :: acc)
+              | None, i' -> (false, i', kid :: acc))
+          (false, i, []) kids
+      in
+      if replaced then (Some (Op (kind, List.rev kids')), remaining)
+      else (None, remaining)
+  in
+  match go p i with Some p', _ -> Some p' | None, _ -> None
+
+let rec to_xml = function
+  | Any -> "<any/>"
+  | Op (kind, []) -> Printf.sprintf "<op kind=\"%s\"/>" (Logical.kind_name kind)
+  | Op (kind, kids) ->
+    Printf.sprintf "<op kind=\"%s\">%s</op>" (Logical.kind_name kind)
+      (String.concat "" (List.map to_xml kids))
+
+(* A minimal XML reader for the subset emitted by [to_xml]. *)
+let of_xml input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let error = ref None in
+  let fail msg =
+    error := Some msg;
+    raise Exit
+  in
+  let skip_ws () =
+    while !pos < n && (input.[!pos] = ' ' || input.[!pos] = '\n' || input.[!pos] = '\t') do
+      incr pos
+    done
+  in
+  let literal s =
+    let l = String.length s in
+    if !pos + l <= n && String.sub input !pos l = s then pos := !pos + l
+    else fail (Printf.sprintf "expected %s at position %d" s !pos)
+  in
+  let rec node () =
+    skip_ws ();
+    if !pos + 6 <= n && String.sub input !pos 6 = "<any/>" then begin
+      pos := !pos + 6;
+      Any
+    end
+    else begin
+      literal "<op kind=\"";
+      let start = !pos in
+      while !pos < n && input.[!pos] <> '"' do
+        incr pos
+      done;
+      if !pos >= n then fail "unterminated kind attribute";
+      let name = String.sub input start (!pos - start) in
+      incr pos;
+      let kind =
+        match kind_of_name name with
+        | Some k -> k
+        | None -> fail ("unknown operator kind " ^ name)
+      in
+      skip_ws ();
+      if !pos < n && input.[!pos] = '/' then begin
+        literal "/>";
+        Op (kind, [])
+      end
+      else begin
+        literal ">";
+        let kids = ref [] in
+        skip_ws ();
+        while not (!pos + 1 < n && input.[!pos] = '<' && input.[!pos + 1] = '/') do
+          kids := node () :: !kids;
+          skip_ws ()
+        done;
+        literal "</op>";
+        Op (kind, List.rev !kids)
+      end
+    end
+  in
+  try
+    let p = node () in
+    skip_ws ();
+    if !pos <> n then Error "trailing input after pattern"
+    else Ok p
+  with Exit -> Error (Option.value !error ~default:"malformed pattern XML")
+
+let rec pp fmt = function
+  | Any -> Format.pp_print_string fmt "_"
+  | Op (kind, []) -> Format.pp_print_string fmt (Logical.kind_name kind)
+  | Op (kind, kids) ->
+    Format.fprintf fmt "%s(%a)" (Logical.kind_name kind)
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp)
+      kids

@@ -18,7 +18,12 @@ val make :
   (Storage.Catalog.t -> Relalg.Logical.t -> Relalg.Logical.t list) ->
   t
 (** Wraps [apply] with the pattern check: the returned rule's [apply] is a
-    no-op on trees whose root does not match [pattern]. *)
+    no-op on trees whose root does not match [pattern]. When metrics are
+    enabled, a non-matching root is additionally probed against the raw
+    [apply]: if it would have produced substitutes, the
+    [optimizer.rule.pattern_mismatch] counter (labelled with the rule
+    name) is bumped — the rule's declared pattern and its implementation
+    disagree, and the engine would silently never fire it. *)
 
 (** {2 Helpers shared by rule implementations} *)
 

@@ -118,13 +118,20 @@ let default_specs =
     count "details/discover/candidates";
     count "details/discover/rediscovered";
     count "details/discover/promoted";
+    (* Symbolic oracle: fully deterministic verdicts, so the flags are
+       zero-tolerance and the sound count gates tightly. *)
+    flag "details/verify/registered_all_sound";
+    flag "details/verify/known_sound_all_sound";
+    flag "details/verify/seeded_all_refuted";
+    count "details/verify/sound";
     (* Wall clocks, the noisiest tier: per-experiment seconds. *)
     seconds "experiment_seconds/explore";
     seconds "experiment_seconds/matrix";
     seconds "experiment_seconds/parallel";
     seconds "experiment_seconds/execute";
     seconds "experiment_seconds/reduce";
-    seconds "experiment_seconds/discover" ]
+    seconds "experiment_seconds/discover";
+    seconds "experiment_seconds/verify" ]
 
 (* ------------------------------------------------------------------ *)
 (* Comparison                                                          *)

@@ -21,7 +21,7 @@ type result = {
   exercised : SSet.t;
   impl_exercised : SSet.t;
   trees_explored : int;
-  budget_exhausted : bool;
+  budget_truncated : bool;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -526,7 +526,7 @@ let optimize ?(options = default_options) ?(rules = Rules.all) catalog t0 =
           exercised = exploration.logical_exercised;
           impl_exercised = planner.impl_exercised;
           trees_explored = exploration.count;
-          budget_exhausted = exploration.truncated })
+          budget_truncated = exploration.truncated })
 
 let ruleset ?(options = default_options) ?(rules = Rules.all) catalog t0 =
   match Props.validate catalog t0 with

@@ -49,7 +49,7 @@ type result = {
   exercised : SSet.t;  (** logical (exploration) rules exercised *)
   impl_exercised : SSet.t;  (** implementation rules exercised *)
   trees_explored : int;
-  budget_exhausted : bool;
+  budget_truncated : bool;
       (** the [max_trees] budget truncated the closure: some rewrites
           were discovered but never explored, so [exercised] (and the
           chosen plan) may under-report what an unbounded search would

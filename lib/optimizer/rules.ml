@@ -1,6 +1,13 @@
 let all : Rule.t list =
   Rules_join.rules @ Rules_select.rules @ Rules_agg.rules @ Rules_extra.rules
 
+(* The DSL source of each DSL-backed registered rule (the join and select
+   families; the agg and extra families remain closure rules). *)
+let dsl_rules : (string * Dsl.Rdsl.rule) list =
+  List.map (fun (r : Dsl.Rdsl.rule) -> (r.name, r)) (Rules_join.dsl @ Rules_select.dsl)
+
+let rdsl_of name = List.assoc_opt name dsl_rules
+
 let () =
   (* The registry is the unit of identity for the whole framework; duplicate
      names would corrupt rule tracking. *)

@@ -20,3 +20,9 @@ val pattern_xml : string -> string option
 
 val all_patterns_xml : unit -> string
 (** One [<rules>...</rules>] document with every rule's pattern. *)
+
+val dsl_rules : (string * Dsl.Rdsl.rule) list
+(** The DSL source of each DSL-backed registered rule (the join and select
+    families), keyed by rule name, in registry order. *)
+
+val rdsl_of : string -> Dsl.Rdsl.rule option

@@ -1,13 +1,135 @@
+(* The join family, stated in the rewrite DSL (lib/dsl/rdsl.ml) and
+   compiled to engine rules. The original closure implementations are kept
+   below as [closure_rules]: test_dsl.ml checks rule-by-rule that the
+   compiled DSL rules produce identical substitutes on random trees, and
+   the registry would fall back to them if a rule ever outgrew the DSL. *)
+
 open Relalg
 module L = Logical
 module S = Scalar
+module R = Dsl.Rdsl
+
+(* Metavariable conventions: relations A=0, B=1, C=2; predicates p0, p1
+   with join binders numbered innermost-first (so a Filter-over-Join lhs
+   binds the join's predicate as p0 and the filter's as p1). *)
+let a = R.Var 0
+let b = R.Var 1
+let c = R.Var 2
+let p0 = R.Pvar 0
+let p1 = R.Pvar 1
+
+(* Push a filter below a join onto the side(s) legal for the kind:
+   Filter[p1](Join[p0](A, B)) ->
+   Filter?[resid](Join[p0](Filter?[part_A](A), Filter?[part_B](B))),
+   the right part split from the residual left behind by the left split. *)
+let push_select kind name ~left_ok ~right_ok : R.rule =
+  let after_left = if left_ok then R.Presid (p1, R.Rels [ 0 ]) else p1 in
+  let after_right = if right_ok then R.Presid (after_left, R.Rels [ 1 ]) else after_left in
+  let wrap ok part child = if ok then R.Filter_nontrivial (part, child) else child in
+  { name;
+    lhs = R.Filter (p1, R.Join (kind, p0, a, b));
+    rhs =
+      R.Filter_nontrivial
+        ( after_right,
+          R.Join
+            ( kind,
+              p0,
+              wrap left_ok (R.Ppart (p1, R.Rels [ 0 ])) a,
+              wrap right_ok (R.Ppart (after_left, R.Rels [ 1 ])) b ) );
+    sides =
+      [ R.Some_pushed
+          ((if left_ok then [ (p1, R.Rels [ 0 ]) ] else [])
+          @ if right_ok then [ (after_left, R.Rels [ 1 ]) ] else []) ] }
+
+(* A filter null-rejecting on the padded side turns an outer join into a
+   stricter join. *)
+let simplify_outer kind name ~reject_left ~result_kind : R.rule =
+  { name;
+    lhs = R.Filter (p1, R.Join (kind, p0, a, b));
+    rhs = R.Filter (p1, R.Join (result_kind, p0, a, b));
+    sides = [ R.Null_rejecting (1, [ (if reject_left then 0 else 1) ]) ] }
+
+(* Join(A,B) -> Project[original order](Join(B,A)): the identity projection
+   restores the output column order positional consumers rely on. *)
+let commute kind name ~flipped : R.rule =
+  { name;
+    lhs = R.Join (kind, p0, a, b);
+    rhs = R.Keep_schema (R.Join (flipped, p0, b, a));
+    sides = [] }
+
+let dsl : R.rule list =
+  [ commute L.Inner "JoinCommute" ~flipped:L.Inner;
+    (* (A join B) join C -> A join (B join C); conjuncts scoped to B u C
+       sink into the new inner join *)
+    { name = "JoinAssocLeft";
+      lhs = R.Join (L.Inner, p1, R.Join (L.Inner, p0, a, b), c);
+      rhs =
+        R.Join
+          ( L.Inner,
+            R.Presid (R.Pand (p0, p1), R.Rels [ 1; 2 ]),
+            a,
+            R.Join (L.Inner, R.Ppart (R.Pand (p0, p1), R.Rels [ 1; 2 ]), b, c) );
+      sides = [] };
+    { name = "JoinAssocRight";
+      lhs = R.Join (L.Inner, p1, a, R.Join (L.Inner, p0, b, c));
+      rhs =
+        R.Join
+          ( L.Inner,
+            R.Presid (R.Pand (p0, p1), R.Rels [ 0; 1 ]),
+            R.Join (L.Inner, R.Ppart (R.Pand (p0, p1), R.Rels [ 0; 1 ]), a, b),
+            c );
+      sides = [] };
+    { name = "CrossJoinToInnerJoin";
+      lhs = R.Join (L.Cross, p0, a, b);
+      rhs = R.Join (L.Inner, R.Ptrue, a, b);
+      sides = [] };
+    { name = "MergeSelectIntoJoin";
+      lhs = R.Filter (p1, R.Join (L.Inner, p0, a, b));
+      rhs = R.Join (L.Inner, R.Pand (p0, p1), a, b);
+      sides = [] };
+    { name = "SelectCrossToInnerJoin";
+      lhs = R.Filter (p1, R.Join (L.Cross, p0, a, b));
+      rhs = R.Join (L.Inner, p1, a, b);
+      sides = [] };
+    push_select L.Inner "PushSelectBelowJoin" ~left_ok:true ~right_ok:true;
+    push_select L.Cross "PushSelectBelowCrossJoin" ~left_ok:true ~right_ok:true;
+    push_select L.LeftOuter "PushSelectBelowLeftOuterJoin" ~left_ok:true ~right_ok:false;
+    push_select L.RightOuter "PushSelectBelowRightOuterJoin" ~left_ok:false ~right_ok:true;
+    push_select L.Semi "PushSelectBelowSemiJoin" ~left_ok:true ~right_ok:false;
+    push_select L.AntiSemi "PushSelectBelowAntiSemiJoin" ~left_ok:true ~right_ok:false;
+    simplify_outer L.LeftOuter "SimplifyLeftOuterJoin" ~reject_left:false
+      ~result_kind:L.Inner;
+    simplify_outer L.RightOuter "SimplifyRightOuterJoin" ~reject_left:true
+      ~result_kind:L.Inner;
+    simplify_outer L.FullOuter "SimplifyFullOuterJoinToRight" ~reject_left:false
+      ~result_kind:L.RightOuter;
+    simplify_outer L.FullOuter "SimplifyFullOuterJoinToLeft" ~reject_left:true
+      ~result_kind:L.LeftOuter;
+    commute L.LeftOuter "LeftOuterJoinCommute" ~flipped:L.RightOuter;
+    commute L.RightOuter "RightOuterJoinCommute" ~flipped:L.LeftOuter;
+    commute L.FullOuter "FullOuterJoinCommute" ~flipped:L.FullOuter;
+    (* the paper's running example: R join (S LOJ T) -> (R join S) LOJ T,
+       legal when the join predicate does not touch T *)
+    { name = "JoinLeftOuterJoinAssoc";
+      lhs = R.Join (L.Inner, p1, a, R.Join (L.LeftOuter, p0, b, c));
+      rhs = R.Join (L.LeftOuter, p0, R.Join (L.Inner, p1, a, b), c);
+      sides = [ R.Scoped_within (1, [ 0; 1 ]) ] };
+    (* Semi(A,B,p) -> project_A(A join B) when B matches each A row at most
+       once: the equi-join columns on B's side cover a key of B *)
+    { name = "SemiJoinToInnerJoin";
+      lhs = R.Join (L.Semi, p0, a, b);
+      rhs = R.Keep_schema (R.Join (L.Inner, p0, a, b));
+      sides = [ R.Key_within_equi (0, 0, 1) ] } ]
+
+let rules = List.map R.compile dsl
+
+(* ------------------------------------------------------------------ *)
+(* The original closure implementations (parity reference / fallback). *)
+(* ------------------------------------------------------------------ *)
 
 let ( let* ) o f = match o with Ok v -> f v | Error _ -> []
 let schema = Props.schema
 
-(* Join(A,B) -> Project[original order](Join(B,A)). The projection restores
-   the output column order, which positional consumers (set operations)
-   rely on. *)
 let join_commute =
   Rule.make "JoinCommute"
     (Pattern.Op (L.KJoin L.Inner, [ Pattern.Any; Pattern.Any ]))
@@ -18,8 +140,6 @@ let join_commute =
         [ Rule.identity_project cols (L.Join { j with left = right; right = left }) ]
       | _ -> [])
 
-(* (A join B) join C  ->  A join (B join C); conjuncts scoped to B u C sink
-   into the new inner join. *)
 let join_assoc_left =
   Rule.make "JoinAssocLeft"
     (Pattern.Op
@@ -41,7 +161,6 @@ let join_assoc_left =
               right = L.Join { kind = L.Inner; pred = inner; left = b; right = c } } ]
       | _ -> [])
 
-(* A join (B join C)  ->  (A join B) join C. *)
 let join_assoc_right =
   Rule.make "JoinAssocRight"
     (Pattern.Op
@@ -90,9 +209,8 @@ let select_cross_to_inner =
         [ L.Join { kind = L.Inner; pred; left; right } ]
       | _ -> [])
 
-(* Push a filter below a join, onto the side(s) it scopes to. [sides]
-   selects which sides may legally receive pushed conjuncts for the kind. *)
-let push_select kind name ~left_ok ~right_ok =
+(* Push a filter below a join, onto the side(s) it scopes to. *)
+let push_select_closure kind name ~left_ok ~right_ok =
   Rule.make name
     (Pattern.Op (L.KFilter, [ Pattern.Op (L.KJoin kind, [ Pattern.Any; Pattern.Any ]) ]))
     (fun cat t ->
@@ -109,24 +227,27 @@ let push_select kind name ~left_ok ~right_ok =
           [ wrap rest (L.Join { j with left = wrap pl left; right = wrap pr right }) ]
       | _ -> [])
 
-let push_select_below_join = push_select L.Inner "PushSelectBelowJoin" ~left_ok:true ~right_ok:true
-let push_select_below_cross = push_select L.Cross "PushSelectBelowCrossJoin" ~left_ok:true ~right_ok:true
+let push_select_below_join =
+  push_select_closure L.Inner "PushSelectBelowJoin" ~left_ok:true ~right_ok:true
+
+let push_select_below_cross =
+  push_select_closure L.Cross "PushSelectBelowCrossJoin" ~left_ok:true ~right_ok:true
 
 let push_select_below_loj =
-  push_select L.LeftOuter "PushSelectBelowLeftOuterJoin" ~left_ok:true ~right_ok:false
+  push_select_closure L.LeftOuter "PushSelectBelowLeftOuterJoin" ~left_ok:true ~right_ok:false
 
 let push_select_below_roj =
-  push_select L.RightOuter "PushSelectBelowRightOuterJoin" ~left_ok:false ~right_ok:true
+  push_select_closure L.RightOuter "PushSelectBelowRightOuterJoin" ~left_ok:false ~right_ok:true
 
 let push_select_below_semi =
-  push_select L.Semi "PushSelectBelowSemiJoin" ~left_ok:true ~right_ok:false
+  push_select_closure L.Semi "PushSelectBelowSemiJoin" ~left_ok:true ~right_ok:false
 
 let push_select_below_anti =
-  push_select L.AntiSemi "PushSelectBelowAntiSemiJoin" ~left_ok:true ~right_ok:false
+  push_select_closure L.AntiSemi "PushSelectBelowAntiSemiJoin" ~left_ok:true ~right_ok:false
 
 (* Filter null-rejecting on the padded side turns an outer join into a
    stricter join. *)
-let simplify_outer kind name ~reject_left ~result_kind =
+let simplify_outer_closure kind name ~reject_left ~result_kind =
   Rule.make name
     (Pattern.Op (L.KFilter, [ Pattern.Op (L.KJoin kind, [ Pattern.Any; Pattern.Any ]) ]))
     (fun cat t ->
@@ -141,19 +262,19 @@ let simplify_outer kind name ~reject_left ~result_kind =
       | _ -> [])
 
 let simplify_loj =
-  simplify_outer L.LeftOuter "SimplifyLeftOuterJoin" ~reject_left:false
+  simplify_outer_closure L.LeftOuter "SimplifyLeftOuterJoin" ~reject_left:false
     ~result_kind:L.Inner
 
 let simplify_roj =
-  simplify_outer L.RightOuter "SimplifyRightOuterJoin" ~reject_left:true
+  simplify_outer_closure L.RightOuter "SimplifyRightOuterJoin" ~reject_left:true
     ~result_kind:L.Inner
 
 let simplify_foj_to_roj =
-  simplify_outer L.FullOuter "SimplifyFullOuterJoinToRight" ~reject_left:false
+  simplify_outer_closure L.FullOuter "SimplifyFullOuterJoinToRight" ~reject_left:false
     ~result_kind:L.RightOuter
 
 let simplify_foj_to_loj =
-  simplify_outer L.FullOuter "SimplifyFullOuterJoinToLeft" ~reject_left:true
+  simplify_outer_closure L.FullOuter "SimplifyFullOuterJoinToLeft" ~reject_left:true
     ~result_kind:L.LeftOuter
 
 let commute_outer kind name ~flipped =
@@ -214,7 +335,7 @@ let semi_to_inner =
         else []
       | _ -> [])
 
-let rules =
+let closure_rules =
   [ join_commute; join_assoc_left; join_assoc_right; cross_to_inner;
     merge_select_into_join; select_cross_to_inner; push_select_below_join;
     push_select_below_cross; push_select_below_loj; push_select_below_roj;

@@ -127,7 +127,7 @@ let check_memo_equivalent name options q =
   check float_t (name ^ ": same cost") off.cost on.cost;
   check int_t (name ^ ": same closure size") off.trees_explored on.trees_explored;
   check bool_t (name ^ ": same truncation") true
-    (off.budget_exhausted = on.budget_exhausted);
+    (off.budget_truncated = on.budget_truncated);
   check bool_t (name ^ ": same exercised") true
     (E.SSet.equal off.exercised on.exercised);
   check bool_t (name ^ ": same impl exercised") true
@@ -154,20 +154,20 @@ let test_closure_dedup () =
   (* JoinCommute applied twice yields the original tree; the closure must
      not blow up re-admitting known trees through new derivations. *)
   let r = Result.get_ok (E.optimize cat join) in
-  check bool_t "closure completed" false r.budget_exhausted;
+  check bool_t "closure completed" false r.budget_truncated;
   let r10 =
     Result.get_ok (E.optimize ~options:{ E.default_options with max_trees = 1000 } cat join)
   in
   check int_t "fixpoint independent of budget headroom" r.trees_explored
     r10.trees_explored
 
-let test_budget_exhausted_invariants () =
+let test_budget_truncated_invariants () =
   let tight = { E.default_options with max_trees = 3 } in
   let r = Result.get_ok (E.optimize ~options:tight cat filtered) in
-  check bool_t "tight budget reported exhausted" true r.budget_exhausted;
+  check bool_t "tight budget reported exhausted" true r.budget_truncated;
   check int_t "admits exactly max_trees" 3 r.trees_explored;
   let loose = Result.get_ok (E.optimize cat filtered) in
-  check bool_t "default budget completes on micro" false loose.budget_exhausted;
+  check bool_t "default budget completes on micro" false loose.budget_truncated;
   check bool_t "exhausted run costs no less" true (r.cost >= loose.cost -. 1e-9)
 
 (* ------------------------------------------------------------------ *)

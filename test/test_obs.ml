@@ -225,9 +225,9 @@ let test_budget_exhaustion_reported () =
   let truncated =
     Result.get_ok (Optimizer.Engine.optimize ~options cat filtered_join)
   in
-  check bool_t "tiny budget exhausts" true truncated.budget_exhausted;
+  check bool_t "tiny budget exhausts" true truncated.budget_truncated;
   let unbounded = Result.get_ok (Optimizer.Engine.optimize cat filtered_join) in
-  check bool_t "default budget suffices" false unbounded.budget_exhausted
+  check bool_t "default budget suffices" false unbounded.budget_truncated
 
 let suite =
   [ ( "obs",

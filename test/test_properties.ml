@@ -84,34 +84,61 @@ let prop_optimizer_deterministic =
       | Error _, Error _ -> true
       | _ -> false)
 
+(* Well-behavedness (§5.2) with a comparison that is well-defined whether
+   or not [max_trees] truncated the closure. When the closure completes,
+   a from-scratch [Cost(q, not R)] can never beat [Cost(q)] — disabling
+   only removes trees. Under truncation that from-scratch comparison is
+   ill-posed (the all-rules and not-R searches reach different frontiers,
+   so either may win — the historical flake at QCheck seed 454192), but
+   the shared-exploration form survives: the not-R closure is filtered
+   out of the very closure the all-rules search ranked, so its best cost
+   is >= the all-rules optimum, truncated or not. [base.budget_truncated]
+   picks the comparison; nothing is skipped. *)
 let prop_cost_monotone =
   QCheck.Test.make ~name:"disabling rules never lowers the cost" ~count:20 seed_arb
     (fun seed ->
       let t = random_tree cat seed in
       match Optimizer.Engine.optimize ~options:quick_options cat t with
       | Error _ -> true
-      (* The engine is well-behaved only when the closure completes: a
-         truncated search can find a cheaper tree with rules disabled
-         because disabling reorders what fits under [max_trees]
-         (engine.mli). *)
-      | Ok base when base.budget_exhausted -> true
       | Ok base ->
         let g = Prng.create (seed + 1) in
         let exercised = Optimizer.Engine.SSet.elements base.exercised in
         let subset = Prng.sample g 2 exercised in
-        let options =
-          { quick_options with
-            disabled =
-              List.fold_left
-                (fun s r -> Optimizer.Engine.SSet.add r s)
-                Optimizer.Engine.SSet.empty subset }
+        let disabled =
+          List.fold_left
+            (fun s r -> Optimizer.Engine.SSet.add r s)
+            Optimizer.Engine.SSet.empty subset
         in
-        (match Optimizer.Engine.optimize ~options cat t with
-        | Error _ -> true
-        | Ok r ->
-          r.cost >= base.cost -. 1e-6
-          || QCheck.Test.fail_reportf "cost dropped from %.3f to %.3f disabling [%s]"
-               base.cost r.cost (String.concat "; " subset)))
+        if base.budget_truncated then (
+          match Optimizer.Engine.explore_shared ~options:quick_options cat t with
+          | Error e -> QCheck.Test.fail_reportf "explore_shared failed: %s" e
+          | Ok sh -> (
+            match Optimizer.Engine.shared_cost sh ~disabled with
+            | Error _ -> true (* every derivation used a disabled rule *)
+            | Ok c ->
+              c >= base.cost -. 1e-6
+              || QCheck.Test.fail_reportf
+                   "truncated: shared cost dropped from %.3f to %.3f disabling [%s]"
+                   base.cost c (String.concat "; " subset)))
+        else
+          match
+            Optimizer.Engine.optimize ~options:{ quick_options with disabled } cat t
+          with
+          | Error _ -> true
+          | Ok r ->
+            r.cost >= base.cost -. 1e-6
+            || QCheck.Test.fail_reportf
+                 "cost dropped from %.3f to %.3f disabling [%s]" base.cost r.cost
+                 (String.concat "; " subset))
+
+(* Regression for the budget-truncation flake family: the property must
+   hold deterministically for ten consecutive QCheck seeds including
+   454192, the seed that historically produced a truncated closure whose
+   from-scratch comparison failed. *)
+let test_cost_monotone_seeds () =
+  for seed = 454192 to 454201 do
+    QCheck.Test.check_exn ~rand:(Random.State.make [| seed |]) prop_cost_monotone
+  done
 
 let prop_plan_columns_match_schema =
   QCheck.Test.make ~name:"executed columns match the logical schema" ~count:25 seed_arb
@@ -356,7 +383,7 @@ let prop_memoized_engine_equivalent =
       | Ok m, Ok r ->
         (m.cost = r.cost
         && m.trees_explored = r.trees_explored
-        && m.budget_exhausted = r.budget_exhausted
+        && m.budget_truncated = r.budget_truncated
         && Optimizer.Engine.SSet.equal m.exercised r.exercised
         && Optimizer.Engine.SSet.equal m.impl_exercised r.impl_exercised
         && L.equal m.best_logical r.best_logical)
@@ -449,6 +476,8 @@ let suite =
         to_alco prop_rewrites_preserve_schema;
         to_alco prop_optimizer_deterministic;
         to_alco prop_cost_monotone;
+        Alcotest.test_case "cost monotonicity at the historical flake seeds" `Slow
+          test_cost_monotone_seeds;
         to_alco prop_plan_columns_match_schema;
         to_alco prop_rule_off_same_results;
         to_alco prop_compiled_scalar_agrees;
