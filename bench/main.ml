@@ -690,6 +690,97 @@ let matrix_bench ~full ~disk =
          ("edge_cost_sum_per_edge", Obs.Json.Float per_total);
          ("edge_cost_sum_shared", Obs.Json.Float sh_total) ])
 
+(* Incremental maintenance: a cold pipeline run persists the suite
+   manifest; one rule is then "edited" (behavior-preserving fingerprint
+   bump) and the incremental rebuild — which regenerates only the
+   affected slice and serves the rest from the manifest — is timed
+   against a cold rebuild with the same edited registry. The two must be
+   byte-identical; the speedup and edge-reuse ratio are the experiment's
+   gated metrics. Uses its own temp cache dir so the experiment is
+   self-contained whatever --cache-dir says. *)
+let incremental_bench ~full () =
+  header "Incremental: warm-edit rebuild vs cold rebuild (suite manifest)";
+  let n = if full then 24 else 14 in
+  let k = if full then 4 else 3 in
+  let edited_rule = "PushSelectBelowSemiJoin" in
+  let rules = List.filteri (fun i _ -> i < n) Optimizer.Rules.names in
+  assert (List.mem edited_rule rules);
+  let targets = List.map (fun r -> Su.Single r) rules in
+  let pool = Par.Pool.sequential in
+  let fresh_dir =
+    let stamp = int_of_float (Unix.gettimeofday () *. 1e3) in
+    let c = ref 0 in
+    fun () ->
+      incr c;
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "qtr-bench-incr-%d-%d-%d" (Unix.getpid ()) stamp !c)
+  in
+  let run ~dir registry =
+    let framework =
+      F.create ~options:bench_options ~rules:registry (Lazy.force catalog)
+    in
+    let dc = Diskcache.create ~dir () in
+    let sess = Core.Incr.start ~dc ~desc:"bench-incremental" framework in
+    let g = Prng.create 2009 in
+    let t0 = now () in
+    let suite = Core.Incr.generate ~extra_ops:2 ~pool sess g ~targets ~k in
+    let ec = C.edge_costs ~warm_edges:(Core.Incr.warm_edges sess) framework suite in
+    let sol = C.topk ~pool ~ec framework suite in
+    Core.Incr.note_matrix sess ec;
+    ignore (Core.Incr.finish sess : bool);
+    (now () -. t0, suite, sol, Core.Incr.result sess)
+  in
+  let base_registry = List.map Optimizer.Rules.find_exn rules in
+  let edited_registry =
+    Optimizer.Rules.simulate_edit ~rules:base_registry edited_rule
+  in
+  let dir = fresh_dir () in
+  let cold_s, _, _, _ = run ~dir base_registry in
+  let warm_s, w_suite, w_sol, r = run ~dir edited_registry in
+  (* ground truth: a cold rebuild with the same edited registry *)
+  let ref_s, c_suite, c_sol, _ = run ~dir:(fresh_dir ()) edited_registry in
+  let identical =
+    Array.to_list (Array.map (fun (e : Su.entry) -> (e.query, e.cost)) w_suite.entries)
+    = Array.to_list
+        (Array.map (fun (e : Su.entry) -> (e.query, e.cost)) c_suite.entries)
+    && w_suite.per_target = c_suite.per_target
+    && w_sol.assignment = c_sol.assignment
+    && w_sol.total_cost = c_sol.total_cost
+    && w_sol.invocations = c_sol.invocations
+  in
+  let speedup = ref_s /. Float.max 1e-9 warm_s in
+  let reused_ratio =
+    if r.Core.Incr.edges_total = 0 then 0.0
+    else
+      float_of_int r.Core.Incr.edges_reusable /. float_of_int r.Core.Incr.edges_total
+  in
+  Printf.printf
+    "  %d targets x k=%d, %d edges; edited rule: %s\n\
+    \  cold build (manifest write)  %7.3fs\n\
+    \  cold rebuild after edit      %7.3fs\n\
+    \  incremental rebuild          %7.3fs  (%.1fx, %d/%d edges warm, %d suite \
+     entries reused)\n\
+    \  byte-identical to cold       %b\n"
+    (List.length targets) k r.Core.Incr.edges_total edited_rule cold_s ref_s warm_s
+    speedup r.Core.Incr.edges_reusable r.Core.Incr.edges_total
+    r.Core.Incr.entries_reused identical;
+  detail "incremental"
+    (Obs.Json.Obj
+       [ ("targets", Obs.Json.Int (List.length targets));
+         ("k", Obs.Json.Int k);
+         ("edited_rule", Obs.Json.String edited_rule);
+         ("cold_seconds", Obs.Json.Float cold_s);
+         ("cold_after_edit_seconds", Obs.Json.Float ref_s);
+         ("warm_edit_seconds", Obs.Json.Float warm_s);
+         ("speedup", Obs.Json.Float speedup);
+         ("edges_reused", Obs.Json.Int r.Core.Incr.edges_reusable);
+         ("edges_recomputed", Obs.Json.Int r.Core.Incr.edges_recomputed);
+         ("edges_total", Obs.Json.Int r.Core.Incr.edges_total);
+         ("edges_reused_ratio", Obs.Json.Float reused_ratio);
+         ("entries_reused", Obs.Json.Int r.Core.Incr.entries_reused);
+         ("targets_reused", Obs.Json.Int r.Core.Incr.targets_reusable);
+         ("identical", Obs.Json.Bool identical) ])
+
 let parallel_bench ~full ~jobs_list =
   header "Parallel: worker-pool scaling of generation / edge matrix / validation";
   Printf.printf "  recommended domain count on this machine: %d\n%!"
@@ -1393,6 +1484,7 @@ let () =
     | "correctness" -> ext_correctness ()
     | "explore" -> explore_bench ()
     | "matrix" -> matrix_bench ~full ~disk
+    | "incremental" -> incremental_bench ~full ()
     | "parallel" -> parallel_bench ~full ~jobs_list
     | "execute" -> execute_bench ~full
     | "reduce" -> reduce_bench ()
@@ -1404,11 +1496,12 @@ let () =
       List.iter timed
         [ "execute"; "fig8"; "fig9"; "fig11"; "fig12"; "fig13"; "fig14";
           "matching"; "correctness"; "discover"; "verify"; "explore"; "matrix";
-          "parallel"; "reduce"; "micro" ]
+          "incremental"; "parallel"; "reduce"; "micro" ]
     | other ->
       Printf.eprintf
         "unknown experiment %s (expected fig8..fig14, matching, correctness, \
-         explore, matrix, parallel, execute, reduce, discover, verify, micro, all)\n"
+         explore, matrix, incremental, parallel, execute, reduce, discover, verify, \
+         micro, all)\n"
         other;
       exit 2
   and timed name =

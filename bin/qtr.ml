@@ -12,6 +12,7 @@
                                        minimize + dedup + persist reproducers
      qtr replay --corpus corpus/       re-execute the regression corpus
      qtr discover --alphabet setops    mine/validate/rank/promote rewrite rules
+     qtr delta --cache-dir DIR         preview the reusable incremental slice
      qtr stats                         per-rule optimizer metrics table
      qtr profile --jobs 4              in-process span profile of a workload
      qtr report --rules 10 --k 3       one-shot campaign summary (text/JSON)
@@ -91,6 +92,82 @@ let setup_cache cache_dir cat =
     Executor.Cache.set_disk
       (Some (dc, Printf.sprintf "cat-%x" (Catalog.content_hash cat)));
     Some dc
+
+let incremental_flag =
+  Arg.(
+    value & flag
+    & info [ "incremental" ]
+        ~doc:
+          "Maintain the pipeline incrementally against the $(b,--cache-dir) manifest: \
+           diff the live rule-content fingerprints against the last run's, replay the \
+           suite targets and edge-cost matrix cells the diff proves unaffected, and \
+           recompute only the stale slice. Results are byte-identical to a cold \
+           rebuild at any $(b,--jobs). Requires $(b,--cache-dir).")
+
+let simulate_edit_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "simulate-edit" ] ~docv:"RULE"
+        ~doc:
+          "Rebuild RULE under a bumped version tag (same name, pattern and behavior, \
+           new content fingerprint) before running — the benchmark/CI stand-in for a \
+           behavior-preserving refactor of a rule's implementation.")
+
+(* Every generation/compression parameter that shapes the artifacts goes
+   into the manifest key (the catalog is hashed in by [Incr.config_key]),
+   so runs with different configurations never see each other's
+   manifests. *)
+let compress_desc ~seed ~n ~k ~pairs ~budget =
+  Printf.sprintf "compress|seed=%d|n=%d|k=%d|pairs=%b|budget=%d|extra=2|gen=pattern"
+    seed n k pairs budget
+
+let incr_session ~incremental ~disk ~desc fw =
+  match (incremental, disk) with
+  | false, _ -> None
+  | true, None ->
+    Printf.eprintf "qtr: --incremental requires --cache-dir\n";
+    exit 1
+  | true, Some dc -> Some (Core.Incr.start ~dc ~desc fw)
+
+let delta_report_json sess =
+  let r = Core.Incr.result sess in
+  Obs.Json.Obj
+    [ ("cold", Obs.Json.Bool (Core.Incr.cold sess));
+      ("full_rebuild", Obs.Json.Bool r.full_rebuild);
+      ( "rules_changed",
+        Obs.Json.List
+          (List.map
+             (fun (name, change) ->
+               Obs.Json.Obj
+                 [ ("rule", Obs.Json.String name);
+                   ("change", Obs.Json.String change) ])
+             r.rules_changed) );
+      ("targets_reused", Obs.Json.Int r.targets_reusable);
+      ("targets_total", Obs.Json.Int r.targets_total);
+      ("entries_reused", Obs.Json.Int r.entries_reused);
+      ("edges_reused", Obs.Json.Int r.edges_reusable);
+      ("edges_recomputed", Obs.Json.Int r.edges_recomputed);
+      ("edges_total", Obs.Json.Int r.edges_total) ]
+
+let print_delta_summary sess =
+  let r = Core.Incr.result sess in
+  if Core.Incr.cold sess then
+    print_endline "delta: no manifest found — cold rebuild, manifest written"
+  else begin
+    (match r.rules_changed with
+    | [] -> print_endline "delta: rule registry unchanged since last manifest"
+    | changed ->
+      Printf.printf "delta: %d rule(s) drifted: %s\n" (List.length changed)
+        (String.concat ", "
+           (List.map (fun (n, c) -> Printf.sprintf "%s (%s)" n c) changed)));
+    Printf.printf
+      "delta: reused %d/%d targets (%d suite entries), %d/%d edges served warm, %d \
+       recomputed%s\n"
+      r.targets_reusable r.targets_total r.entries_reused r.edges_reusable
+      r.edges_total r.edges_recomputed
+      (if r.full_rebuild then " [pattern change or new rule: full rebuild]" else "")
+  end
 
 (* Telemetry is off unless asked for: tracing implies metrics, so the
    per-rule tables under `--json`/`qtr stats` line up with the spans. *)
@@ -507,10 +584,11 @@ let pairs_flag =
   Arg.(value & flag & info [ "pairs" ] ~doc:"Target rule pairs instead of singletons.")
 
 let compress_cmd =
-  let run scale budget seed n k pairs jobs cache_dir trace json =
+  let run scale budget seed n k pairs incremental sim jobs cache_dir trace json =
     with_telemetry trace @@ fun () ->
     let pool = pool_of jobs in
-    let fw = make_fw scale budget in
+    let rules_override = Option.map (fun r -> Optimizer.Rules.simulate_edit r) sim in
+    let fw = make_fw ?rules:rules_override scale budget in
     let disk = setup_cache cache_dir (Core.Framework.catalog fw) in
     let g = Prng.create seed in
     let rules = List.filteri (fun i _ -> i < n) Optimizer.Rules.names in
@@ -518,28 +596,60 @@ let compress_cmd =
       if pairs then Core.Suite.all_pairs rules
       else List.map (fun r -> Core.Suite.Single r) rules
     in
+    let sess =
+      incr_session ~incremental ~disk
+        ~desc:(compress_desc ~seed ~n ~k ~pairs ~budget)
+        fw
+    in
     if not json then
       Printf.printf "generating suite: %d targets x k=%d...\n%!" (List.length targets) k;
-    let suite = Core.Suite.generate ~extra_ops:2 ~pool fw g ~targets ~k in
+    let suite =
+      match sess with
+      | Some s -> Core.Incr.generate ~extra_ops:2 ~pool s g ~targets ~k
+      | None -> Core.Suite.generate ~extra_ops:2 ~pool fw g ~targets ~k
+    in
     if not json then
       Printf.printf "%d distinct queries (shortfalls %d)\n%!"
         (Array.length suite.entries)
         (List.length (Core.Suite.shortfall suite));
     let algos =
-      [ ("BASELINE", Core.Compress.baseline ~pool ?disk fw suite);
-        ("SMC", Core.Compress.smc ~pool ?disk fw suite);
-        ("TOPK", Core.Compress.topk ~pool ?disk fw suite);
-        ("TOPK+mono", Core.Compress.topk ~exploit_monotonicity:true ?disk fw suite) ]
+      match sess with
+      | None ->
+        [ ("BASELINE", Core.Compress.baseline ~pool ?disk fw suite);
+          ("SMC", Core.Compress.smc ~pool ?disk fw suite);
+          ("TOPK", Core.Compress.topk ~pool ?disk fw suite);
+          ("TOPK+mono", Core.Compress.topk ~exploit_monotonicity:true ?disk fw suite) ]
+      | Some s ->
+        (* One manifest-warmed service shared across the algorithms:
+           every cell is computed (or served warm) once, and the solved
+           service is snapshotted into the next manifest. *)
+        let ec =
+          Core.Compress.edge_costs ?disk ~warm_edges:(Core.Incr.warm_edges s) fw
+            suite
+        in
+        let algos =
+          [ ("BASELINE", Core.Compress.baseline ~pool ~ec fw suite);
+            ("SMC", Core.Compress.smc ~pool ~ec fw suite);
+            ("TOPK", Core.Compress.topk ~pool ~ec fw suite);
+            ("TOPK+mono", Core.Compress.topk ~exploit_monotonicity:true ~ec fw suite) ]
+        in
+        Core.Incr.note_matrix s ec;
+        if not (Core.Incr.finish s) then
+          Printf.eprintf "warning: manifest write failed\n";
+        algos
     in
     if json then begin
       let doc =
         Obs.Json.Obj
-          [ ("targets", Obs.Json.Int (List.length targets));
-            ("k", Obs.Json.Int k);
-            ("jobs", Obs.Json.Int (Par.Pool.jobs pool));
-            ("distinct_queries", Obs.Json.Int (Array.length suite.entries));
-            ("shortfalls", Obs.Json.Int (List.length (Core.Suite.shortfall suite)));
-            ( "algorithms",
+          ([ ("targets", Obs.Json.Int (List.length targets));
+             ("k", Obs.Json.Int k);
+             ("jobs", Obs.Json.Int (Par.Pool.jobs pool));
+             ("distinct_queries", Obs.Json.Int (Array.length suite.entries));
+             ("shortfalls", Obs.Json.Int (List.length (Core.Suite.shortfall suite))) ]
+          @ (match sess with
+            | Some s -> [ ("delta", delta_report_json s) ]
+            | None -> [])
+          @ [ ( "algorithms",
               Obs.Json.List
                 (List.map
                    (fun (name, (sol : Core.Compress.solution)) ->
@@ -556,11 +666,12 @@ let compress_cmd =
                                         Obs.Json.String (Core.Suite.target_name t) );
                                       ("deficit", Obs.Json.Int d) ])
                                 sol.under_covered) ) ])
-                   algos) ) ]
+                   algos) ) ])
       in
       print_endline (Obs.Json.to_string doc)
     end
-    else
+    else begin
+      Option.iter print_delta_summary sess;
       List.iter
         (fun (name, (sol : Core.Compress.solution)) ->
           Printf.printf "  %-10s cost %14.1f  invocations %5d\n%!" name sol.total_cost
@@ -571,12 +682,14 @@ let compress_cmd =
                 (Core.Suite.target_name t) d k)
             sol.under_covered)
         algos
+    end
   in
   Cmd.v
     (Cmd.info "compress" ~doc:"Test-suite compression: BASELINE vs SMC vs TOPK")
     Term.(
       const run $ scale_arg $ budget_arg $ seed_arg $ n_rules_arg $ k_arg $ pairs_flag
-      $ jobs_arg $ cache_dir_arg $ trace_arg $ json_arg)
+      $ incremental_flag $ simulate_edit_arg $ jobs_arg $ cache_dir_arg $ trace_arg
+      $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* qtr validate                                                        *)
@@ -592,7 +705,7 @@ let validate_cmd =
             "Inject the buggy variant of RULE (one of the Faults registry) before \
              validating.")
   in
-  let run scale budget seed n k inject jobs cache_dir trace =
+  let run scale budget seed n k inject incremental jobs cache_dir trace =
     with_telemetry trace @@ fun () ->
     let pool = pool_of jobs in
     let rules_override = Option.map Core.Faults.inject inject in
@@ -605,9 +718,36 @@ let validate_cmd =
       | None -> List.filteri (fun i _ -> i < n) Optimizer.Rules.names
     in
     let targets = List.map (fun r -> Core.Suite.Single r) rules in
+    (* An injected fault changes the victim's fingerprint (its variant
+       carries a distinct version tag), so an incremental validate after
+       a clean one regenerates exactly the slices the fault can reach. *)
+    let desc =
+      Printf.sprintf "validate|seed=%d|n=%d|k=%d|inject=%s|budget=%d" seed n k
+        (Option.value inject ~default:"-")
+        budget
+    in
+    let sess = incr_session ~incremental ~disk ~desc fw in
     Printf.printf "generating suite: %d rules x k=%d...\n%!" (List.length targets) k;
-    let suite = Core.Suite.generate ~extra_ops:2 ~pool fw g ~targets ~k in
-    let sol = Core.Compress.topk ~pool ?disk fw suite in
+    let suite =
+      match sess with
+      | Some s -> Core.Incr.generate ~extra_ops:2 ~pool s g ~targets ~k
+      | None -> Core.Suite.generate ~extra_ops:2 ~pool fw g ~targets ~k
+    in
+    let sol =
+      match sess with
+      | None -> Core.Compress.topk ~pool ?disk fw suite
+      | Some s ->
+        let ec =
+          Core.Compress.edge_costs ?disk ~warm_edges:(Core.Incr.warm_edges s) fw
+            suite
+        in
+        let sol = Core.Compress.topk ~pool ~ec fw suite in
+        Core.Incr.note_matrix s ec;
+        if not (Core.Incr.finish s) then
+          Printf.eprintf "warning: manifest write failed\n";
+        sol
+    in
+    Option.iter print_delta_summary sess;
     List.iter
       (fun (t, d) ->
         Printf.printf "warning: target %s under-covered (missing %d of k=%d)\n%!"
@@ -622,7 +762,78 @@ let validate_cmd =
        ~doc:"Execute a compressed correctness suite (optionally with a fault injected)")
     Term.(
       const run $ scale_arg $ budget_arg $ seed_arg $ n_rules_arg $ k_arg $ inject
-      $ jobs_arg $ cache_dir_arg $ trace_arg)
+      $ incremental_flag $ jobs_arg $ cache_dir_arg $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* qtr delta                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let delta_cmd =
+  let run scale budget seed n k pairs sim cache_dir trace json =
+    with_telemetry trace @@ fun () ->
+    let dir =
+      match cache_dir with
+      | Some d -> d
+      | None ->
+        Printf.eprintf "qtr: delta requires --cache-dir\n";
+        exit 1
+    in
+    let rules_override = Option.map (fun r -> Optimizer.Rules.simulate_edit r) sim in
+    let fw = make_fw ?rules:rules_override scale budget in
+    let dc = Diskcache.create ~dir () in
+    let sess =
+      Core.Incr.start ~dc ~desc:(compress_desc ~seed ~n ~k ~pairs ~budget) fw
+    in
+    let p = Core.Incr.preview sess in
+    if json then begin
+      let doc =
+        Obs.Json.Obj
+          [ ("manifest_found", Obs.Json.Bool p.manifest_found);
+            ("rules_total", Obs.Json.Int p.rules_total);
+            ( "rules_changed",
+              Obs.Json.List
+                (List.map
+                   (fun (name, change) ->
+                     Obs.Json.Obj
+                       [ ("rule", Obs.Json.String name);
+                         ("change", Obs.Json.String change) ])
+                   p.rules_changed) );
+            ("full_rebuild", Obs.Json.Bool p.full_rebuild);
+            ("targets_reusable", Obs.Json.Int p.targets_reusable);
+            ("targets_total", Obs.Json.Int p.targets_total);
+            ("edges_reusable", Obs.Json.Int p.edges_reusable);
+            ("edges_total", Obs.Json.Int p.edges_total) ]
+      in
+      print_endline (Obs.Json.to_string doc)
+    end
+    else if not p.manifest_found then
+      print_endline
+        "no manifest for this configuration — the next --incremental run rebuilds \
+         cold and writes one"
+    else begin
+      Printf.printf "manifest: %d rules recorded\n" p.rules_total;
+      (match p.rules_changed with
+      | [] -> print_endline "registry unchanged: every recorded artifact is reusable"
+      | changed ->
+        List.iter
+          (fun (name, change) -> Printf.printf "  %-34s %s\n" name change)
+          changed);
+      Printf.printf
+        "reusable now: %d/%d suite targets, %d/%d edge-cost cells%s\n"
+        p.targets_reusable p.targets_total p.edges_reusable p.edges_total
+        (if p.full_rebuild then
+           " (pattern change or new rule forces a full rebuild)"
+         else "")
+    end
+  in
+  Cmd.v
+    (Cmd.info "delta"
+       ~doc:
+         "Diff the live rule-content fingerprints against the --cache-dir manifest \
+          and report what an --incremental run would reuse, without running anything")
+    Term.(
+      const run $ scale_arg $ budget_arg $ seed_arg $ n_rules_arg $ k_arg $ pairs_flag
+      $ simulate_edit_arg $ cache_dir_arg $ trace_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* qtr reduce                                                          *)
@@ -817,7 +1028,7 @@ let stats_cmd =
     let pool = pool_of jobs in
     let fw = make_fw scale budget in
     let cat = Core.Framework.catalog fw in
-    ignore (setup_cache cache_dir cat : Diskcache.t option);
+    let dc_opt = setup_cache cache_dir cat in
     let ctx = { Core.Arggen.g = Prng.create seed; cat } in
     (* Queries are generated sequentially (one PRNG stream), then
        optimized as one task each with its own fresh-name range — the
@@ -943,7 +1154,40 @@ let stats_cmd =
         rows_per_sec (rate ex_hits ex_misses) ex_hits (ex_hits + ex_misses);
       print_cache_attribution ();
       print_disk_cache ();
-      print_pool_utilization ()
+      print_pool_utilization ();
+      (* Rule-content identity: what incremental maintenance diffs. The
+         drift column compares against the most recently written
+         manifest in the cache directory, whatever configuration wrote
+         it — registry drift is configuration-independent. *)
+      let infos = Core.Incr.rules_info fw in
+      let manifest =
+        Option.bind dc_opt (fun dc ->
+            match List.rev (Manifest.index dc) with
+            | (key, _) :: _ -> Manifest.load dc ~key
+            | [] -> None)
+      in
+      let changes =
+        match manifest with Some m -> Manifest.diff m ~rules:infos | None -> []
+      in
+      Printf.printf "\nrule registry (%d rules)%s\n" (List.length infos)
+        (match manifest with
+        | Some _ -> " vs latest cache manifest:"
+        | None -> " (no manifest in cache; drift unknown):");
+      Printf.printf "%-34s %-14s %-8s %s\n" "rule" "fingerprint" "source" "drift";
+      List.iter
+        (fun (ri : Manifest.rule_info) ->
+          Printf.printf "%-34s %-14s %-8s %s\n" ri.name
+            (String.sub ri.fingerprint 0 12)
+            ri.source
+            (match List.assoc_opt ri.name changes with
+            | Some c -> Manifest.change_to_string c
+            | None -> if manifest = None then "-" else "no"))
+        infos;
+      List.iter
+        (fun (name, c) ->
+          if c = Manifest.Removed then
+            Printf.printf "%-34s %-14s %-8s removed\n" name "-" "-")
+        changes
     end
   in
   Cmd.v
@@ -1506,5 +1750,5 @@ let () =
        (Cmd.group
           (Cmd.info "qtr" ~version:"1.0.0" ~doc)
           [ rules_cmd; optimize_cmd; generate_cmd; coverage_cmd; compress_cmd;
-            validate_cmd; reduce_cmd; replay_cmd; stats_cmd; profile_cmd; report_cmd;
-            discover_cmd; verify_rules_cmd; benchdiff_cmd ]))
+            validate_cmd; delta_cmd; reduce_cmd; replay_cmd; stats_cmd; profile_cmd;
+            report_cmd; discover_cmd; verify_rules_cmd; benchdiff_cmd ]))

@@ -19,6 +19,15 @@ type edge_costs = {
   warm : (int * int, float) Hashtbl.t;
   disk : (Storage.Diskcache.t * string) option;
   disk_served_c : Obs.Metrics.counter;
+  (* Per-query-column dependency sets: the names of every rule whose
+     pattern matched while computing this column's edges (the shared
+     exploration plus any per-call fallbacks). A rule absent from a
+     column's set cannot change that column's costs through a body-only
+     edit — the reuse criterion the incremental manifest applies. Only
+     columns with at least one computed edge appear. *)
+  deps : (int, string list) Hashtbl.t;
+  mutable computed_n : int;
+  mutable warm_n : int;
 }
 
 let matrix_ns = "matrix"
@@ -26,13 +35,17 @@ let matrix_ns = "matrix"
 (* The spill key ties a matrix to everything its costs depend on: the
    catalog (schema + data), the rule set, and the suite's exact queries,
    targets, and shape (k). Any drift — new seed, new scale, edited rule,
-   regenerated suite — changes the key and the old entry is ignored. *)
+   regenerated suite — changes the key and the old entry is ignored.
+   Rules contribute their *content fingerprint*, not their name: editing
+   a rule's body under an unchanged name (fault injection, a DSL term
+   edit, a closure version bump) must change the key, or a warm run would
+   serve edge costs computed with the old body. *)
 let matrix_key fw (suite : Suite.t) =
   let combine h k = ((h * 65599) + k) land max_int in
   let h = Storage.Catalog.content_hash (Framework.catalog fw) in
   let h =
     List.fold_left
-      (fun h (r : Optimizer.Rule.t) -> combine h (Hashtbl.hash r.name))
+      (fun h (r : Optimizer.Rule.t) -> combine h (Hashtbl.hash r.fingerprint))
       h (Framework.rules fw)
   in
   let h = combine h suite.k in
@@ -59,7 +72,8 @@ let matrix_key fw (suite : Suite.t) =
 
 let disk_loaded_c = Obs.Metrics.counter "compress.matrix.disk_edges_loaded"
 
-let edge_costs ?(share_exploration = true) ?disk fw (suite : Suite.t) =
+let edge_costs ?(share_exploration = true) ?disk ?(warm_edges = []) fw
+    (suite : Suite.t) =
   let warm = Hashtbl.create 256 in
   let disk =
     match disk with
@@ -77,6 +91,10 @@ let edge_costs ?(share_exploration = true) ?disk fw (suite : Suite.t) =
       | None -> ());
       Some (dc, key)
   in
+  (* Manifest-supplied surviving cells (incremental maintenance). They
+     land in the same warm tier as a disk-loaded matrix, so serving them
+     keeps the cold-run accounting and solutions byte-identical. *)
+  List.iter (fun (p, c) -> Hashtbl.replace warm p c) warm_edges;
   { fw;
     suite;
     targets = Array.of_list suite.targets;
@@ -88,7 +106,10 @@ let edge_costs ?(share_exploration = true) ?disk fw (suite : Suite.t) =
     memo_hit_c = Obs.Metrics.counter "compress.edge_cost.memo_hits";
     warm;
     disk;
-    disk_served_c = Obs.Metrics.counter "compress.matrix.disk_served" }
+    disk_served_c = Obs.Metrics.counter "compress.matrix.disk_served";
+    deps = Hashtbl.create 64;
+    computed_n = 0;
+    warm_n = 0 }
 
 (* Spill every known edge (computed this run or inherited warm) back to
    disk. Last-writer-wins under the same key is benign: both writers
@@ -104,6 +125,13 @@ let save_matrix ec =
     ignore
       (Storage.Diskcache.store dc ~ns:matrix_ns ~key
          (Array.of_seq (Hashtbl.to_seq union)))
+
+let record_deps ec query_idx matched =
+  match Hashtbl.find_opt ec.deps query_idx with
+  | None -> Hashtbl.replace ec.deps query_idx matched
+  | Some prev ->
+    Hashtbl.replace ec.deps query_idx
+      (List.sort_uniq String.compare (List.rev_append matched prev))
 
 let shared_for ec query_idx =
   match ec.shared.(query_idx) with
@@ -133,18 +161,21 @@ let edge_cost ec ~target_idx ~query_idx =
     match Hashtbl.find_opt ec.warm (target_idx, query_idx) with
     | Some c ->
       Obs.Metrics.incr ec.disk_served_c;
+      ec.warm_n <- ec.warm_n + 1;
       Hashtbl.replace ec.memo (target_idx, query_idx) c;
       c
     | None ->
       Obs.Metrics.incr ec.computed_c;
+      ec.computed_n <- ec.computed_n + 1;
       let disabled = Suite.rules_of ec.targets.(target_idx) in
       let query = ec.suite.entries.(query_idx).query in
-      let per_call () =
-        match Framework.cost ec.fw ~disabled query with
-        | Ok c -> c
-        | Error _ -> Float.infinity
-      in
-      let c =
+      let c, matched =
+        Framework.with_matched @@ fun () ->
+        let per_call () =
+          match Framework.cost ec.fw ~disabled query with
+          | Ok c -> c
+          | Error _ -> Float.infinity
+        in
         if ec.share then
           match shared_for ec query_idx with
           | Some sh -> (
@@ -154,10 +185,25 @@ let edge_cost ec ~target_idx ~query_idx =
           | None -> per_call ()
         else per_call ()
       in
+      record_deps ec query_idx matched;
       Hashtbl.replace ec.memo (target_idx, query_idx) c;
       c)
 
 let invocations_used ec = ec.calls
+let computed_edges ec = ec.computed_n
+let warm_served_edges ec = ec.warm_n
+
+(* Every cell this service knows — computed this run or inherited warm —
+   sorted for determinism; the incremental manifest persists this. *)
+let snapshot ec =
+  let union = Hashtbl.copy ec.memo in
+  Hashtbl.iter
+    (fun p c -> if not (Hashtbl.mem union p) then Hashtbl.replace union p c)
+    ec.warm;
+  List.sort compare (List.of_seq (Hashtbl.to_seq union))
+
+let column_deps ec =
+  List.sort compare (List.of_seq (Hashtbl.to_seq ec.deps))
 
 (* Parallel edge-matrix fill. The pair list is partitioned by query
    index — one task per query column — so each task owns one query's
@@ -184,6 +230,7 @@ let prefetch ?(pool = Par.Pool.sequential) ec pairs =
              computed edge gets. *)
           ec.calls <- ec.calls + 1;
           Obs.Metrics.incr ec.disk_served_c;
+          ec.warm_n <- ec.warm_n + 1;
           Hashtbl.replace ec.memo (ti, qi) c
         | None -> (
           match Hashtbl.find_opt cols qi with
@@ -199,40 +246,50 @@ let prefetch ?(pool = Par.Pool.sequential) ec pairs =
   let results =
     Par.Pool.map_list pool
       (fun (qi, tis) ->
-        let query = ec.suite.entries.(qi).query in
-        let sh =
-          if ec.share then
-            match ec.shared.(qi) with
-            | Some r -> r
+        (* The whole column computes under a matched-rule collector (the
+           task runs wholly on one domain), so the returned deps are the
+           column's dependency set: every rule whose body the shared
+           exploration or a per-call fallback could have consulted. *)
+        let (sh, edges), deps =
+          Framework.with_matched @@ fun () ->
+          let query = ec.suite.entries.(qi).query in
+          let sh =
+            if ec.share then
+              match ec.shared.(qi) with
+              | Some r -> r
+              | None -> (
+                match Framework.explore_shared ec.fw query with
+                | Ok sh -> Some sh
+                | Error _ -> None)
+            else None
+          in
+          let cost_of ti =
+            let disabled = Suite.rules_of ec.targets.(ti) in
+            match sh with
+            | Some sh -> (
+              match Framework.shared_cost ec.fw ~disabled sh with
+              | Ok c -> c
+              | Error _ -> Float.infinity)
             | None -> (
-              match Framework.explore_shared ec.fw query with
-              | Ok sh -> Some sh
-              | Error _ -> None)
-          else None
+              match Framework.cost ec.fw ~disabled query with
+              | Ok c -> c
+              | Error _ -> Float.infinity)
+          in
+          (sh, List.map (fun ti -> (ti, cost_of ti)) tis)
         in
-        let cost_of ti =
-          let disabled = Suite.rules_of ec.targets.(ti) in
-          match sh with
-          | Some sh -> (
-            match Framework.shared_cost ec.fw ~disabled sh with
-            | Ok c -> c
-            | Error _ -> Float.infinity)
-          | None -> (
-            match Framework.cost ec.fw ~disabled query with
-            | Ok c -> c
-            | Error _ -> Float.infinity)
-        in
-        (qi, sh, List.map (fun ti -> (ti, cost_of ti)) tis))
+        (qi, sh, edges, deps))
       columns
   in
   List.iter
-    (fun (qi, sh, edges) ->
+    (fun (qi, sh, edges, deps) ->
       if ec.share && ec.shared.(qi) = None then ec.shared.(qi) <- Some sh;
+      record_deps ec qi deps;
       List.iter
         (fun (ti, c) ->
           if not (Hashtbl.mem ec.memo (ti, qi)) then begin
             ec.calls <- ec.calls + 1;
             Obs.Metrics.incr ec.computed_c;
+            ec.computed_n <- ec.computed_n + 1;
             Hashtbl.replace ec.memo (ti, qi) c
           end)
         edges)
@@ -304,9 +361,14 @@ let solution_cost (suite : Suite.t) sol =
 (* without sharing Plan(q) runs across targets.                         *)
 (* ------------------------------------------------------------------ *)
 
-let baseline ?share_exploration ?pool ?disk fw (suite : Suite.t) =
+let service ?share_exploration ?disk ?ec fw suite =
+  match ec with
+  | Some ec -> ec
+  | None -> edge_costs ?share_exploration ?disk fw suite
+
+let baseline ?share_exploration ?pool ?disk ?ec fw (suite : Suite.t) =
   algo_span "baseline" suite @@ fun () ->
-  let ec = edge_costs ?share_exploration ?disk fw suite in
+  let ec = service ?share_exploration ?disk ?ec fw suite in
   let tindex =
     List.mapi (fun i (t, _) -> (t, i)) suite.per_target
   in
@@ -343,7 +405,7 @@ let baseline ?share_exploration ?pool ?disk fw (suite : Suite.t) =
 (* Greedy Constrained Set-Multicover (Figure 5)                         *)
 (* ------------------------------------------------------------------ *)
 
-let smc ?share_exploration ?pool ?disk fw (suite : Suite.t) =
+let smc ?share_exploration ?pool ?disk ?ec fw (suite : Suite.t) =
   algo_span "smc" suite @@ fun () ->
   let iterations_c = Obs.Metrics.counter "compress.smc.iterations" in
   let targets = Array.of_list suite.targets in
@@ -394,7 +456,7 @@ let smc ?share_exploration ?pool ?disk fw (suite : Suite.t) =
   done;
   (* SMC never looks at edge costs while choosing; they are computed once
      afterwards to evaluate the solution, as when executing it. *)
-  let ec = edge_costs ?share_exploration ?disk fw suite in
+  let ec = service ?share_exploration ?disk ?ec fw suite in
   prefetch ?pool ec
     (List.concat
        (Array.to_list
@@ -449,11 +511,11 @@ module Kqueue = struct
   let contents q = List.rev_map (fun (c, i) -> (i, c)) q.items
 end
 
-let topk ?(exploit_monotonicity = false) ?share_exploration ?pool ?disk fw
+let topk ?(exploit_monotonicity = false) ?share_exploration ?pool ?disk ?ec fw
     (suite : Suite.t) =
   algo_span (if exploit_monotonicity then "topk_mono" else "topk") suite @@ fun () ->
   let pruned_c = Obs.Metrics.counter "compress.topk.pruned_edges" in
-  let ec = edge_costs ?share_exploration ?disk fw suite in
+  let ec = service ?share_exploration ?disk ?ec fw suite in
   let targets = Array.of_list suite.targets in
   (* The naive variant computes every (target, covering query) edge, so
      the whole matrix can be prefetched in parallel. The monotonicity

@@ -30,16 +30,20 @@ type edge_costs
 val edge_costs :
   ?share_exploration:bool ->
   ?disk:Storage.Diskcache.t ->
+  ?warm_edges:((int * int) * float) list ->
   Framework.t ->
   Suite.t ->
   edge_costs
 (** With [?disk], the service warm-starts from a previously spilled
-    edge-cost matrix, keyed by a hash of the catalog contents, the rule
-    set, and the suite (queries, targets, [k], per-target picks) — any
-    drift invalidates the entry. A warm-served edge still counts into
-    {!invocations_used} (so warm and cold runs produce byte-identical
-    solutions) but skips the exploration/costing work; the extra
-    counters [compress.matrix.disk_edges_loaded] and
+    edge-cost matrix, keyed by a hash of the catalog contents, the
+    rule-content fingerprints, and the suite (queries, targets, [k],
+    per-target picks) — any drift, including editing a rule's body under
+    an unchanged name, invalidates the entry. [?warm_edges] injects
+    additional warm cells (the incremental layer's manifest-surviving
+    slice, already re-indexed to this suite). A warm-served edge still
+    counts into {!invocations_used} (so warm and cold runs produce
+    byte-identical solutions) but skips the exploration/costing work;
+    the extra counters [compress.matrix.disk_edges_loaded] and
     [compress.matrix.disk_served] record the savings. *)
 
 val edge_cost : edge_costs -> target_idx:int -> query_idx:int -> float
@@ -65,6 +69,26 @@ val invocations_used : edge_costs -> int
     the concrete count of full optimizer runs is
     {!Framework.invocations}. *)
 
+val computed_edges : edge_costs -> int
+(** Edges that actually ran an exploration/costing pass this run. *)
+
+val warm_served_edges : edge_costs -> int
+(** Edges served from the warm tier (spilled matrix or manifest cells)
+    — [computed_edges + warm_served_edges = invocations_used]. *)
+
+val snapshot : edge_costs -> ((int * int) * float) list
+(** Every cell the service knows — computed this run or inherited warm —
+    as sorted ((target index, query index), cost); what the incremental
+    manifest persists. *)
+
+val column_deps : edge_costs -> (int * string list) list
+(** Per query column with at least one computed edge: the sorted names
+    of every rule whose pattern matched while computing that column (the
+    shared exploration plus per-call fallbacks). A rule absent from a
+    column's set cannot change the column's costs via a body-only edit,
+    except through the disabled sets — which is why the incremental
+    reuse criterion exempts the rules a cell's own target disables. *)
+
 type solution = {
   assignment : (Suite.target * (int * float) list) list;
       (** per target: the chosen (query index, edge cost) pairs *)
@@ -82,12 +106,18 @@ type solution = {
     {!prefetch}; solutions are identical for any pool size. The optional
     [disk] warm-starts the edge-cost service from a spilled matrix and
     spills the filled matrix back on completion (see {!edge_costs});
-    solutions are identical warm or cold. *)
+    solutions are identical warm or cold. The optional [ec] supplies a
+    pre-built service instead (overriding [share_exploration]/[disk]) —
+    the incremental layer shares one manifest-warmed service across
+    algorithms and snapshots it afterwards; note a shared service's
+    [calls] accumulate, so each solution's [invocations] then reports
+    the cumulative count at the time that algorithm finished. *)
 
 val baseline :
   ?share_exploration:bool ->
   ?pool:Par.Pool.t ->
   ?disk:Storage.Diskcache.t ->
+  ?ec:edge_costs ->
   Framework.t ->
   Suite.t ->
   solution
@@ -96,6 +126,7 @@ val smc :
   ?share_exploration:bool ->
   ?pool:Par.Pool.t ->
   ?disk:Storage.Diskcache.t ->
+  ?ec:edge_costs ->
   Framework.t ->
   Suite.t ->
   solution
@@ -105,6 +136,7 @@ val topk :
   ?share_exploration:bool ->
   ?pool:Par.Pool.t ->
   ?disk:Storage.Diskcache.t ->
+  ?ec:edge_costs ->
   Framework.t ->
   Suite.t ->
   solution

@@ -4,11 +4,16 @@ module S = Scalar
 module R = Optimizer.Rule
 module Pat = Optimizer.Pattern
 
+(* Every buggy variant carries ~version:"fault": it shares its victim's
+   name and pattern, so only the version tag separates their content
+   fingerprints — injecting a fault must invalidate warm-start caches
+   keyed on rule content exactly like any other body edit. *)
+
 (* Pushes every pushable conjunct below BOTH sides of a left outer join —
    pushing onto the NULL-padded right side is unsound (it drops padding
    rows the filter would have kept or keeps rows it should not). *)
 let buggy_push_below_loj =
-  R.make "PushSelectBelowLeftOuterJoin"
+  R.make ~version:"fault" "PushSelectBelowLeftOuterJoin"
     (Pat.Op (L.KFilter, [ Pat.Op (L.KJoin L.LeftOuter, [ Pat.Any; Pat.Any ]) ]))
     (fun cat t ->
       match t with
@@ -28,7 +33,7 @@ let buggy_push_below_loj =
 (* Rewrites Filter(LOJ) to Filter(Join) without checking that the filter
    is null-rejecting on the padded side. *)
 let buggy_simplify_loj =
-  R.make "SimplifyLeftOuterJoin"
+  R.make ~version:"fault" "SimplifyLeftOuterJoin"
     (Pat.Op (L.KFilter, [ Pat.Op (L.KJoin L.LeftOuter, [ Pat.Any; Pat.Any ]) ]))
     (fun _cat t ->
       match t with
@@ -38,7 +43,7 @@ let buggy_simplify_loj =
 
 (* Merges two stacked filters but forgets the inner predicate. *)
 let buggy_select_merge =
-  R.make "SelectMerge"
+  R.make ~version:"fault" "SelectMerge"
     (Pat.Op (L.KFilter, [ Pat.Op (L.KFilter, [ Pat.Any ]) ]))
     (fun _cat t ->
       match t with
@@ -49,7 +54,7 @@ let buggy_select_merge =
 (* Pushes a group-by below a join without requiring the join to be on a
    key of the other side: per-group fan-out corrupts the aggregates. *)
 let buggy_gbagg_push =
-  R.make "GbAggPushBelowJoin"
+  R.make ~version:"fault" "GbAggPushBelowJoin"
     (Pat.Op (L.KGroupBy, [ Pat.Op (L.KJoin L.Inner, [ Pat.Any; Pat.Any ]) ]))
     (fun cat t ->
       match t with

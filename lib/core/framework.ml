@@ -15,6 +15,11 @@ let create ?(options = Optimizer.Engine.default_options)
 
 let catalog t = t.cat
 let rules t = t.rule_list
+
+let fingerprints t =
+  List.map (fun (r : Optimizer.Rule.t) -> (r.name, r.fingerprint)) t.rule_list
+
+let with_matched = Optimizer.Rule.collect_matched
 let invocations t = Atomic.get t.invocations
 let reset_invocations t = Atomic.set t.invocations 0
 

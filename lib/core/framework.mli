@@ -17,6 +17,17 @@ val create :
 val catalog : t -> Storage.Catalog.t
 val rules : t -> Optimizer.Rule.t list
 
+val fingerprints : t -> (string * string) list
+(** (name, content fingerprint) of this framework's rule registry, in
+    registry order — the content identity incremental maintenance diffs
+    against a persisted manifest. *)
+
+val with_matched : (unit -> 'a) -> 'a * string list
+(** Re-export of {!Optimizer.Rule.collect_matched}: run a thunk recording
+    the sorted names of every rule whose pattern matched some tree — the
+    dependency set of whatever the thunk computed. Per-domain; wrap pool
+    task bodies, not code that fans out. *)
+
 val ruleset : t -> Relalg.Logical.t -> (SSet.t, string) result
 (** [RuleSet(q)]: logical rules exercised while optimizing [q].
     Exploration only — counted as an optimizer invocation. *)

@@ -52,6 +52,43 @@ val generate :
     identical for any [Par.Pool.jobs] count, including 1, but differs
     from the no-pool stream (different, equally valid, random draws). *)
 
+type gen_record = {
+  gr_target : target;
+  gr_index : int;  (** position in [targets] — fixes the PRNG substream *)
+  gr_deps : string list;
+      (** sorted names of every rule whose pattern matched during this
+          target's generation and acceptance checking: the target's
+          dependency set. A rule absent from this list contributed
+          nothing, so a body-only edit to it cannot change what this
+          target generated. Empty for reused targets whose stored deps
+          were served by [reuse] (the callback returns the stored set). *)
+  gr_accepted : entry list;  (** task-local accepted entries, pre-merge *)
+  gr_reused : bool;  (** served by the [reuse] callback, not regenerated *)
+}
+
+val generate_tracked :
+  ?gen:gen_method ->
+  ?extra_ops:int ->
+  ?max_trials:int ->
+  ?reuse:(int -> target -> (entry list * string list) option) ->
+  pool:Par.Pool.t ->
+  Framework.t ->
+  Storage.Prng.t ->
+  targets:target list ->
+  k:int ->
+  t * gen_record list
+(** The pooled generation path of {!generate} with provenance: returns
+    the per-target generation records (dependency sets + pre-merge
+    accepted entries) a manifest persists, and accepts a [reuse]
+    callback serving a target's stored (accepted entries, deps) from a
+    prior run. Reused targets skip generation but still consume their
+    PRNG substream slot, and the cross-target merge replays in target
+    order, so the suite is byte-identical to a full rebuild whenever the
+    reused records match what regeneration would produce — which the
+    incremental layer guarantees by only reusing targets whose
+    dependency sets avoid every changed rule. [generate ~pool] is
+    exactly [generate_tracked] without [reuse], minus the records. *)
+
 val covering : t -> target -> int list
 (** Entry indices whose RuleSet exercises the target — the bipartite
     graph's edge lists (§4.1). *)

@@ -261,9 +261,10 @@ let image cat r tree =
     | false -> None
     | true -> ( match build env r.rhs with exception Build_failed -> None | t -> Some t))
 
-let compile r =
-  Rule.make r.name (pattern r) (fun cat tree ->
-      match image cat r tree with Some t -> [ t ] | None -> [])
+(* [compile] lives below the printers: the compiled rule's content
+   fingerprint digests the deterministic [to_string] rendering of the
+   whole term (lhs, rhs, side conditions), so any edit to the rule's
+   definition — not just its name or pattern — yields a new identity. *)
 
 (* ------------------------------------------------------------------ *)
 (* Rule-pair composition (§3.2), derived from the DSL terms            *)
@@ -350,6 +351,13 @@ let to_string r =
     | sides -> "  when " ^ String.concat "; " (List.map side_to_string sides))
 
 let pp fmt r = Format.pp_print_string fmt (to_string r)
+
+let fingerprint r =
+  Digest.to_hex (Digest.string ("rdsl\x00" ^ to_string r))
+
+let compile r =
+  Rule.make ~fingerprint:(fingerprint r) r.name (pattern r) (fun cat tree ->
+      match image cat r tree with Some t -> [ t ] | None -> [])
 
 (* A machine-generated soundness note: which side-conditions carry the
    rule's soundness and which merely gate firing. *)

@@ -88,7 +88,14 @@ val image :
 val compile : rule -> Rule.t
 (** Compile to an engine rule. The compiled [apply] returns
     [image cat r tree] as a singleton (or []), so DSL-backed rules flow
-    through exploration, generation, compression and discovery unchanged. *)
+    through exploration, generation, compression and discovery unchanged.
+    The compiled rule's [fingerprint] is {!fingerprint}[ r], so editing
+    any part of the definition (lhs, rhs, side conditions) changes the
+    rule's content identity. *)
+
+val fingerprint : rule -> string
+(** Content digest of the rule's deterministic {!to_string} rendering —
+    the DSL half of the registry's rule-content fingerprints. *)
 
 val compose : rule -> rule -> Pattern.t list
 (** Rule-pair composition patterns (§3.2) derived from the DSL terms:

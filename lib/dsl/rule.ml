@@ -4,11 +4,49 @@ type t = {
   name : string;
   pattern : Pattern.t;
   apply : Storage.Catalog.t -> Logical.t -> Logical.t list;
+  fingerprint : string;
+  pattern_fp : string;
 }
 
-let make name pattern apply =
+(* Matched-rule collector: a per-domain slot that, while set, records the
+   name of every rule whose pattern accepted a tree. The record happens in
+   the [guarded] wrapper below — the single chokepoint every registered
+   rule's pattern check goes through — so the collected set is exactly
+   the rules whose bodies could have influenced whatever ran under the
+   collector (a rule whose pattern never matched contributed nothing to
+   any exploration). The slot is domain-local: wrap work that runs wholly
+   on one domain (a pool task body, or inline code). *)
+let collector_key : (string, unit) Hashtbl.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let collect_matched f =
+  let slot = Domain.DLS.get collector_key in
+  let saved = !slot in
+  let tbl = Hashtbl.create 32 in
+  slot := Some tbl;
+  Fun.protect
+    ~finally:(fun () -> slot := saved)
+    (fun () ->
+      let r = f () in
+      let names = Hashtbl.fold (fun name () acc -> name :: acc) tbl [] in
+      (r, List.sort String.compare names))
+
+let digest_hex parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
+
+let make ?(version = "") ?fingerprint name pattern apply =
+  let pattern_fp = digest_hex [ "pattern"; Pattern.to_xml pattern ] in
+  let fingerprint =
+    match fingerprint with
+    | Some fp -> fp
+    | None -> digest_hex [ "closure"; name; pattern_fp; version ]
+  in
   let guarded cat tree =
-    if Pattern.matches pattern tree then apply cat tree
+    if Pattern.matches pattern tree then begin
+      (match !(Domain.DLS.get collector_key) with
+      | Some tbl -> Hashtbl.replace tbl name ()
+      | None -> ());
+      apply cat tree
+    end
     else begin
       (* A rule whose [apply] would return substitutes on a root its own
          pattern rejects is mis-declared: the engine (which consults the
@@ -24,7 +62,7 @@ let make name pattern apply =
       []
     end
   in
-  { name; pattern; apply = guarded }
+  { name; pattern; apply = guarded; fingerprint; pattern_fp }
 
 let rec subst f (e : Scalar.t) : Scalar.t =
   match e with

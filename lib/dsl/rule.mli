@@ -10,9 +10,23 @@ type t = {
   name : string;
   pattern : Pattern.t;
   apply : Storage.Catalog.t -> Relalg.Logical.t -> Relalg.Logical.t list;
+  fingerprint : string;
+      (** Content digest identifying this rule's {e behaviour}, not just
+          its name: DSL-backed rules digest their full [Rdsl] term (via
+          {!make}'s [?fingerprint]); closure rules digest
+          (name, pattern, [?version]). Editing a rule body under the same
+          name must change the fingerprint — bump [?version] for closure
+          rules, whose bodies are opaque OCaml. Incremental maintenance
+          and the warm-start matrix key are built on this. *)
+  pattern_fp : string;
+      (** Digest of the pattern alone. [fingerprint] differing while
+          [pattern_fp] is unchanged classifies an edit as body-only — the
+          case incremental maintenance can reuse slices across. *)
 }
 
 val make :
+  ?version:string ->
+  ?fingerprint:string ->
   string ->
   Pattern.t ->
   (Storage.Catalog.t -> Relalg.Logical.t -> Relalg.Logical.t list) ->
@@ -23,7 +37,25 @@ val make :
     [apply]: if it would have produced substitutes, the
     [optimizer.rule.pattern_mismatch] counter (labelled with the rule
     name) is bumped — the rule's declared pattern and its implementation
-    disagree, and the engine would silently never fire it. *)
+    disagree, and the engine would silently never fire it.
+
+    [?fingerprint] overrides the content fingerprint (DSL rules pass a
+    digest of their term); otherwise it is derived from
+    (name, pattern, [?version]) — [?version] (default [""]) is the
+    closure rule's explicit content tag: pass a new value whenever the
+    closure body's semantics change (fault injection passes ["fault"]). *)
+
+val collect_matched : (unit -> 'a) -> 'a * string list
+(** [collect_matched f] runs [f] with a domain-local collector installed
+    and returns [f]'s result plus the sorted, deduplicated names of every
+    rule whose pattern accepted some tree during the call. Because the
+    pattern check in {!make} is the single gate in front of every rule
+    body, this set is exactly the rules whose bodies could have
+    influenced [f]'s result — the dependency set incremental maintenance
+    records per suite target and per cost-matrix column. The collector is
+    per-domain: [f] must not itself fan work out to other domains (wrap
+    each pool task body instead). Nested collectors shadow the outer one
+    for their extent. *)
 
 (** {2 Helpers shared by rule implementations} *)
 

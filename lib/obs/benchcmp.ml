@@ -108,6 +108,12 @@ let default_specs =
        +10pp drift per unit of slack instead. *)
     delta "details/parallel/attribution/profile_overhead" ~threshold:0.1
       Lower_is_better;
+    (* Incremental maintenance: byte-identity is a zero-tolerance flag;
+       the warm-edit speedup and reuse ratio are what the manifest layer
+       bought and must not collapse. *)
+    flag "details/incremental/identical";
+    ratio "details/incremental/speedup" ~threshold:0.5 Higher_is_better;
+    ratio "details/incremental/edges_reused_ratio" ~threshold:0.1 Higher_is_better;
     (* Triage quality. *)
     ratio "details/reduce/median_shrink" ~threshold:0.2 Higher_is_better;
     count "details/reduce/reproducers";
@@ -127,6 +133,7 @@ let default_specs =
     (* Wall clocks, the noisiest tier: per-experiment seconds. *)
     seconds "experiment_seconds/explore";
     seconds "experiment_seconds/matrix";
+    seconds "experiment_seconds/incremental";
     seconds "experiment_seconds/parallel";
     seconds "experiment_seconds/execute";
     seconds "experiment_seconds/reduce";

@@ -29,6 +29,43 @@ let nth i =
   | Some r -> r
   | None -> invalid_arg (Printf.sprintf "Rules.nth: index %d out of range" i)
 
+(* Content identity of the registry: per-rule fingerprints (DSL rules
+   digest their term via [Rdsl.compile]; closure rules digest
+   name+pattern+version). The incremental-maintenance manifest and the
+   warm-start matrix key both hang off these. *)
+let fingerprints () =
+  List.map (fun (r : Rule.t) -> (r.name, r.fingerprint)) all
+
+let source_of name = if List.mem_assoc name dsl_rules then "dsl" else "closure"
+
+(* A reproducible single-rule body edit: the named rule keeps its name,
+   pattern and behavior, but its content fingerprint changes — a
+   behavior-preserving refactor of the rule's implementation, the
+   commonest edit incremental maintenance exists for. The maintenance
+   layer cannot know the edit preserved behavior, so it must recompute
+   every artifact depending on the rule's body (and nothing else); since
+   behavior is in fact unchanged, the recomputed results must equal the
+   pre-edit ones byte for byte, which is what the CI warm-edit job and
+   the bench `incremental` experiment check. Tests that need a
+   behavior-*changing* edit build one directly with [Rule.make]. *)
+let simulate_edit ?(rules = all) name =
+  let found = ref false in
+  let edited =
+    List.map
+      (fun (r : Rule.t) ->
+        if String.equal r.name name then begin
+          found := true;
+          (* [r.apply] is already pattern-guarded; the extra guard the
+             wrapper adds is idempotent (same match condition, same
+             collector entry). *)
+          Rule.make ~version:"simulated-edit" r.name r.pattern r.apply
+        end
+        else r)
+      rules
+  in
+  if not !found then invalid_arg ("Rules.simulate_edit: unknown rule " ^ name);
+  edited
+
 let pattern_xml name =
   Option.map (fun (r : Rule.t) -> Pattern.to_xml r.pattern) (find name)
 

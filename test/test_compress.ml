@@ -111,6 +111,46 @@ let test_warm_matrix_identical () =
   check bool_t "cold run did optimizer work" true (i1 - i0 > 0);
   check int_t "warm run did none" 0 (i2 - i1)
 
+(* Regression: the spilled-matrix key used to hash only rule NAMES, so
+   editing a rule's body under an unchanged name kept the old key and a
+   warm run served the stale matrix. The key now hashes rule-content
+   fingerprints: same names + edited body must miss and recompute
+   everything, while an identical registry still warm-starts fully. *)
+let test_stale_matrix_on_rule_edit () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qtr-test-stale-%d" (Unix.getpid ()))
+  in
+  let nt = List.length suite6.targets and nq = Array.length suite6.entries in
+  let fill ec =
+    for ti = 0 to nt - 1 do
+      for q = 0 to nq - 1 do
+        ignore (C.edge_cost ec ~target_idx:ti ~query_idx:q)
+      done
+    done
+  in
+  let dc = Storage.Diskcache.create ~dir () in
+  let ec1 = C.edge_costs ~disk:dc fw suite6 in
+  fill ec1;
+  C.save_matrix ec1;
+  check int_t "seed run computed everything" (nt * nq) (C.computed_edges ec1);
+  (* control: the identical registry warm-starts fully *)
+  let ec2 = C.edge_costs ~disk:dc fw suite6 in
+  fill ec2;
+  check int_t "identical registry computes nothing" 0 (C.computed_edges ec2);
+  check int_t "identical registry served warm" (nt * nq) (C.warm_served_edges ec2);
+  (* the regression: same rule names, one body edited -> new fingerprint
+     -> the spilled matrix must NOT be served *)
+  let fw_edit =
+    F.create ~options:quick_options
+      ~rules:(Optimizer.Rules.simulate_edit "JoinCommute")
+      cat
+  in
+  let ec3 = C.edge_costs ~disk:dc fw_edit suite6 in
+  fill ec3;
+  check int_t "edited body serves nothing stale" 0 (C.warm_served_edges ec3);
+  check int_t "edited body recomputes everything" (nt * nq) (C.computed_edges ec3)
+
 let test_baseline () =
   check bool_t "covers" true
     (List.for_all
@@ -337,6 +377,8 @@ let suite =
           test_monotonicity_sound_and_cheaper;
         Alcotest.test_case "warm matrix identical" `Slow
           test_warm_matrix_identical;
+        Alcotest.test_case "stale matrix on rule edit" `Slow
+          test_stale_matrix_on_rule_edit;
         Alcotest.test_case "compression beats baseline" `Slow
           test_compression_beats_baseline ] );
     ("core.matching", [ Alcotest.test_case "exact no-sharing variant" `Slow test_matching ]);

@@ -1,4 +1,4 @@
 let () =
   Alcotest.run "qtr"
     (List.concat
-       [ Test_storage.suite; Test_relalg.suite; Test_props.suite; Test_sql.suite; Test_patterns.suite; Test_rules.suite; Test_executor.suite; Test_engine.suite; Test_framework.suite; Test_compress.suite; Test_triage.suite; Test_properties.suite; Test_misc.suite; Test_arggen.suite; Test_obs.suite; Test_profile.suite; Test_par.suite; Test_discovery.suite; Test_dsl.suite ])
+       [ Test_storage.suite; Test_relalg.suite; Test_props.suite; Test_sql.suite; Test_patterns.suite; Test_rules.suite; Test_executor.suite; Test_engine.suite; Test_framework.suite; Test_compress.suite; Test_incremental.suite; Test_triage.suite; Test_properties.suite; Test_misc.suite; Test_arggen.suite; Test_obs.suite; Test_profile.suite; Test_par.suite; Test_discovery.suite; Test_dsl.suite ])
